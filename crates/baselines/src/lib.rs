@@ -1,0 +1,92 @@
+//! Baselines the DBTF paper evaluates against (Section IV-A2).
+//!
+//! - [`asso`]: the ASSO Boolean *matrix* factorization of Miettinen et al.
+//!   (*The Discrete Basis Problem*, 2008). Not a tensor method itself, but
+//!   BCP_ALS initializes its factors with ASSO runs on the unfolded tensor
+//!   — and ASSO's `O(cols²)` association matrix is exactly the "high space
+//!   and time requirement … proportional to the squares of the number of
+//!   columns of each unfolded tensor" that makes BCP_ALS fail on large
+//!   tensors (paper Section II-B2).
+//! - [`bcp_als`]: Miettinen's BCP_ALS (*Boolean Tensor Factorizations*,
+//!   ICDM 2011): the single-machine ALS projection heuristic of
+//!   Algorithm 1, with ASSO initialization and a materialized Khatri-Rao
+//!   product.
+//! - [`walk_n_merge`]: Erdős & Miettinen's Walk'n'Merge (2013): random
+//!   walks over the graph of non-zeros find dense blocks, which are then
+//!   greedily merged; blocks become rank-1 factors.
+//!
+//! Both tensor baselines run on a single machine, as in the paper. They
+//! take an optional wall-clock [`Deadline`] (the paper's 6/12-hour
+//! out-of-time limit) and BCP_ALS models a per-machine memory budget (the
+//! paper's 32 GB machines, on which it reports out-of-memory for most
+//! real-world datasets).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod asso;
+pub mod bcp_als;
+pub mod walk_n_merge;
+
+pub use asso::{asso, AssoConfig, AssoResult};
+pub use bcp_als::{bcp_als, BcpAlsConfig, BcpAlsResult};
+pub use walk_n_merge::{walk_n_merge, WnmBlock, WnmConfig, WnmResult};
+
+/// A wall-clock budget for a baseline run (the paper's O.O.T. limit).
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    instant: std::time::Instant,
+}
+
+impl Deadline {
+    /// A deadline `secs` from now.
+    pub fn in_secs(secs: f64) -> Self {
+        Deadline {
+            instant: std::time::Instant::now()
+                + std::time::Duration::from_secs_f64(secs.max(0.0)),
+        }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        std::time::Instant::now() >= self.instant
+    }
+}
+
+/// Why a baseline run aborted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The modeled single-machine memory budget was exceeded
+    /// (the paper's O.O.M. — BCP_ALS on the real-world datasets).
+    OutOfMemory {
+        /// Bytes the next phase would need.
+        required_bytes: u64,
+        /// The configured budget.
+        budget_bytes: u64,
+        /// Which allocation blew the budget.
+        phase: &'static str,
+    },
+    /// The wall-clock [`Deadline`] passed (the paper's O.O.T.).
+    OutOfTime,
+    /// Bad configuration.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::OutOfMemory {
+                required_bytes,
+                budget_bytes,
+                phase,
+            } => write!(
+                f,
+                "out of memory in {phase}: needs {required_bytes} B, budget {budget_bytes} B"
+            ),
+            BaselineError::OutOfTime => write!(f, "out of time"),
+            BaselineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}

@@ -1,0 +1,124 @@
+//! Property-based tests for the baselines.
+
+use dbtf_baselines::{asso, bcp_als, walk_n_merge, AssoConfig, BcpAlsConfig, WnmConfig};
+use dbtf_tensor::ops::bool_matmul;
+use dbtf_tensor::{BitMatrix, BoolTensor};
+use proptest::prelude::*;
+
+fn matrix_strategy(max_n: usize, max_m: usize) -> impl Strategy<Value = BitMatrix> {
+    (1..=max_n, 1..=max_m).prop_flat_map(|(n, m)| {
+        proptest::collection::vec(proptest::bool::ANY, n * m).prop_map(move |bits| {
+            let mut x = BitMatrix::zeros(n, m);
+            for (idx, b) in bits.into_iter().enumerate() {
+                if b {
+                    x.set(idx / m, idx % m, true);
+                }
+            }
+            x
+        })
+    })
+}
+
+fn tensor_strategy(max_dim: usize, max_entries: usize) -> impl Strategy<Value = BoolTensor> {
+    (2..=max_dim, 2..=max_dim, 2..=max_dim).prop_flat_map(move |(i, j, k)| {
+        proptest::collection::vec(
+            (0..i as u32, 0..j as u32, 0..k as u32).prop_map(|(a, b, c)| [a, b, c]),
+            1..=max_entries,
+        )
+        .prop_map(move |entries| BoolTensor::from_entries([i, j, k], entries))
+    })
+}
+
+fn rows_of(x: &BitMatrix) -> Vec<Vec<u64>> {
+    (0..x.rows())
+        .map(|r| x.iter_row_ones(r).map(|c| c as u64).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// ASSO's reported error always matches `|X ⊕ U ∘ B|`, never exceeds
+    /// the all-zero model's error, and the factorization shapes are right.
+    #[test]
+    fn asso_error_is_consistent_and_bounded(
+        x in matrix_strategy(10, 30),
+        rank in 1usize..5,
+        threshold in 0.3f64..1.0,
+    ) {
+        let cfg = AssoConfig {
+            rank,
+            threshold,
+            ..AssoConfig::default()
+        };
+        let rows = rows_of(&x);
+        let slices: Vec<&[u64]> = rows.iter().map(|v| v.as_slice()).collect();
+        let res = asso(&slices, x.cols(), &cfg, None).unwrap();
+        prop_assert_eq!((res.usage.rows(), res.usage.cols()), (x.rows(), rank));
+        prop_assert_eq!((res.basis.rows(), res.basis.cols()), (rank, x.cols()));
+        let recon = bool_matmul(&res.usage, &res.basis);
+        prop_assert_eq!(res.error, x.xor_count(&recon) as u64);
+        // Greedy only accepts positive-gain factors (w⁺ = w⁻ = 1), so it
+        // can never do worse than the empty model.
+        prop_assert!(res.error <= x.count_ones() as u64);
+    }
+
+    /// BCP_ALS: reported error matches its factors, iteration errors are
+    /// monotone, and it never does worse than the all-zero factorization.
+    #[test]
+    fn bcp_als_consistent(
+        x in tensor_strategy(7, 40),
+        rank in 1usize..4,
+    ) {
+        let cfg = BcpAlsConfig {
+            rank,
+            max_iters: 3,
+            ..BcpAlsConfig::default()
+        };
+        let res = bcp_als(&x, &cfg, None).unwrap();
+        let (a, b, c) = &res.factors;
+        let recon = dbtf_tensor::reconstruct::reconstruct(a, b, c);
+        prop_assert_eq!(res.error, x.xor_count(&recon) as u64);
+        for w in res.iteration_errors.windows(2) {
+            prop_assert!(w[1] <= w[0]);
+        }
+        prop_assert!(res.error <= x.nnz() as u64);
+    }
+
+    /// Walk'n'Merge: every returned block respects the density threshold
+    /// and the minimum size; the reported per-rank error matches the
+    /// materialized top-R factors.
+    #[test]
+    fn walk_n_merge_blocks_valid(
+        x in tensor_strategy(8, 60),
+        threshold in 0.5f64..1.0,
+        seed in 0u64..20,
+    ) {
+        let cfg = WnmConfig {
+            merge_threshold: threshold,
+            min_block: [2, 2, 2],
+            seed,
+            ..WnmConfig::default()
+        };
+        let res = walk_n_merge(&x, &cfg, None).unwrap();
+        for b in &res.blocks {
+            prop_assert!(b.density() >= threshold, "density {}", b.density());
+            prop_assert!(b.is.len() >= 2 && b.js.len() >= 2 && b.ks.len() >= 2);
+            // Recount the ones independently.
+            let mut count = 0;
+            for &i in &b.is {
+                for &j in &b.js {
+                    for &k in &b.ks {
+                        if x.contains(i, j, k) {
+                            count += 1;
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(count, b.ones);
+        }
+        let (a, bb, c) = res.to_factors(x.dims(), 3);
+        let recon = dbtf_tensor::reconstruct::reconstruct(&a, &bb, &c);
+        prop_assert_eq!(res.error(&x, 3), x.xor_count(&recon) as u64);
+    }
+}

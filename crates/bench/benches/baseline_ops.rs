@@ -1,0 +1,60 @@
+//! Criterion benchmarks for the baselines' inner loops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dbtf_baselines::{asso, bcp_als, walk_n_merge, AssoConfig, BcpAlsConfig, WnmConfig};
+use dbtf_tensor::BoolTensor;
+
+fn bench_asso(c: &mut Criterion) {
+    let x = dbtf_datagen::uniform_random([48, 8, 8], 0.15, 11);
+    let unf = dbtf_tensor::Unfolding::new(&x, dbtf_tensor::Mode::One);
+    let rows: Vec<&[u64]> = (0..unf.nrows()).map(|r| unf.row(r)).collect();
+    let cfg = AssoConfig {
+        rank: 6,
+        ..AssoConfig::default()
+    };
+    c.bench_function("asso/48x64_r6", |bench| {
+        bench.iter(|| black_box(asso(&rows, unf.ncols() as usize, &cfg, None).unwrap().error))
+    });
+}
+
+fn bench_bcp_als(c: &mut Criterion) {
+    let x = dbtf_datagen::uniform_random([16, 16, 16], 0.1, 12);
+    let cfg = BcpAlsConfig {
+        rank: 4,
+        max_iters: 2,
+        ..BcpAlsConfig::default()
+    };
+    c.bench_function("bcp_als/16^3_r4_t2", |bench| {
+        bench.iter(|| black_box(bcp_als(&x, &cfg, None).unwrap().error))
+    });
+}
+
+fn bench_walk_n_merge(c: &mut Criterion) {
+    let mut entries = Vec::new();
+    for i in 0..6u32 {
+        for j in 0..6u32 {
+            for k in 0..6u32 {
+                entries.push([i, j, k]);
+                entries.push([i + 8, j + 8, k + 8]);
+            }
+        }
+    }
+    let x = BoolTensor::from_entries([16, 16, 16], entries);
+    let cfg = WnmConfig {
+        merge_threshold: 0.9,
+        seed: 3,
+        ..WnmConfig::default()
+    };
+    c.bench_function("walk_n_merge/two_blocks_16^3", |bench| {
+        bench.iter(|| black_box(walk_n_merge(&x, &cfg, None).unwrap().blocks.len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_asso, bench_bcp_als, bench_walk_n_merge
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion benchmarks of the end-to-end DBTF pipeline and its ablation
+//! against the uncached sequential reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dbtf::reference::update_factor_reference;
+use dbtf::{factorize, initial_factor_sets, DbtfConfig};
+use dbtf_cluster::{Cluster, ClusterConfig};
+use dbtf_tensor::{Mode, Unfolding};
+
+fn bench_factorize(c: &mut Criterion) {
+    for dim in [32usize, 64] {
+        let x = dbtf_datagen::uniform_random([dim, dim, dim], 0.02, 7);
+        let config = DbtfConfig {
+            rank: 8,
+            max_iters: 2,
+            seed: 0,
+            ..DbtfConfig::default()
+        };
+        c.bench_function(&format!("dbtf/factorize_{dim}^3_r8_t2"), |bench| {
+            bench.iter(|| {
+                let cluster = Cluster::new(ClusterConfig::with_workers(2));
+                black_box(factorize(&cluster, &x, &config).unwrap().error)
+            })
+        });
+    }
+}
+
+fn bench_update_ablation(c: &mut Criterion) {
+    // One full mode-1 factor update: cached/distributed vs uncached
+    // reference (the paper's Section III-C claim in microcosm).
+    let x = dbtf_datagen::uniform_random([48, 48, 48], 0.05, 8);
+    let config = DbtfConfig {
+        rank: 10,
+        max_iters: 1,
+        seed: 0,
+        ..DbtfConfig::default()
+    };
+    let set = initial_factor_sets(&x, &config).remove(0);
+    let unf1 = Unfolding::new(&x, Mode::One);
+    c.bench_function("update/uncached_reference_48^3_r10", |bench| {
+        bench.iter(|| black_box(update_factor_reference(&unf1, &set.a, &set.c, &set.b)))
+    });
+    c.bench_function("update/dbtf_full_iteration_48^3_r10", |bench| {
+        bench.iter(|| {
+            let cluster = Cluster::new(ClusterConfig::with_workers(1));
+            black_box(factorize(&cluster, &x, &config).unwrap().error)
+        })
+    });
+}
+
+fn bench_tucker(c: &mut Criterion) {
+    use dbtf::tucker::{tucker_factorize, TuckerConfig};
+    let x = dbtf_datagen::uniform_random([24, 24, 24], 0.05, 9);
+    let config = TuckerConfig {
+        ranks: [4, 4, 4],
+        max_iters: 2,
+        seed: 0,
+        ..TuckerConfig::default()
+    };
+    c.bench_function("tucker/factorize_24^3_r4", |bench| {
+        bench.iter(|| black_box(tucker_factorize(&x, &config).unwrap().error))
+    });
+}
+
+fn bench_rank_selection(c: &mut Criterion) {
+    use dbtf::model_selection::select_rank;
+    let x = dbtf_datagen::uniform_random([20, 20, 20], 0.08, 10);
+    let base = DbtfConfig {
+        max_iters: 2,
+        seed: 0,
+        ..DbtfConfig::default()
+    };
+    c.bench_function("model_selection/sweep_r1_to_4", |bench| {
+        bench.iter(|| {
+            let cluster = Cluster::new(ClusterConfig::with_workers(2));
+            black_box(select_rank(&cluster, &x, &[1, 2, 4], &base).unwrap().best_rank)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_factorize, bench_update_ablation, bench_tucker, bench_rank_selection
+}
+criterion_main!(benches);

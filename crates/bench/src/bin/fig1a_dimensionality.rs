@@ -1,0 +1,72 @@
+//! Figure 1(a): running time vs. tensor dimensionality.
+//!
+//! Paper setup: `I = J = K` from 2⁶ to 2¹³, density 0.01, rank 10;
+//! 6-hour out-of-time cap. DBTF runs on 16 machines; the baselines on one.
+//!
+//! Default here: 2⁵..2⁹ with a 60 s cap (`--min-exp`, `--max-exp`,
+//! `--oot-secs` to change; `--paper-scale` runs the paper grid). Expected
+//! shape: Walk'n'Merge and then BCP_ALS hit the cap at small scales while
+//! DBTF keeps going with near-linear growth in the number of non-zeros.
+
+use dbtf::DbtfConfig;
+use dbtf_bench::{print_header, print_row, run_bcp_als, run_dbtf, run_walk_n_merge, Args, Outcome};
+use dbtf_datagen::uniform_random;
+
+fn main() {
+    let args = Args::parse();
+    let (min_exp, max_exp) = if args.has("paper-scale") {
+        (6u32, 13u32)
+    } else {
+        (args.get("min-exp", 5u32), args.get("max-exp", 10u32))
+    };
+    let density = args.get("density", 0.01f64);
+    let rank = args.get("rank", 10usize);
+    let oot_secs = args.get("oot-secs", 60.0f64);
+    let workers = args.get("workers", 16usize);
+    let seed = args.get("seed", 0u64);
+
+    println!("Figure 1(a) — scalability w.r.t. dimensionality");
+    println!(
+        "I=J=K in 2^{min_exp}..2^{max_exp}, density {density}, rank {rank}, \
+         O.O.T. cap {oot_secs}s"
+    );
+    println!("(DBTF: virtual seconds on {workers} simulated workers; baselines: wall seconds)");
+    print_header(
+        "running time (secs)",
+        "I=J=K",
+        &["DBTF", "BCP_ALS", "WalkNMerge"],
+    );
+
+    // Once a method times out it will only get slower; skip larger sizes
+    // (mirrors the paper's O.O.T. entries).
+    let mut bcp_dead = false;
+    let mut wnm_dead = false;
+    for exp in min_exp..=max_exp {
+        let dim = 1usize << exp;
+        let x = uniform_random([dim, dim, dim], density, seed + exp as u64);
+        let config = DbtfConfig {
+            rank,
+            seed,
+            ..DbtfConfig::default()
+        };
+        let dbtf = run_dbtf(&x, &config, workers);
+        let bcp = if bcp_dead {
+            Outcome::OutOfTime
+        } else {
+            let o = run_bcp_als(&x, rank, oot_secs, None);
+            bcp_dead = o.secs().is_none();
+            o
+        };
+        let wnm = if wnm_dead {
+            Outcome::OutOfTime
+        } else {
+            let o = run_walk_n_merge(&x, rank, 0.0, oot_secs);
+            wnm_dead = o.secs().is_none();
+            o
+        };
+        print_row(
+            &format!("2^{exp} ({dim}), |X|={}", x.nnz()),
+            &[dbtf.cell(), bcp.cell(), wnm.cell()],
+        );
+    }
+}

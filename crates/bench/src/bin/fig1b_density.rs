@@ -1,0 +1,53 @@
+//! Figure 1(b): running time vs. tensor density.
+//!
+//! Paper setup: density 0.01 → 0.3 at `I = J = K = 2⁸`, rank 10. Expected
+//! shape: DBTF near-flat in density; BCP_ALS completes but slower;
+//! Walk'n'Merge blows past the cap once density exceeds ~0.1 (its walk
+//! count and merge phase scale with `|X|`).
+//!
+//! Default here: `I = 2⁶` with a 60 s cap (`--exp 8 --oot-secs 21600` for
+//! the paper point).
+
+use dbtf::DbtfConfig;
+use dbtf_bench::{print_header, print_row, run_bcp_als, run_dbtf, run_walk_n_merge, Args};
+use dbtf_datagen::uniform_random;
+
+fn main() {
+    let args = Args::parse();
+    let exp = if args.has("paper-scale") {
+        8u32
+    } else {
+        args.get("exp", 6u32)
+    };
+    let rank = args.get("rank", 10usize);
+    let oot_secs = args.get("oot-secs", 60.0f64);
+    let workers = args.get("workers", 16usize);
+    let seed = args.get("seed", 0u64);
+    let dim = 1usize << exp;
+    let densities = [0.01f64, 0.05, 0.1, 0.2, 0.3];
+
+    println!("Figure 1(b) — scalability w.r.t. density");
+    println!("I=J=K=2^{exp} ({dim}), rank {rank}, O.O.T. cap {oot_secs}s");
+    println!("(DBTF: virtual seconds on {workers} simulated workers; baselines: wall seconds)");
+    print_header(
+        "running time (secs)",
+        "density",
+        &["DBTF", "BCP_ALS", "WalkNMerge"],
+    );
+
+    for (i, &density) in densities.iter().enumerate() {
+        let x = uniform_random([dim, dim, dim], density, seed + i as u64);
+        let config = DbtfConfig {
+            rank,
+            seed,
+            ..DbtfConfig::default()
+        };
+        let dbtf = run_dbtf(&x, &config, workers);
+        let bcp = run_bcp_als(&x, rank, oot_secs, None);
+        let wnm = run_walk_n_merge(&x, rank, 0.0, oot_secs);
+        print_row(
+            &format!("{density:<5} |X|={}", x.nnz()),
+            &[dbtf.cell(), bcp.cell(), wnm.cell()],
+        );
+    }
+}

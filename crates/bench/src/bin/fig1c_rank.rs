@@ -1,0 +1,64 @@
+//! Figure 1(c): running time vs. rank.
+//!
+//! Paper setup: rank 10 → 60 at `I = J = K = 2⁸`, density 0.05, cache
+//! group limit `V = 15`. Expected shape: all three methods reach rank 60;
+//! DBTF fastest; Walk'n'Merge flat in rank (it mines however many blocks
+//! the data holds — the rank only selects the top blocks afterwards).
+//!
+//! Default here: `I = 2⁶` with a 60 s cap (`--paper-scale` for 2⁸).
+
+use dbtf::DbtfConfig;
+use dbtf_bench::{print_header, print_row, run_bcp_als, run_dbtf, run_walk_n_merge, Args, Outcome};
+use dbtf_datagen::uniform_random;
+
+fn main() {
+    let args = Args::parse();
+    let exp = if args.has("paper-scale") {
+        8u32
+    } else {
+        args.get("exp", 6u32)
+    };
+    let density = args.get("density", 0.05f64);
+    let oot_secs = args.get("oot-secs", 60.0f64);
+    let workers = args.get("workers", 16usize);
+    let v_limit = args.get("v", 15usize);
+    let seed = args.get("seed", 0u64);
+    let dim = 1usize << exp;
+    let ranks = [10usize, 20, 30, 40, 50, 60];
+
+    let x = uniform_random([dim, dim, dim], density, seed);
+    println!("Figure 1(c) — scalability w.r.t. rank");
+    println!(
+        "I=J=K=2^{exp} ({dim}), density {density}, V={v_limit}, |X|={}, O.O.T. cap {oot_secs}s",
+        x.nnz()
+    );
+    println!("(DBTF: virtual seconds on {workers} simulated workers; baselines: wall seconds)");
+    print_header(
+        "running time (secs)",
+        "rank",
+        &["DBTF", "BCP_ALS", "WalkNMerge"],
+    );
+
+    // Walk'n'Merge's mining is rank-independent: run it once, reuse the
+    // wall time for every rank row (exactly why the paper's WnM curve is
+    // flat).
+    let wnm_once = run_walk_n_merge(&x, ranks[0], 0.0, oot_secs);
+    for &rank in &ranks {
+        let config = DbtfConfig {
+            rank,
+            cache_group_limit: v_limit,
+            seed,
+            ..DbtfConfig::default()
+        };
+        let dbtf = run_dbtf(&x, &config, workers);
+        let bcp = run_bcp_als(&x, rank, oot_secs, None);
+        let wnm = match &wnm_once {
+            Outcome::Done { secs, .. } => Outcome::Done {
+                secs: *secs,
+                error: 0,
+            },
+            other => other.clone(),
+        };
+        print_row(&format!("{rank}"), &[dbtf.cell(), bcp.cell(), wnm.cell()]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 7: machine scalability.
+//!
+//! Paper setup: `I = J = K = 2¹²`, density 0.01, rank 10; machines
+//! M = 4 → 16; reports the speed-up `T₄ / T_M`, observing near-linear
+//! scaling (≈2.2× from 4 to 16 machines).
+//!
+//! Here the running time is the engine's virtual makespan, so this is a
+//! direct measurement of load balance plus communication under the cost
+//! model. The partition count `N` is held fixed across M (otherwise the
+//! workload itself would change shape).
+//!
+//! Default: `I = 2¹⁰` (`--paper-scale` for 2¹²).
+
+use dbtf::DbtfConfig;
+use dbtf_bench::{print_header, print_row, run_dbtf, Args};
+use dbtf_datagen::uniform_random;
+
+fn main() {
+    let args = Args::parse();
+    let exp = if args.has("paper-scale") {
+        12u32
+    } else {
+        args.get("exp", 10u32)
+    };
+    let density = args.get("density", 0.01f64);
+    let rank = args.get("rank", 10usize);
+    let partitions = args.get("partitions", 128usize);
+    let seed = args.get("seed", 0u64);
+    let dim = 1usize << exp;
+
+    let x = uniform_random([dim, dim, dim], density, seed);
+    println!("Figure 7 — machine scalability");
+    println!(
+        "I=J=K=2^{exp} ({dim}), density {density}, rank {rank}, N={partitions}, |X|={}",
+        x.nnz()
+    );
+    println!("(virtual seconds; speed-up normalized to M=4 as in the paper)");
+    print_header("machine scalability", "machines", &["T_M (s)", "T4/TM"]);
+
+    let machines = [4usize, 8, 12, 16];
+    let mut t4: Option<f64> = None;
+    for &m in &machines {
+        let config = DbtfConfig {
+            rank,
+            partitions: Some(partitions),
+            seed,
+            ..DbtfConfig::default()
+        };
+        let outcome = run_dbtf(&x, &config, m);
+        let secs = outcome.secs().expect("DBTF completes");
+        if t4.is_none() {
+            t4 = Some(secs);
+        }
+        let speedup = t4.unwrap() / secs;
+        print_row(
+            &format!("{m}"),
+            &[format!("{secs:10.3}"), format!("{speedup:10.2}")],
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Section IV-D: reconstruction error experiments.
+//!
+//! Paper setup: planted tensors from three random factor matrices plus
+//! noise (Table III's *Synthetic-error*, 240 K non-zeros), sweeping one
+//! axis at a time: factor-matrix density, rank, additive noise level, and
+//! destructive noise level. Reconstruction error is `|X ⊕ X̃|`; we also
+//! print it relative to `|X|` and the *oracle* error (what the planted
+//! factors themselves score — the injected-noise floor).
+//!
+//! Run one axis with `--axis density|rank|additive|destructive|all`.
+//! Default tensor: 48³ (`--dim` to change), rank 10, factor density 0.2,
+//! 10% additive noise where not swept.
+
+use dbtf::DbtfConfig;
+use dbtf_bench::{print_header, print_row, run_bcp_als, run_dbtf, run_walk_n_merge, Args};
+use dbtf_datagen::{NoiseSpec, PlantedConfig, PlantedTensor};
+
+struct Point {
+    label: String,
+    planted: PlantedTensor,
+    rank: usize,
+    destructive: f64,
+}
+
+fn run_axis(axis: &str, dim: usize, oot_secs: f64, workers: usize, sets: usize, seed: u64) {
+    let base = PlantedConfig {
+        dims: [dim, dim, dim],
+        rank: 10,
+        factor_density: 0.2,
+        noise: NoiseSpec::additive(0.10),
+        seed,
+    };
+    let points: Vec<Point> = match axis {
+        "density" => [0.1f64, 0.15, 0.2, 0.25, 0.3]
+            .iter()
+            .map(|&d| Point {
+                label: format!("factor density {d}"),
+                planted: PlantedTensor::generate(PlantedConfig {
+                    factor_density: d,
+                    ..base
+                }),
+                rank: base.rank,
+                destructive: 0.0,
+            })
+            .collect(),
+        "rank" => [5usize, 10, 15, 20]
+            .iter()
+            .map(|&r| Point {
+                label: format!("rank {r}"),
+                planted: PlantedTensor::generate(PlantedConfig { rank: r, ..base }),
+                rank: r,
+                destructive: 0.0,
+            })
+            .collect(),
+        "additive" => [0.0f64, 0.05, 0.10, 0.20, 0.30]
+            .iter()
+            .map(|&n| Point {
+                label: format!("additive noise {:.0}%", n * 100.0),
+                planted: PlantedTensor::generate(PlantedConfig {
+                    noise: NoiseSpec::additive(n),
+                    ..base
+                }),
+                rank: base.rank,
+                destructive: 0.0,
+            })
+            .collect(),
+        "destructive" => [0.0f64, 0.05, 0.10, 0.20]
+            .iter()
+            .map(|&n| Point {
+                label: format!("destructive noise {:.0}%", n * 100.0),
+                planted: PlantedTensor::generate(PlantedConfig {
+                    noise: NoiseSpec {
+                        additive: 0.10,
+                        destructive: n,
+                    },
+                    ..base
+                }),
+                rank: base.rank,
+                destructive: n,
+            })
+            .collect(),
+        other => panic!("unknown axis {other:?}; use density|rank|additive|destructive|all"),
+    };
+
+    print_header(
+        &format!("reconstruction error vs {axis} (|X ⊕ X̃| / |X|)"),
+        "point",
+        &["DBTF", "BCP_ALS", "WalkNMerge", "oracle"],
+    );
+    for p in points {
+        let x = &p.planted.tensor;
+        let nnz = x.nnz().max(1) as f64;
+        let config = DbtfConfig {
+            rank: p.rank,
+            initial_sets: sets,
+            seed,
+            ..DbtfConfig::default()
+        };
+        let rel = |e: Option<u64>| match e {
+            Some(e) => format!("{:10.3}", e as f64 / nnz),
+            None => format!("{:>10}", "—"),
+        };
+        let dbtf = run_dbtf(x, &config, workers);
+        let bcp = run_bcp_als(x, p.rank, oot_secs, None);
+        let wnm = run_walk_n_merge(x, p.rank, p.destructive, oot_secs);
+        let oracle = p.planted.oracle_error() as f64 / nnz;
+        print_row(
+            &format!("{} |X|={}", p.label, x.nnz()),
+            &[
+                rel(dbtf.error()),
+                rel(bcp.error()),
+                rel(wnm.error()),
+                format!("{oracle:10.3}"),
+            ],
+        );
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let axis: String = args.get("axis", "all".to_string());
+    let dim = args.get("dim", 48usize);
+    let oot_secs = args.get("oot-secs", 120.0f64);
+    let workers = args.get("workers", 16usize);
+    let sets = args.get("initial-sets", 16usize);
+    let seed = args.get("seed", 0u64);
+
+    println!("Section IV-D — reconstruction error (planted {dim}³ tensors, L={sets})");
+    println!("(relative error; `oracle` = injected-noise floor; — = did not finish)");
+    if axis == "all" {
+        for a in ["density", "rank", "additive", "destructive"] {
+            run_axis(a, dim, oot_secs, workers, sets, seed);
+        }
+    } else {
+        run_axis(&axis, dim, oot_secs, workers, sets, seed);
+    }
+}

@@ -1,0 +1,110 @@
+//! Table I: qualitative scalability comparison.
+//!
+//! The paper summarizes Figure 1 as a High/Low matrix: Walk'n'Merge is Low
+//! on dimensionality and density; BCP_ALS is Low on dimensionality; DBTF
+//! is High everywhere and the only distributed method. This harness
+//! regenerates the verdicts from quick probe runs: a method is **Low** on
+//! an axis if it blows the time cap while DBTF completes at the same
+//! point, **High** if it tracks DBTF to the end of the probe sweep.
+
+use dbtf::DbtfConfig;
+use dbtf_bench::{run_bcp_als, run_dbtf, run_walk_n_merge, Args, Outcome};
+use dbtf_datagen::uniform_random;
+
+fn verdict(outcomes: &[Outcome]) -> &'static str {
+    if outcomes.iter().all(|o| o.secs().is_some()) {
+        "High"
+    } else {
+        "Low"
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let oot_secs = args.get("oot-secs", 30.0f64);
+    let workers = args.get("workers", 16usize);
+    let seed = args.get("seed", 0u64);
+    let config = |rank: usize| DbtfConfig {
+        rank,
+        seed,
+        ..DbtfConfig::default()
+    };
+
+    println!("Table I — scalability comparison (probe caps: {oot_secs}s per run)");
+
+    // Dimensionality probe: grow the cube until baselines crack.
+    let dims_probe: Vec<_> = [64usize, 128]
+        .iter()
+        .map(|&d| uniform_random([d, d, d], 0.01, seed))
+        .collect();
+    let dim_dbtf: Vec<_> = dims_probe.iter().map(|x| run_dbtf(x, &config(10), workers)).collect();
+    let dim_bcp: Vec<_> = dims_probe
+        .iter()
+        .map(|x| run_bcp_als(x, 10, oot_secs, None))
+        .collect();
+    let dim_wnm: Vec<_> = dims_probe
+        .iter()
+        .map(|x| run_walk_n_merge(x, 10, 0.0, oot_secs))
+        .collect();
+
+    // Density probe at a fixed small cube.
+    let dens_probe: Vec<_> = [0.05f64, 0.2]
+        .iter()
+        .map(|&d| uniform_random([64, 64, 64], d, seed))
+        .collect();
+    let den_dbtf: Vec<_> = dens_probe.iter().map(|x| run_dbtf(x, &config(10), workers)).collect();
+    let den_bcp: Vec<_> = dens_probe
+        .iter()
+        .map(|x| run_bcp_als(x, 10, oot_secs, None))
+        .collect();
+    let den_wnm: Vec<_> = dens_probe
+        .iter()
+        .map(|x| run_walk_n_merge(x, 10, 0.0, oot_secs))
+        .collect();
+
+    // Rank probe.
+    let x = uniform_random([64, 64, 64], 0.05, seed);
+    let rank_dbtf: Vec<_> = [10usize, 40]
+        .iter()
+        .map(|&r| run_dbtf(&x, &config(r), workers))
+        .collect();
+    let rank_bcp: Vec<_> = [10usize, 40]
+        .iter()
+        .map(|&r| run_bcp_als(&x, r, oot_secs, None))
+        .collect();
+    let rank_wnm: Vec<_> = [10usize, 40]
+        .iter()
+        .map(|&r| run_walk_n_merge(&x, r, 0.0, oot_secs))
+        .collect();
+
+    println!(
+        "\n{:<14} {:>15} {:>10} {:>10} {:>12}",
+        "Method", "Dimensionality", "Density", "Rank", "Distributed"
+    );
+    println!("{}", "-".repeat(66));
+    println!(
+        "{:<14} {:>15} {:>10} {:>10} {:>12}",
+        "Walk'n'Merge",
+        verdict(&dim_wnm),
+        verdict(&den_wnm),
+        verdict(&rank_wnm),
+        "No"
+    );
+    println!(
+        "{:<14} {:>15} {:>10} {:>10} {:>12}",
+        "BCP_ALS",
+        verdict(&dim_bcp),
+        verdict(&den_bcp),
+        verdict(&rank_bcp),
+        "No"
+    );
+    println!(
+        "{:<14} {:>15} {:>10} {:>10} {:>12}",
+        "DBTF",
+        verdict(&dim_dbtf),
+        verdict(&den_dbtf),
+        verdict(&rank_dbtf),
+        "Yes"
+    );
+    println!("\n(paper's Table I: Walk'n'Merge Low/Low/High, BCP_ALS Low/High/High, DBTF High/High/High)");
+}

@@ -1,0 +1,75 @@
+//! Table III: summary of real-world and synthetic tensors.
+//!
+//! Prints the paper's dataset table (original sizes) alongside the
+//! measured shapes of the generated proxies at `--scale`.
+
+use dbtf_bench::Args;
+use dbtf_datagen::proxies::{generate_proxy, proxy_specs};
+use dbtf_datagen::uniform_random;
+
+fn human(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.1}B", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1}K", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get("scale", 0.01f64);
+    let seed = args.get("seed", 0u64);
+
+    println!("Table III — summary of real-world and synthetic tensors");
+    println!("(original numbers from the paper; proxies generated at scale {scale})\n");
+    println!(
+        "{:<14} {:>24} {:>10} | {:>20} {:>10} {:>10}",
+        "Name", "original I×J×K", "nnz", "proxy I×J×K", "nnz", "density"
+    );
+    println!("{}", "-".repeat(98));
+    for spec in proxy_specs() {
+        let t = generate_proxy(&spec, scale, seed);
+        let d = t.dims();
+        println!(
+            "{:<14} {:>24} {:>10} | {:>20} {:>10} {:>10.2e}",
+            spec.name,
+            format!(
+                "{}×{}×{}",
+                human(spec.dims[0] as u64),
+                human(spec.dims[1] as u64),
+                human(spec.dims[2] as u64)
+            ),
+            human(spec.nnz),
+            format!("{}×{}×{}", d[0], d[1], d[2]),
+            human(t.nnz() as u64),
+            t.density(),
+        );
+    }
+
+    // The two synthetic families (scaled instances).
+    let scal = uniform_random([256, 256, 256], 0.01, seed);
+    println!(
+        "{:<14} {:>24} {:>10} | {:>20} {:>10} {:>10.2e}",
+        "Synth-scal.",
+        "2¹³ per mode",
+        "5.5B",
+        "256×256×256",
+        human(scal.nnz() as u64),
+        scal.density(),
+    );
+    let planted = dbtf_datagen::PlantedTensor::generate(dbtf_datagen::PlantedConfig::default());
+    let d = planted.tensor.dims();
+    println!(
+        "{:<14} {:>24} {:>10} | {:>20} {:>10} {:>10.2e}",
+        "Synth-error",
+        "2⁷ per mode",
+        "240K",
+        format!("{}×{}×{}", d[0], d[1], d[2]),
+        human(planted.tensor.nnz() as u64),
+        planted.tensor.density(),
+    );
+}

@@ -1,0 +1,177 @@
+//! Minimal dependency-free argument parsing for the `dbtf` binary.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand path plus `--flag value` options.
+#[derive(Debug, Default)]
+pub struct ParsedArgs {
+    /// Positional words before the first `--flag` (the subcommand path).
+    pub command: Vec<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// A parse/validation failure with a user-facing message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl ParsedArgs {
+    /// Parses `args` (without the program name): leading bare words form
+    /// the subcommand; `--name value` pairs become options; a `--name`
+    /// followed by another `--…` or nothing is a boolean flag.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
+        let mut parsed = ParsedArgs::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(word) = iter.peek() {
+            if word.starts_with("--") {
+                break;
+            }
+            parsed.command.push(iter.next().unwrap());
+        }
+        while let Some(word) = iter.next() {
+            let Some(name) = word.strip_prefix("--") else {
+                return Err(ArgError(format!(
+                    "unexpected positional argument {word:?} after options"
+                )));
+            };
+            if name.is_empty() {
+                return Err(ArgError("empty option name `--`".into()));
+            }
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().unwrap();
+                    if parsed.options.insert(name.to_string(), value).is_some() {
+                        return Err(ArgError(format!("option --{name} given twice")));
+                    }
+                }
+                _ => parsed.flags.push(name.to_string()),
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// A required `--name value` option, parsed as `T`.
+    pub fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgError> {
+        let raw = self
+            .options
+            .get(name)
+            .ok_or_else(|| ArgError(format!("missing required option --{name}")))?;
+        raw.parse()
+            .map_err(|_| ArgError(format!("invalid value for --{name}: {raw:?}")))
+    }
+
+    /// An optional `--name value`, parsed as `T`, defaulting to `default`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("invalid value for --{name}: {raw:?}"))),
+        }
+    }
+
+    /// An optional string option.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Whether bare `--name` was given.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Parses a comma-separated triple, e.g. `--dims 64,64,64`.
+    pub fn require_triple(&self, name: &str) -> Result<[usize; 3], ArgError> {
+        let raw: String = self.require(name)?;
+        let parts: Vec<usize> = raw
+            .split(',')
+            .map(|p| p.trim().parse())
+            .collect::<Result<_, _>>()
+            .map_err(|_| ArgError(format!("invalid triple for --{name}: {raw:?}")))?;
+        if parts.len() != 3 {
+            return Err(ArgError(format!(
+                "--{name} needs three comma-separated values, got {raw:?}"
+            )));
+        }
+        Ok([parts[0], parts[1], parts[2]])
+    }
+
+    /// Parses a comma-separated list of integers, e.g. `--candidates 2,4,8`.
+    pub fn require_list(&self, name: &str) -> Result<Vec<usize>, ArgError> {
+        let raw: String = self.require(name)?;
+        let parts: Vec<usize> = raw
+            .split(',')
+            .map(|p| p.trim().parse())
+            .collect::<Result<_, _>>()
+            .map_err(|_| ArgError(format!("invalid list for --{name}: {raw:?}")))?;
+        if parts.is_empty() {
+            return Err(ArgError(format!("--{name} must not be empty")));
+        }
+        Ok(parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<ParsedArgs, ArgError> {
+        ParsedArgs::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn subcommand_and_options() {
+        let a = parse(&["generate", "random", "--dims", "4,5,6", "--density", "0.1"]).unwrap();
+        assert_eq!(a.command, vec!["generate", "random"]);
+        assert_eq!(a.require_triple("dims").unwrap(), [4, 5, 6]);
+        assert_eq!(a.get("density", 0.0f64).unwrap(), 0.1);
+        assert_eq!(a.get("missing", 7u32).unwrap(), 7);
+    }
+
+    #[test]
+    fn boolean_flags() {
+        let a = parse(&["stats", "--input", "x.txt", "--binary"]).unwrap();
+        assert!(a.has_flag("binary"));
+        assert!(!a.has_flag("other"));
+        assert_eq!(a.get_str("input"), Some("x.txt"));
+    }
+
+    #[test]
+    fn missing_required() {
+        let a = parse(&["factorize"]).unwrap();
+        let err = a.require::<usize>("rank").unwrap_err();
+        assert!(err.0.contains("--rank"));
+    }
+
+    #[test]
+    fn bad_value() {
+        let a = parse(&["factorize", "--rank", "ten"]).unwrap();
+        assert!(a.require::<usize>("rank").is_err());
+    }
+
+    #[test]
+    fn duplicate_option_rejected() {
+        assert!(parse(&["x", "--a", "1", "--a", "2"]).is_err());
+    }
+
+    #[test]
+    fn stray_positional_rejected() {
+        assert!(parse(&["x", "--a", "1", "oops", "more"]).is_err());
+    }
+
+    #[test]
+    fn lists_and_triples() {
+        let a = parse(&["select-rank", "--candidates", "2, 4,8"]).unwrap();
+        assert_eq!(a.require_list("candidates").unwrap(), vec![2, 4, 8]);
+        let bad = parse(&["x", "--dims", "1,2"]).unwrap();
+        assert!(bad.require_triple("dims").is_err());
+    }
+}

@@ -1,0 +1,306 @@
+//! `dbtf` — command-line interface to the DBTF reproduction.
+//!
+//! ```text
+//! dbtf factorize   --input X.txt --rank 10 [--workers 16] [--iters 10]
+//!                  [--sets 1] [--seed 0] [--partitions N] [--v 15]
+//!                  [--output PREFIX]
+//! dbtf tucker      --input X.txt --ranks 4,4,4 [--iters 10] [--sets 1]
+//!                  [--seed 0] [--output PREFIX]
+//! dbtf select-rank --input X.txt --candidates 2,4,6,8 [--sets 4]
+//! dbtf generate random  --dims I,J,K --density D --output X.txt
+//! dbtf generate planted --dims I,J,K --rank R --factor-density D
+//!                  [--additive A] [--destructive Dn] --output X.txt
+//! dbtf generate proxy   --name Facebook --scale 0.01 --output X.txt
+//! dbtf stats       --input X.txt
+//! ```
+//!
+//! Tensor files use the text format (`i j k` per line, `# dims` header) or
+//! the `DBTFBIN1` binary format with `--binary`. Factors are written as
+//! `PREFIX.A.txt`, `PREFIX.B.txt`, `PREFIX.C.txt` (and `PREFIX.core.txt`
+//! for Tucker) in the sparse matrix text format.
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::{ArgError, ParsedArgs};
+use dbtf::model_selection::select_rank;
+use dbtf::tucker::{tucker_factorize, TuckerConfig};
+use dbtf::{factorize, DbtfConfig};
+use dbtf_cluster::{Cluster, ClusterConfig};
+use dbtf_datagen::proxies::{generate_proxy, proxy_specs};
+use dbtf_datagen::{uniform_random, NoiseSpec, PlantedConfig, PlantedTensor};
+use dbtf_tensor::{io as tio, matrix_io, BoolTensor};
+
+const USAGE: &str = "usage: dbtf <factorize|tucker|select-rank|generate|stats> [options]
+run `dbtf help` for the full option list";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dbtf: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    let parsed = ParsedArgs::parse(argv)?;
+    match parsed.command.first().map(String::as_str) {
+        Some("factorize") => cmd_factorize(&parsed),
+        Some("tucker") => cmd_tucker(&parsed),
+        Some("select-rank") => cmd_select_rank(&parsed),
+        Some("generate") => cmd_generate(&parsed),
+        Some("stats") => cmd_stats(&parsed),
+        Some("help") | None => {
+            println!("{}", long_help());
+            Ok(())
+        }
+        Some(other) => Err(Box::new(ArgError(format!("unknown command {other:?}")))),
+    }
+}
+
+fn long_help() -> &'static str {
+    "dbtf — distributed Boolean tensor factorization (DBTF, ICDE 2017)
+
+commands:
+  factorize    Boolean CP factorization on a simulated cluster
+  tucker       Boolean Tucker factorization (single machine)
+  select-rank  MDL sweep over candidate ranks
+  generate     synthetic workloads: random | planted | proxy
+  stats        shape/density summary of a tensor file
+
+common options:
+  --input FILE     input tensor (text format; --binary for DBTFBIN1)
+  --output PREFIX  where results are written
+  --seed N         RNG seed (default 0)
+
+factorize: --rank R [--workers 16] [--iters 10] [--sets 1]
+           [--partitions N] [--v 15] [--output PREFIX]
+tucker:    --ranks R1,R2,R3 [--iters 10] [--sets 1] [--workers M]\n           [--output PREFIX]   (--workers runs the distributed driver)
+select-rank: --candidates R1,R2,… [--sets 4]
+generate random:  --dims I,J,K --density D --output FILE
+generate planted: --dims I,J,K --rank R --factor-density D
+                  [--additive A] [--destructive D] --output FILE
+generate proxy:   --name NAME --scale S --output FILE
+                  (names: Facebook DBLP CAIDA-DDoS-S CAIDA-DDoS-L NELL-S NELL-L)"
+}
+
+fn load_tensor(parsed: &ParsedArgs) -> Result<BoolTensor, Box<dyn std::error::Error>> {
+    let path = parsed
+        .get_str("input")
+        .ok_or_else(|| ArgError("missing required option --input".into()))?;
+    let tensor = if parsed.has_flag("binary") || path.ends_with(".dbtf") {
+        tio::read_tensor_binary_file(path)?
+    } else {
+        tio::read_tensor_file(path)?
+    };
+    Ok(tensor)
+}
+
+fn save_tensor(
+    tensor: &BoolTensor,
+    parsed: &ParsedArgs,
+) -> Result<String, Box<dyn std::error::Error>> {
+    let path = parsed
+        .get_str("output")
+        .ok_or_else(|| ArgError("missing required option --output".into()))?;
+    if parsed.has_flag("binary") || path.ends_with(".dbtf") {
+        tio::write_tensor_binary_file(tensor, path)?;
+    } else {
+        tio::write_tensor_file(tensor, path)?;
+    }
+    Ok(path.to_string())
+}
+
+fn cmd_factorize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let x = load_tensor(parsed)?;
+    let workers: usize = parsed.get("workers", 16)?;
+    let config = DbtfConfig {
+        rank: parsed.require("rank")?,
+        max_iters: parsed.get("iters", 10)?,
+        initial_sets: parsed.get("sets", 1)?,
+        partitions: parsed.get_str("partitions").map(str::parse).transpose()?,
+        cache_group_limit: parsed.get("v", 15)?,
+        seed: parsed.get("seed", 0)?,
+        ..DbtfConfig::default()
+    };
+    let cluster = Cluster::new(ClusterConfig {
+        workers,
+        ..ClusterConfig::paper_cluster()
+    });
+    let result = factorize(&cluster, &x, &config)?;
+    println!(
+        "factorized {:?} at rank {}: |X ⊕ X̃| = {} ({:.2}% of |X|), {} iterations{}",
+        x,
+        config.rank,
+        result.error,
+        100.0 * result.relative_error,
+        result.iterations,
+        if result.converged { " (converged)" } else { "" }
+    );
+    println!(
+        "cluster: {:.3} virtual s on {} workers; shuffled {} B, broadcast {} B, collected {} B",
+        result.stats.virtual_secs,
+        workers,
+        result.stats.comm.bytes_shuffled,
+        result.stats.comm.bytes_broadcast,
+        result.stats.comm.bytes_collected
+    );
+    if let Some(prefix) = parsed.get_str("output") {
+        for (name, m) in [
+            ("A", &result.factors.a),
+            ("B", &result.factors.b),
+            ("C", &result.factors.c),
+        ] {
+            let path = format!("{prefix}.{name}.txt");
+            matrix_io::write_matrix_file(m, &path)?;
+            println!("wrote {path}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_tucker(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let x = load_tensor(parsed)?;
+    let config = TuckerConfig {
+        ranks: parsed.require_triple("ranks")?,
+        max_iters: parsed.get("iters", 10)?,
+        initial_sets: parsed.get("sets", 1)?,
+        seed: parsed.get("seed", 0)?,
+        ..TuckerConfig::default()
+    };
+    // With --workers, run the distributed driver (identical results).
+    let result = match parsed.get_str("workers") {
+        Some(w) => {
+            let cluster = Cluster::new(ClusterConfig {
+                workers: w.parse().map_err(|_| ArgError(format!("invalid --workers {w:?}")))?,
+                ..ClusterConfig::paper_cluster()
+            });
+            dbtf::tucker_distributed::tucker_factorize_distributed(&cluster, &x, &config)?
+        }
+        None => tucker_factorize(&x, &config)?,
+    };
+    println!(
+        "tucker-factorized {:?} with core {:?}: |X ⊕ X̃| = {} ({:.2}% of |X|), \
+         {} core entries, {} iterations",
+        x,
+        config.ranks,
+        result.error,
+        100.0 * result.relative_error,
+        result.factorization.core.nnz(),
+        result.iterations
+    );
+    if let Some(prefix) = parsed.get_str("output") {
+        for (name, m) in [
+            ("A", &result.factorization.a),
+            ("B", &result.factorization.b),
+            ("C", &result.factorization.c),
+        ] {
+            let path = format!("{prefix}.{name}.txt");
+            matrix_io::write_matrix_file(m, &path)?;
+            println!("wrote {path}");
+        }
+        let core_path = format!("{prefix}.core.txt");
+        tio::write_tensor_file(&result.factorization.core, &core_path)?;
+        println!("wrote {core_path}");
+    }
+    Ok(())
+}
+
+fn cmd_select_rank(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let x = load_tensor(parsed)?;
+    let candidates = parsed.require_list("candidates")?;
+    let base = DbtfConfig {
+        initial_sets: parsed.get("sets", 4)?,
+        seed: parsed.get("seed", 0)?,
+        ..DbtfConfig::default()
+    };
+    let cluster = Cluster::new(ClusterConfig::with_workers(parsed.get("workers", 8)?));
+    let selection = select_rank(&cluster, &x, &candidates, &base)?;
+    println!("{:>6} {:>12} {:>16}", "rank", "error", "DL (bits)");
+    for c in &selection.candidates {
+        let marker = if c.rank == selection.best_rank {
+            "  ← best"
+        } else {
+            ""
+        };
+        println!(
+            "{:>6} {:>12} {:>16.0}{marker}",
+            c.rank, c.error, c.description_length
+        );
+    }
+    Ok(())
+}
+
+fn cmd_generate(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let seed: u64 = parsed.get("seed", 0)?;
+    let tensor = match parsed.command.get(1).map(String::as_str) {
+        Some("random") => {
+            let dims = parsed.require_triple("dims")?;
+            let density: f64 = parsed.require("density")?;
+            uniform_random(dims, density, seed)
+        }
+        Some("planted") => {
+            let planted = PlantedTensor::generate(PlantedConfig {
+                dims: parsed.require_triple("dims")?,
+                rank: parsed.require("rank")?,
+                factor_density: parsed.require("factor-density")?,
+                noise: NoiseSpec {
+                    additive: parsed.get("additive", 0.0)?,
+                    destructive: parsed.get("destructive", 0.0)?,
+                },
+                seed,
+            });
+            planted.tensor
+        }
+        Some("proxy") => {
+            let name: String = parsed.require("name")?;
+            let spec = proxy_specs()
+                .into_iter()
+                .find(|s| s.name.eq_ignore_ascii_case(&name))
+                .ok_or_else(|| {
+                    ArgError(format!(
+                        "unknown proxy {name:?}; known: {}",
+                        proxy_specs()
+                            .iter()
+                            .map(|s| s.name)
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    ))
+                })?;
+            generate_proxy(&spec, parsed.get("scale", 0.01)?, seed)
+        }
+        other => {
+            return Err(Box::new(ArgError(format!(
+                "generate needs a kind (random|planted|proxy), got {other:?}"
+            ))))
+        }
+    };
+    let path = save_tensor(&tensor, parsed)?;
+    println!("wrote {tensor:?} to {path}");
+    Ok(())
+}
+
+fn cmd_stats(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let x = load_tensor(parsed)?;
+    let [i, j, k] = x.dims();
+    println!("shape:    {i} × {j} × {k}");
+    println!("non-zeros: {}", x.nnz());
+    println!("density:  {:.3e}", x.density());
+    println!("‖X‖_F:    {:.3}", x.frobenius_norm());
+    // Per-mode occupancy: how many distinct indices appear.
+    for (m, name) in ["i", "j", "k"].iter().enumerate() {
+        let distinct: std::collections::HashSet<u32> = x.iter().map(|e| e[m]).collect();
+        println!(
+            "mode {name}:   {} of {} indices used ({:.1}%)",
+            distinct.len(),
+            x.dims()[m],
+            100.0 * distinct.len() as f64 / x.dims()[m].max(1) as f64
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,141 @@
+//! End-to-end tests of the `dbtf` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn dbtf(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dbtf"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbtf_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_and_unknown_command() {
+    let out = dbtf(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("factorize"));
+
+    let out = dbtf(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn missing_options_fail_cleanly() {
+    let out = dbtf(&["factorize"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--input"));
+}
+
+#[test]
+fn generate_stats_factorize_pipeline() {
+    let dir = tempdir("pipeline");
+    let x = dir.join("x.txt");
+    let out = dbtf(&[
+        "generate", "random",
+        "--dims", "16,16,16",
+        "--density", "0.1",
+        "--seed", "3",
+        "--output", x.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = dbtf(&["stats", "--input", x.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("16 × 16 × 16"), "{text}");
+
+    let prefix = dir.join("f");
+    let out = dbtf(&[
+        "factorize",
+        "--input", x.to_str().unwrap(),
+        "--rank", "3",
+        "--iters", "2",
+        "--workers", "2",
+        "--output", prefix.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    for suffix in ["A", "B", "C"] {
+        let p = dir.join(format!("f.{suffix}.txt"));
+        let m = dbtf_tensor::matrix_io::read_matrix_file(&p).unwrap();
+        assert_eq!(m.rows(), 16);
+        assert_eq!(m.cols(), 3);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn binary_roundtrip_through_cli() {
+    let dir = tempdir("binary");
+    let x = dir.join("x.dbtf");
+    let out = dbtf(&[
+        "generate", "planted",
+        "--dims", "12,12,12",
+        "--rank", "2",
+        "--factor-density", "0.4",
+        "--additive", "0.05",
+        "--output", x.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // `.dbtf` extension implies binary on both ends.
+    let t = dbtf_tensor::io::read_tensor_binary_file(&x).unwrap();
+    assert_eq!(t.dims(), [12, 12, 12]);
+
+    let out = dbtf(&["stats", "--input", x.to_str().unwrap()]);
+    assert!(out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tucker_and_select_rank() {
+    let dir = tempdir("tucker");
+    let x = dir.join("x.txt");
+    assert!(dbtf(&[
+        "generate", "planted",
+        "--dims", "14,14,14",
+        "--rank", "2",
+        "--factor-density", "0.35",
+        "--output", x.to_str().unwrap(),
+    ])
+    .status
+    .success());
+
+    let prefix = dir.join("t");
+    let out = dbtf(&[
+        "tucker",
+        "--input", x.to_str().unwrap(),
+        "--ranks", "2,2,2",
+        "--sets", "4",
+        "--output", prefix.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("t.core.txt").exists());
+
+    let out = dbtf(&[
+        "select-rank",
+        "--input", x.to_str().unwrap(),
+        "--candidates", "1,2,3",
+        "--workers", "2",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("← best"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_proxy_name_lists_options() {
+    let out = dbtf(&[
+        "generate", "proxy",
+        "--name", "nonsense",
+        "--output", "/dev/null",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("Facebook"));
+}

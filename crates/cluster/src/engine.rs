@@ -1,0 +1,646 @@
+//! The cluster engine: worker threads, distributed datasets, broadcast and
+//! superstep execution.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::config::ClusterConfig;
+use crate::metrics::{CommMetrics, MetricsSnapshot, VirtualDuration};
+use crate::task::TaskContext;
+
+type AnyPart = Box<dyn Any + Send>;
+type TaskFn = dyn Fn(usize, &mut (dyn Any + Send), &mut TaskContext) -> AnyPart + Send + Sync;
+
+enum WorkerMsg {
+    /// Install partitions (global index, payload) of a dataset.
+    Store {
+        dataset: u64,
+        parts: Vec<(usize, AnyPart)>,
+        ack: Sender<()>,
+    },
+    /// Run a task over every locally stored partition of a dataset.
+    Run {
+        dataset: u64,
+        task: Arc<TaskFn>,
+        reply: Sender<BatchResult>,
+    },
+    /// Evict a dataset from this worker's memory.
+    DropDataset { dataset: u64 },
+    /// Terminate the worker thread.
+    Shutdown,
+}
+
+struct BatchResult {
+    worker: usize,
+    /// (global partition index, boxed task result) pairs.
+    results: Vec<(usize, AnyPart)>,
+    total_ops: u64,
+    max_task_ops: u64,
+    result_bytes: u64,
+}
+
+struct Inner {
+    config: ClusterConfig,
+    senders: Vec<Sender<WorkerMsg>>,
+    handles: parking_lot::Mutex<Vec<JoinHandle<()>>>,
+    metrics: CommMetrics,
+    next_dataset: AtomicU64,
+}
+
+/// A simulated cluster: one driver (the calling thread) plus
+/// `config.workers` worker threads with shared-nothing partition storage.
+///
+/// See the crate docs for the execution and virtual-time model. Dropping the
+/// `Cluster` shuts the workers down.
+pub struct Cluster {
+    inner: Arc<Inner>,
+}
+
+impl Cluster {
+    /// Boots a cluster with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers == 0` or `config.cores_per_worker == 0`.
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.workers > 0, "a cluster needs at least one worker");
+        assert!(config.cores_per_worker > 0, "workers need at least one core");
+        let mut senders = Vec::with_capacity(config.workers);
+        let mut handles = Vec::with_capacity(config.workers);
+        for worker_id in 0..config.workers {
+            let (tx, rx) = unbounded::<WorkerMsg>();
+            senders.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("dbtf-worker-{worker_id}"))
+                    .spawn(move || worker_loop(worker_id, rx))
+                    .expect("failed to spawn worker thread"),
+            );
+        }
+        Cluster {
+            inner: Arc::new(Inner {
+                config,
+                senders,
+                handles: parking_lot::Mutex::new(handles),
+                metrics: CommMetrics::new(config.workers),
+                next_dataset: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Number of worker machines.
+    pub fn num_workers(&self) -> usize {
+        self.inner.config.workers
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.inner.config
+    }
+
+    /// Current virtual clock reading.
+    pub fn virtual_time(&self) -> VirtualDuration {
+        self.metrics().virtual_time
+    }
+
+    /// Snapshot of the communication and compute counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Charges driver-side compute (e.g. the column-update decision loop
+    /// that Algorithm 4 runs on the driver) to the virtual clock.
+    pub fn charge_driver(&self, ops: u64) {
+        self.inner
+            .metrics
+            .advance_clock(ops as f64 / self.inner.config.core_throughput_ops_per_sec);
+    }
+
+    /// Shuffles `parts` across the workers round-robin and persists them in
+    /// worker memory, returning a handle to the distributed dataset.
+    ///
+    /// Each element is `(partition_payload, payload_bytes)`; the byte sizes
+    /// meter the shuffle (Lemma 6: `O(|X|)` for the unfolded tensors) and
+    /// the per-worker memory footprint. Partition `p` lands on worker
+    /// `p mod workers`, which for DBTF's equal-width vertical partitions
+    /// balances load like the paper's Spark partitioner.
+    pub fn distribute<P: Send + 'static>(&self, parts: Vec<(P, u64)>) -> DistVec<P> {
+        let nparts = parts.len();
+        let id = self.inner.next_dataset.fetch_add(1, Ordering::Relaxed);
+        let workers = self.num_workers();
+        let mut per_worker: Vec<Vec<(usize, AnyPart)>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut placement = Vec::with_capacity(nparts);
+        let mut part_bytes = Vec::with_capacity(nparts);
+        let mut worker_bytes = vec![0u64; workers];
+        for (idx, (payload, bytes)) in parts.into_iter().enumerate() {
+            let w = idx % workers;
+            placement.push(w);
+            part_bytes.push(bytes);
+            worker_bytes[w] += bytes;
+            per_worker[w].push((idx, Box::new(payload)));
+        }
+        // Meter the shuffle: the whole dataset crosses the network once;
+        // workers receive in parallel, so the step costs the slowest link.
+        let total_bytes: u64 = worker_bytes.iter().sum();
+        self.inner.metrics.add_shuffled(total_bytes);
+        self.inner.metrics.add_stored(total_bytes);
+        let net = &self.inner.config.network;
+        let step = worker_bytes
+            .iter()
+            .map(|&b| net.transfer_secs(b))
+            .fold(0.0, f64::max);
+        self.inner.metrics.advance_clock(step);
+
+        let (ack_tx, ack_rx) = unbounded();
+        let mut expected = 0;
+        for (w, batch) in per_worker.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            expected += 1;
+            self.inner.senders[w]
+                .send(WorkerMsg::Store {
+                    dataset: id,
+                    parts: batch,
+                    ack: ack_tx.clone(),
+                })
+                .expect("worker hung up");
+        }
+        for _ in 0..expected {
+            ack_rx.recv().expect("worker hung up");
+        }
+        DistVec {
+            id,
+            nparts,
+            placement,
+            part_bytes,
+            inner: Arc::clone(&self.inner),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Broadcasts `value` to every worker, metering `bytes` per receiver.
+    ///
+    /// DBTF broadcasts the three factor matrices each iteration
+    /// (Lemma 7's `O(M·I·R)` term). Locally this is a zero-copy `Arc`;
+    /// the accounting treats it as `workers` transfers serialised through
+    /// the driver's uplink.
+    pub fn broadcast<T: Send + Sync + 'static>(&self, value: T, bytes: u64) -> Broadcast<T> {
+        let workers = self.num_workers() as u64;
+        self.inner.metrics.add_broadcast(bytes * workers);
+        let net = &self.inner.config.network;
+        let secs = if bytes == 0 {
+            0.0
+        } else {
+            net.latency_secs + (bytes * workers) as f64 / net.bandwidth_bytes_per_sec
+        };
+        self.inner.metrics.advance_clock(secs);
+        Broadcast {
+            value: Arc::new(value),
+        }
+    }
+
+    /// Runs `f` once per partition of `data`, on the worker holding the
+    /// partition, and returns the results in partition order.
+    ///
+    /// This is one *superstep*: the driver blocks until every worker
+    /// finishes, the virtual clock advances by the worker makespan plus the
+    /// result-collection network time, and the metrics record the charged
+    /// ops and collected bytes.
+    ///
+    /// `f` receives the global partition index, exclusive access to the
+    /// partition (mutation persists — the dataset is cached), and the
+    /// [`TaskContext`] for cost accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` belongs to a different cluster or if a worker
+    /// thread has died (e.g. a task panicked in an earlier superstep).
+    pub fn map_partitions<P, T, F>(&self, data: &DistVec<P>, f: F) -> Vec<T>
+    where
+        P: Send + 'static,
+        T: Send + 'static,
+        F: Fn(usize, &mut P, &mut TaskContext) -> T + Send + Sync + 'static,
+    {
+        assert!(
+            Arc::ptr_eq(&self.inner, &data.inner),
+            "dataset belongs to a different cluster"
+        );
+        let task: Arc<TaskFn> = Arc::new(move |idx, part, ctx| {
+            let part = part
+                .downcast_mut::<P>()
+                .expect("partition type mismatch: DistVec used with wrong element type");
+            Box::new(f(idx, part, ctx)) as AnyPart
+        });
+
+        let (reply_tx, reply_rx): (Sender<BatchResult>, Receiver<BatchResult>) = unbounded();
+        for sender in &self.inner.senders {
+            sender
+                .send(WorkerMsg::Run {
+                    dataset: data.id,
+                    task: Arc::clone(&task),
+                    reply: reply_tx.clone(),
+                })
+                .expect("worker hung up");
+        }
+        drop(reply_tx);
+
+        let cfg = &self.inner.config;
+        let mut slots: Vec<Option<T>> = (0..data.nparts).map(|_| None).collect();
+        let mut makespan = 0.0f64;
+        let mut collect_secs = 0.0f64;
+        let mut busy = self.inner.metrics.worker_busy_secs.lock();
+        for _ in 0..self.num_workers() {
+            let batch = reply_rx.recv().expect("worker hung up");
+            // Worker time: perfect intra-worker parallelism over its cores,
+            // floored by its single largest task (a task occupies one core).
+            // Straggler workers run at reduced throughput.
+            let time = (batch.total_ops as f64 / cfg.worker_throughput(batch.worker))
+                .max(batch.max_task_ops as f64 / cfg.core_throughput(batch.worker));
+            busy[batch.worker] += time;
+            makespan = makespan.max(time);
+            collect_secs = collect_secs.max(cfg.network.transfer_secs(batch.result_bytes));
+            self.inner.metrics.add_collected(batch.result_bytes);
+            self.inner
+                .metrics
+                .total_ops
+                .fetch_add(batch.total_ops, Ordering::Relaxed);
+            self.inner
+                .metrics
+                .tasks_run
+                .fetch_add(batch.results.len() as u64, Ordering::Relaxed);
+            for (idx, boxed) in batch.results {
+                let value = *boxed
+                    .downcast::<T>()
+                    .expect("task result type mismatch (engine bug)");
+                assert!(slots[idx].is_none(), "duplicate partition index {idx}");
+                slots[idx] = Some(value);
+            }
+        }
+        drop(busy);
+        self.inner.metrics.advance_clock(makespan + collect_secs);
+        self.inner.metrics.supersteps.fetch_add(1, Ordering::Relaxed);
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(idx, s)| s.unwrap_or_else(|| panic!("partition {idx} produced no result")))
+            .collect()
+    }
+
+    /// Clones every partition back to the driver, in partition order.
+    ///
+    /// Mostly for tests and small datasets; metered like any other collect.
+    pub fn gather<P>(&self, data: &DistVec<P>) -> Vec<P>
+    where
+        P: Clone + Send + 'static,
+    {
+        let bytes = data.part_bytes.clone();
+        self.map_partitions(data, move |idx, part: &mut P, ctx| {
+            ctx.set_result_bytes(bytes[idx]);
+            part.clone()
+        })
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for sender in &self.inner.senders {
+            let _ = sender.send(WorkerMsg::Shutdown);
+        }
+        for handle in self.inner.handles.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A distributed dataset: `nparts` partitions of type `P` pinned to worker
+/// machines (the engine's RDD analogue).
+///
+/// Partitions live in worker memory until the handle is dropped. Access is
+/// exclusively through [`Cluster::map_partitions`] / [`Cluster::gather`].
+pub struct DistVec<P> {
+    id: u64,
+    nparts: usize,
+    placement: Vec<usize>,
+    part_bytes: Vec<u64>,
+    inner: Arc<Inner>,
+    _marker: PhantomData<fn() -> P>,
+}
+
+impl<P> DistVec<P> {
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.nparts
+    }
+
+    /// The worker holding partition `idx`.
+    pub fn worker_of(&self, idx: usize) -> usize {
+        self.placement[idx]
+    }
+
+    /// Metered payload bytes of partition `idx`.
+    pub fn partition_bytes(&self, idx: usize) -> u64 {
+        self.part_bytes[idx]
+    }
+
+    /// Total metered bytes stored across workers.
+    pub fn total_bytes(&self) -> u64 {
+        self.part_bytes.iter().sum()
+    }
+}
+
+impl<P> Drop for DistVec<P> {
+    fn drop(&mut self) {
+        self.inner.metrics.sub_stored(self.total_bytes());
+        for sender in &self.inner.senders {
+            // The cluster may already be shut down; eviction is best-effort.
+            let _ = sender.send(WorkerMsg::DropDataset { dataset: self.id });
+        }
+    }
+}
+
+/// A broadcast variable: one logical value visible to every task.
+///
+/// Cheap to clone (an `Arc`); read with [`Broadcast::get`]. The network cost
+/// was charged when [`Cluster::broadcast`] created it.
+pub struct Broadcast<T> {
+    value: Arc<T>,
+}
+
+impl<T> Broadcast<T> {
+    /// Reads the broadcast value.
+    pub fn get(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> Clone for Broadcast<T> {
+    fn clone(&self) -> Self {
+        Broadcast {
+            value: Arc::clone(&self.value),
+        }
+    }
+}
+
+impl<T> std::ops::Deref for Broadcast<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+fn worker_loop(worker_id: usize, rx: Receiver<WorkerMsg>) {
+    let mut datasets: std::collections::HashMap<u64, Vec<(usize, AnyPart)>> =
+        std::collections::HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Store { dataset, mut parts, ack } => {
+                datasets.entry(dataset).or_default().append(&mut parts);
+                let _ = ack.send(());
+            }
+            WorkerMsg::Run { dataset, task, reply } => {
+                let mut results = Vec::new();
+                let mut total_ops = 0u64;
+                let mut max_task_ops = 0u64;
+                let mut result_bytes = 0u64;
+                if let Some(parts) = datasets.get_mut(&dataset) {
+                    results.reserve(parts.len());
+                    for (idx, part) in parts.iter_mut() {
+                        let mut ctx = TaskContext::new(worker_id, *idx);
+                        let out = task(*idx, part.as_mut(), &mut ctx);
+                        total_ops += ctx.ops();
+                        max_task_ops = max_task_ops.max(ctx.ops());
+                        result_bytes += ctx.result_bytes();
+                        results.push((*idx, out));
+                    }
+                }
+                let _ = reply.send(BatchResult {
+                    worker: worker_id,
+                    results,
+                    total_ops,
+                    max_task_ops,
+                    result_bytes,
+                });
+            }
+            WorkerMsg::DropDataset { dataset } => {
+                datasets.remove(&dataset);
+            }
+            WorkerMsg::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkModel;
+
+    fn small_cluster(workers: usize) -> Cluster {
+        Cluster::new(ClusterConfig {
+            workers,
+            cores_per_worker: 2,
+            core_throughput_ops_per_sec: 1e6,
+            network: NetworkModel {
+                latency_secs: 1e-3,
+                bandwidth_bytes_per_sec: 1e6,
+            },
+            ..ClusterConfig::default()
+        })
+    }
+
+    #[test]
+    fn round_robin_placement() {
+        let cluster = small_cluster(3);
+        let data = cluster.distribute((0..7u32).map(|v| (v, 4)).collect());
+        assert_eq!(data.num_partitions(), 7);
+        for idx in 0..7 {
+            assert_eq!(data.worker_of(idx), idx % 3);
+        }
+        assert_eq!(data.total_bytes(), 28);
+    }
+
+    #[test]
+    fn map_partitions_returns_in_order() {
+        let cluster = small_cluster(4);
+        let data = cluster.distribute((0..10u64).map(|v| (v, 8)).collect());
+        let doubled: Vec<u64> = cluster.map_partitions(&data, |_idx, v, ctx| {
+            ctx.charge(1);
+            *v * 2
+        });
+        assert_eq!(doubled, (0..10u64).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partitions_are_cached_and_mutable() {
+        let cluster = small_cluster(2);
+        let data = cluster.distribute(vec![(0u32, 4), (0u32, 4), (0u32, 4)]);
+        for _ in 0..3 {
+            cluster.map_partitions(&data, |_idx, v, _ctx| {
+                *v += 1;
+            });
+        }
+        let values = cluster.gather(&data);
+        assert_eq!(values, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn shuffle_and_store_metering() {
+        let cluster = small_cluster(2);
+        let before = cluster.metrics();
+        assert_eq!(before.bytes_shuffled, 0);
+        let data = cluster.distribute(vec![(1u8, 100), (2u8, 200), (3u8, 300)]);
+        let m = cluster.metrics();
+        assert_eq!(m.bytes_shuffled, 600);
+        assert_eq!(m.stored_bytes, 600);
+        drop(data);
+        // Eviction is asynchronous at the worker but the accounting is
+        // synchronous at the driver.
+        assert_eq!(cluster.metrics().stored_bytes, 0);
+    }
+
+    #[test]
+    fn broadcast_metering_scales_with_workers() {
+        let cluster = small_cluster(4);
+        let b = cluster.broadcast(vec![1u8; 100], 100);
+        assert_eq!(b.get().len(), 100);
+        assert_eq!(cluster.metrics().bytes_broadcast, 400);
+    }
+
+    #[test]
+    fn broadcast_visible_in_tasks() {
+        let cluster = small_cluster(2);
+        let b = cluster.broadcast(10u64, 8);
+        let data = cluster.distribute((0..4u64).map(|v| (v, 8)).collect());
+        let shifted: Vec<u64> = {
+            let b = b.clone();
+            cluster.map_partitions(&data, move |_idx, v, _ctx| *v + *b.get())
+        };
+        assert_eq!(shifted, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn virtual_clock_advances_with_charges() {
+        let cluster = small_cluster(1);
+        let data = cluster.distribute(vec![((), 0), ((), 0)]);
+        let t0 = cluster.virtual_time().as_secs_f64();
+        cluster.map_partitions(&data, |_idx, _v: &mut (), ctx| ctx.charge(2_000_000));
+        let t1 = cluster.virtual_time().as_secs_f64();
+        // 4M ops on one 2-core × 1M ops/s worker = 2 virtual seconds.
+        assert!((t1 - t0 - 2.0).abs() < 1e-9, "elapsed {}", t1 - t0);
+    }
+
+    #[test]
+    fn makespan_is_max_over_workers() {
+        // Two workers, one heavily loaded: clock advances by the slow one.
+        let cluster = small_cluster(2);
+        let data = cluster.distribute(vec![(10u64, 0), (1u64, 0)]);
+        let t0 = cluster.virtual_time().as_secs_f64();
+        cluster.map_partitions(&data, |_idx, v, ctx| ctx.charge(*v * 1_000_000));
+        let elapsed = cluster.virtual_time().as_secs_f64() - t0;
+        // Worker 0 runs the 10M-op task on 2 cores but a single task
+        // occupies one core: 10 s; worker 1: 1 s.
+        assert!((elapsed - 10.0).abs() < 1e-9, "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn more_workers_reduce_virtual_time() {
+        let run = |workers: usize| {
+            let cluster = small_cluster(workers);
+            let data = cluster.distribute((0..16u64).map(|_| (1u64, 0)).collect());
+            let t0 = cluster.virtual_time().as_secs_f64();
+            cluster.map_partitions(&data, |_idx, _v, ctx| ctx.charge(1_000_000));
+            cluster.virtual_time().as_secs_f64() - t0
+        };
+        let t2 = run(2);
+        let t8 = run(8);
+        assert!(
+            t8 < t2 / 2.0,
+            "8 workers ({t8}s) should be well over 2× faster than 2 ({t2}s)"
+        );
+    }
+
+    #[test]
+    fn collect_bytes_metered() {
+        let cluster = small_cluster(2);
+        let data = cluster.distribute(vec![(0u8, 1), (0u8, 1)]);
+        cluster.map_partitions(&data, |_idx, _v, ctx| {
+            ctx.set_result_bytes(50);
+        });
+        assert_eq!(cluster.metrics().bytes_collected, 100);
+    }
+
+    #[test]
+    fn charge_driver_advances_clock() {
+        let cluster = small_cluster(1);
+        let t0 = cluster.virtual_time().as_secs_f64();
+        cluster.charge_driver(1_000_000);
+        assert!((cluster.virtual_time().as_secs_f64() - t0 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worker_busy_time_tracks_imbalance() {
+        let cluster = small_cluster(2);
+        let data = cluster.distribute(vec![(4u64, 0), (1u64, 0)]);
+        cluster.map_partitions(&data, |_idx, v, ctx| ctx.charge(*v * 1_000_000));
+        let busy = cluster.metrics().worker_busy_secs;
+        assert!(busy[0] > busy[1]);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let cluster = small_cluster(3);
+        let data: DistVec<u32> = cluster.distribute(Vec::new());
+        let out: Vec<u32> = cluster.map_partitions(&data, |_idx, v, _ctx| *v);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn many_supersteps_counted() {
+        let cluster = small_cluster(2);
+        let data = cluster.distribute(vec![(0u8, 1)]);
+        for _ in 0..5 {
+            cluster.map_partitions(&data, |_idx, _v, _ctx| {});
+        }
+        assert_eq!(cluster.metrics().supersteps, 5);
+    }
+
+    #[test]
+    fn stragglers_dominate_makespan() {
+        let base = ClusterConfig {
+            workers: 4,
+            cores_per_worker: 1,
+            core_throughput_ops_per_sec: 1e6,
+            network: NetworkModel::free(),
+            ..ClusterConfig::default()
+        };
+        let run = |cfg: ClusterConfig| {
+            let cluster = Cluster::new(cfg);
+            let data = cluster.distribute((0..4u64).map(|_| (1u64, 0)).collect());
+            let t0 = cluster.virtual_time().as_secs_f64();
+            cluster.map_partitions(&data, |_idx, _v, ctx| ctx.charge(1_000_000));
+            cluster.virtual_time().as_secs_f64() - t0
+        };
+        let uniform = run(base);
+        let with_straggler = run(ClusterConfig {
+            stragglers: 1,
+            straggler_slowdown: 0.25,
+            ..base
+        });
+        assert!((uniform - 1.0).abs() < 1e-9, "uniform {uniform}");
+        // Worker 0 at quarter speed takes 4 s: the whole superstep waits.
+        assert!((with_straggler - 4.0).abs() < 1e-9, "straggler {with_straggler}");
+    }
+
+    #[test]
+    #[should_panic(expected = "different cluster")]
+    fn cross_cluster_dataset_rejected() {
+        let a = small_cluster(1);
+        let b = small_cluster(1);
+        let data = a.distribute(vec![(1u8, 1)]);
+        let _: Vec<u8> = b.map_partitions(&data, |_idx, v, _ctx| *v);
+    }
+}

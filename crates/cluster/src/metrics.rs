@@ -1,0 +1,222 @@
+//! Virtual-time clock and communication metering.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A span of virtual time, in seconds.
+///
+/// Separate from `std::time::Duration` to make it impossible to confuse
+/// simulated cluster time with host wall-clock time.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct VirtualDuration(f64);
+
+impl VirtualDuration {
+    /// A span of `secs` virtual seconds.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        debug_assert!(secs >= 0.0 && secs.is_finite(), "bad duration {secs}");
+        VirtualDuration(secs)
+    }
+
+    /// The span in seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0
+    }
+}
+
+impl std::ops::Add for VirtualDuration {
+    type Output = VirtualDuration;
+    fn add(self, rhs: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Sub for VirtualDuration {
+    type Output = VirtualDuration;
+    fn sub(self, rhs: VirtualDuration) -> VirtualDuration {
+        VirtualDuration((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl std::fmt::Display for VirtualDuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}s (virtual)", self.0)
+    }
+}
+
+/// Cumulative communication counters for a cluster.
+///
+/// These are the quantities the paper analyses: Lemma 6 bounds
+/// `bytes_shuffled` by `O(|X|)` for partitioning, Lemma 7 bounds
+/// `bytes_broadcast + bytes_collected` by `O(T·I·R·(M + N))` for the
+/// iterations.
+#[derive(Debug, Default)]
+pub struct CommMetrics {
+    pub(crate) bytes_shuffled: AtomicU64,
+    pub(crate) bytes_broadcast: AtomicU64,
+    pub(crate) bytes_collected: AtomicU64,
+    pub(crate) messages: AtomicU64,
+    pub(crate) tasks_run: AtomicU64,
+    pub(crate) total_ops: AtomicU64,
+    pub(crate) supersteps: AtomicU64,
+    pub(crate) stored_bytes: AtomicU64,
+    pub(crate) clock_secs: Mutex<f64>,
+    /// Virtual busy-seconds accumulated per worker (index = worker id).
+    pub(crate) worker_busy_secs: Mutex<Vec<f64>>,
+}
+
+impl CommMetrics {
+    pub(crate) fn new(workers: usize) -> Self {
+        CommMetrics {
+            worker_busy_secs: Mutex::new(vec![0.0; workers]),
+            ..CommMetrics::default()
+        }
+    }
+
+    pub(crate) fn add_shuffled(&self, bytes: u64) {
+        self.bytes_shuffled.fetch_add(bytes, Ordering::Relaxed);
+        self.messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_broadcast(&self, bytes: u64) {
+        self.bytes_broadcast.fetch_add(bytes, Ordering::Relaxed);
+        self.messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_collected(&self, bytes: u64) {
+        self.bytes_collected.fetch_add(bytes, Ordering::Relaxed);
+        self.messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_stored(&self, bytes: u64) {
+        self.stored_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn sub_stored(&self, bytes: u64) {
+        self.stored_bytes.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn advance_clock(&self, secs: f64) {
+        *self.clock_secs.lock() += secs;
+    }
+
+    /// Takes a consistent snapshot of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            bytes_shuffled: self.bytes_shuffled.load(Ordering::Relaxed),
+            bytes_broadcast: self.bytes_broadcast.load(Ordering::Relaxed),
+            bytes_collected: self.bytes_collected.load(Ordering::Relaxed),
+            messages: self.messages.load(Ordering::Relaxed),
+            tasks_run: self.tasks_run.load(Ordering::Relaxed),
+            total_ops: self.total_ops.load(Ordering::Relaxed),
+            supersteps: self.supersteps.load(Ordering::Relaxed),
+            stored_bytes: self.stored_bytes.load(Ordering::Relaxed),
+            virtual_time: VirtualDuration::from_secs_f64(*self.clock_secs.lock()),
+            worker_busy_secs: self.worker_busy_secs.lock().clone(),
+        }
+    }
+}
+
+/// A point-in-time copy of a cluster's [`CommMetrics`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Bytes moved by [`crate::Cluster::distribute`] (the one-off
+    /// partitioning shuffle — Lemma 6).
+    pub bytes_shuffled: u64,
+    /// Bytes moved by [`crate::Cluster::broadcast`] (factor matrices each
+    /// iteration — Lemma 7).
+    pub bytes_broadcast: u64,
+    /// Bytes returned from workers to the driver (per-column error
+    /// collection — Lemma 7).
+    pub bytes_collected: u64,
+    /// Total network messages.
+    pub messages: u64,
+    /// Number of partition tasks executed.
+    pub tasks_run: u64,
+    /// Total abstract ops charged by tasks.
+    pub total_ops: u64,
+    /// Number of supersteps (barrier-synchronised map rounds).
+    pub supersteps: u64,
+    /// Bytes currently persisted in worker memory across all datasets
+    /// (the cached partitioned unfoldings — Lemma 5's `O(|X|)` term).
+    pub stored_bytes: u64,
+    /// The virtual clock.
+    pub virtual_time: VirtualDuration,
+    /// Per-worker virtual busy time; the spread measures load balance.
+    pub worker_busy_secs: Vec<f64>,
+}
+
+impl MetricsSnapshot {
+    /// Difference of two snapshots (self − earlier), for metering a phase.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            bytes_shuffled: self.bytes_shuffled - earlier.bytes_shuffled,
+            bytes_broadcast: self.bytes_broadcast - earlier.bytes_broadcast,
+            bytes_collected: self.bytes_collected - earlier.bytes_collected,
+            messages: self.messages - earlier.messages,
+            tasks_run: self.tasks_run - earlier.tasks_run,
+            total_ops: self.total_ops - earlier.total_ops,
+            supersteps: self.supersteps - earlier.supersteps,
+            stored_bytes: self.stored_bytes,
+            virtual_time: self.virtual_time - earlier.virtual_time,
+            worker_busy_secs: self
+                .worker_busy_secs
+                .iter()
+                .zip(earlier.worker_busy_secs.iter().chain(std::iter::repeat(&0.0)))
+                .map(|(a, b)| (a - b).max(0.0))
+                .collect(),
+        }
+    }
+
+    /// Total bytes that crossed the network.
+    pub fn total_network_bytes(&self) -> u64 {
+        self.bytes_shuffled + self.bytes_broadcast + self.bytes_collected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_duration_arithmetic() {
+        let a = VirtualDuration::from_secs_f64(2.0);
+        let b = VirtualDuration::from_secs_f64(0.5);
+        assert_eq!((a + b).as_secs_f64(), 2.5);
+        assert_eq!((b - a).as_secs_f64(), 0.0); // saturating
+        assert_eq!((a - b).as_secs_f64(), 1.5);
+    }
+
+    #[test]
+    fn metrics_accumulate_and_snapshot() {
+        let m = CommMetrics::new(2);
+        m.add_shuffled(100);
+        m.add_broadcast(10);
+        m.add_collected(5);
+        m.add_stored(100);
+        m.advance_clock(1.25);
+        let s = m.snapshot();
+        assert_eq!(s.bytes_shuffled, 100);
+        assert_eq!(s.bytes_broadcast, 10);
+        assert_eq!(s.bytes_collected, 5);
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.stored_bytes, 100);
+        assert_eq!(s.total_network_bytes(), 115);
+        assert_eq!(s.virtual_time.as_secs_f64(), 1.25);
+        m.sub_stored(40);
+        assert_eq!(m.snapshot().stored_bytes, 60);
+    }
+
+    #[test]
+    fn snapshot_since() {
+        let m = CommMetrics::new(1);
+        m.add_shuffled(100);
+        let before = m.snapshot();
+        m.add_shuffled(50);
+        m.advance_clock(2.0);
+        let after = m.snapshot();
+        let delta = after.since(&before);
+        assert_eq!(delta.bytes_shuffled, 50);
+        assert_eq!(delta.virtual_time.as_secs_f64(), 2.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Per-task execution context.
+
+/// Handle given to every partition task for cost accounting.
+///
+/// Tasks run inside worker threads; the context records how much simulated
+/// work the task did ([`TaskContext::charge`]) and how many bytes its result
+/// occupies on the wire back to the driver
+/// ([`TaskContext::set_result_bytes`]). The engine turns the charges into
+/// virtual time (see the crate docs) and the result bytes into
+/// driver-collection network cost.
+#[derive(Debug)]
+pub struct TaskContext {
+    worker_id: usize,
+    partition_index: usize,
+    ops: u64,
+    result_bytes: u64,
+}
+
+impl TaskContext {
+    pub(crate) fn new(worker_id: usize, partition_index: usize) -> Self {
+        TaskContext {
+            worker_id,
+            partition_index,
+            ops: 0,
+            result_bytes: 0,
+        }
+    }
+
+    /// The id of the worker machine executing this task.
+    pub fn worker_id(&self) -> usize {
+        self.worker_id
+    }
+
+    /// The global index of the partition this task is processing.
+    pub fn partition_index(&self) -> usize {
+        self.partition_index
+    }
+
+    /// Records `ops` units of simulated compute (e.g. Boolean word
+    /// operations). May be called many times; charges accumulate.
+    #[inline]
+    pub fn charge(&mut self, ops: u64) {
+        self.ops += ops;
+    }
+
+    /// Declares the wire size of this task's result. Defaults to 0 (results
+    /// whose transfer cost is negligible need not set it).
+    pub fn set_result_bytes(&mut self, bytes: u64) {
+        self.result_bytes = bytes;
+    }
+
+    /// Total ops charged so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Declared result size.
+    pub fn result_bytes(&self) -> u64 {
+        self.result_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut ctx = TaskContext::new(3, 7);
+        assert_eq!(ctx.worker_id(), 3);
+        assert_eq!(ctx.partition_index(), 7);
+        ctx.charge(10);
+        ctx.charge(5);
+        assert_eq!(ctx.ops(), 15);
+        ctx.set_result_bytes(64);
+        assert_eq!(ctx.result_bytes(), 64);
+    }
+}

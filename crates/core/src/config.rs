@@ -1,0 +1,216 @@
+//! DBTF configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Errors reported by [`DbtfConfig::validate`] and the factorization entry
+/// points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbtfError {
+    /// The configuration is invalid; the message says why.
+    InvalidConfig(String),
+    /// The input tensor has a zero-sized mode.
+    EmptyTensor,
+}
+
+impl std::fmt::Display for DbtfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbtfError::InvalidConfig(msg) => write!(f, "invalid DBTF configuration: {msg}"),
+            DbtfError::EmptyTensor => write!(f, "input tensor has a zero-sized mode"),
+        }
+    }
+}
+
+impl std::error::Error for DbtfError {}
+
+/// How the `L` initial factor sets are drawn.
+///
+/// The paper only says "initialize L sets of factor matrices randomly"
+/// (Algorithm 2 line 6). Data-oblivious uniform random factors make the
+/// greedy update collapse to all-zero factors on realistic tensors — every
+/// candidate component adds `≈ |b_r|·|c_r|` random cells that intersect
+/// almost nothing, so every bit scores worse than zero (the `init_collapse`
+/// ablation bench demonstrates this). We therefore default to random
+/// *data-driven* sampling, the standard practice in Boolean factorization
+/// implementations, and keep the uniform variant for ablation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum InitStrategy {
+    /// Each component `r` samples a random non-zero `(i, j, k)` of `X` and
+    /// seeds `b_{:r}` with the mode-2 fiber `x_{i,:,k}` and `c_{:r}` with
+    /// the mode-3 fiber `x_{i,j,:}`; `A` starts all-zero and is computed by
+    /// the first update. Different sets sample different fibers.
+    #[default]
+    FiberSample,
+    /// I.i.d. Bernoulli factors with density
+    /// [`DbtfConfig::effective_init_density`].
+    Random,
+}
+
+/// Configuration of a DBTF factorization run (the paper's Algorithm 2
+/// inputs plus the initialization knobs the paper leaves open).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DbtfConfig {
+    /// Rank `R`: the number of rank-1 components.
+    pub rank: usize,
+    /// Maximum number of iterations `T` (paper default: 10).
+    pub max_iters: usize,
+    /// Number of random initial factor sets `L` (paper default: 1). All `L`
+    /// sets are updated in the first iteration and the best one is kept.
+    pub initial_sets: usize,
+    /// Number of vertical partitions `N` per unfolded tensor. `None` means
+    /// one partition per worker core, the natural level of parallelism.
+    pub partitions: Option<usize>,
+    /// Cache-table group limit `V` (paper default: 15): when `R > V` the
+    /// rank rows are split into `⌈R/V⌉` groups with a
+    /// `2^(R/⌈R/V⌉)`-entry table each (Lemma 2).
+    pub cache_group_limit: usize,
+    /// Convergence threshold: stop when the error change between two
+    /// consecutive iterations is at most `threshold × |X|`
+    /// (the paper's "does not change significantly"). A negative value
+    /// disables early stopping — exactly `max_iters` iterations run
+    /// (useful for complexity measurements).
+    pub convergence_threshold: f64,
+    /// Initialization strategy (see [`InitStrategy`]).
+    pub init: InitStrategy,
+    /// For [`InitStrategy::Random`]: density of the random initial factor
+    /// matrices. `None` derives
+    /// `p = min(0.5, (d/R)^(1/3))` from the tensor density `d`, so that the
+    /// expected density of the initial reconstruction (≈ `R·p³`) matches
+    /// the input.
+    pub init_density: Option<f64>,
+    /// RNG seed for the random initialization (runs are deterministic).
+    pub seed: u64,
+}
+
+impl Default for DbtfConfig {
+    fn default() -> Self {
+        DbtfConfig {
+            rank: 10,
+            max_iters: 10,
+            initial_sets: 1,
+            partitions: None,
+            cache_group_limit: 15,
+            convergence_threshold: 1e-4,
+            init: InitStrategy::default(),
+            init_density: None,
+            seed: 0,
+        }
+    }
+}
+
+impl DbtfConfig {
+    /// A configuration with the given rank and paper defaults elsewhere.
+    pub fn with_rank(rank: usize) -> Self {
+        DbtfConfig {
+            rank,
+            ..DbtfConfig::default()
+        }
+    }
+
+    /// Checks the configuration for internal consistency.
+    pub fn validate(&self) -> Result<(), DbtfError> {
+        if self.rank == 0 {
+            return Err(DbtfError::InvalidConfig("rank must be at least 1".into()));
+        }
+        if self.max_iters == 0 {
+            return Err(DbtfError::InvalidConfig(
+                "max_iters must be at least 1".into(),
+            ));
+        }
+        if self.initial_sets == 0 {
+            return Err(DbtfError::InvalidConfig(
+                "initial_sets must be at least 1".into(),
+            ));
+        }
+        if self.cache_group_limit == 0 || self.cache_group_limit > 24 {
+            return Err(DbtfError::InvalidConfig(format!(
+                "cache_group_limit must be in 1..=24 (got {}; a group of v bits \
+                 stores 2^v cached summations)",
+                self.cache_group_limit
+            )));
+        }
+        if let Some(n) = self.partitions {
+            if n == 0 {
+                return Err(DbtfError::InvalidConfig(
+                    "partitions must be at least 1".into(),
+                ));
+            }
+        }
+        if let Some(d) = self.init_density {
+            if !(0.0..=1.0).contains(&d) {
+                return Err(DbtfError::InvalidConfig(format!(
+                    "init_density must be in [0, 1] (got {d})"
+                )));
+            }
+        }
+        if !self.convergence_threshold.is_finite() {
+            return Err(DbtfError::InvalidConfig(
+                "convergence_threshold must be finite".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The initial factor density for a tensor of density `d` (see
+    /// [`DbtfConfig::init_density`]).
+    pub fn effective_init_density(&self, tensor_density: f64) -> f64 {
+        self.init_density.unwrap_or_else(|| {
+            let p = (tensor_density.max(1e-12) / self.rank as f64).cbrt();
+            p.clamp(1e-3, 0.5)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(DbtfConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_rank() {
+        let cfg = DbtfConfig {
+            rank: 0,
+            ..Default::default()
+        };
+        assert!(matches!(cfg.validate(), Err(DbtfError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn rejects_huge_cache_groups() {
+        let cfg = DbtfConfig {
+            cache_group_limit: 40,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_density() {
+        let cfg = DbtfConfig {
+            init_density: Some(1.5),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn derived_init_density_tracks_input() {
+        let cfg = DbtfConfig::with_rank(10);
+        let p = cfg.effective_init_density(0.01);
+        // R·p³ ≈ d.
+        assert!((10.0 * p.powi(3) - 0.01).abs() < 1e-9);
+        // Dense inputs stay within the clamp range.
+        let dense = DbtfConfig::with_rank(1).effective_init_density(1.0);
+        assert_eq!(dense, 0.5);
+        // Explicit value wins.
+        let cfg = DbtfConfig {
+            init_density: Some(0.2),
+            ..cfg
+        };
+        assert_eq!(cfg.effective_init_density(0.01), 0.2);
+    }
+}

@@ -1,0 +1,319 @@
+//! The distributed DBTF driver (paper Algorithms 2 and 4).
+//!
+//! The driver (the calling thread) orchestrates the cluster: it partitions
+//! and distributes the three unfolded tensors once, then iterates factor
+//! updates. One `UpdateFactor` call runs `R + 2` supersteps:
+//!
+//! 1. **begin** — broadcast `(A, M_f, M_s)`; every partition builds its
+//!    [`WorkState`] (cached row summations, sliced caches for edge blocks).
+//! 2. **column `c`** (× R) — apply the previously decided column, score
+//!    both candidate values of every row's entry in column `c`, and send
+//!    the per-row error pairs to the driver, which picks the smaller
+//!    (Algorithm 4 lines 10–12) and broadcasts the decided column.
+//! 3. **finish** — apply the last column; optionally compute the exact
+//!    partition-local reconstruction error (for convergence and for the
+//!    first-iteration selection among the `L` initial sets); drop the
+//!    caches.
+
+use std::time::Instant;
+
+use dbtf_cluster::{Broadcast, Cluster, DistVec};
+use dbtf_tensor::{BitMatrix, BitVec, BoolTensor, Mode, Unfolding};
+
+use crate::config::{DbtfConfig, DbtfError};
+use crate::factors::{initial_factor_sets, FactorSet};
+use crate::partition::partition_unfolding;
+use crate::stats::DbtfStats;
+use crate::update::{PartitionSlot, WorkState};
+
+/// The outcome of a [`factorize`] run.
+#[derive(Clone, Debug)]
+pub struct DbtfResult {
+    /// The best factor set found.
+    pub factors: FactorSet,
+    /// Final reconstruction error `|X ⊕ X̃|`.
+    pub error: u64,
+    /// `error / |X|` (infinite if the input is empty but the
+    /// reconstruction is not).
+    pub relative_error: f64,
+    /// Number of iterations executed (including the first, multi-set one).
+    pub iterations: usize,
+    /// Whether the run stopped on the convergence criterion (rather than
+    /// exhausting `max_iters`).
+    pub converged: bool,
+    /// Reconstruction error after each iteration.
+    pub iteration_errors: Vec<u64>,
+    /// Resource accounting.
+    pub stats: DbtfStats,
+}
+
+struct UpdateOutcome {
+    a: BitMatrix,
+    error: Option<u64>,
+    cache_bytes: u64,
+}
+
+/// Boolean CP-factorizes `x` at the configured rank on the given cluster
+/// (the paper's Algorithm 2).
+///
+/// Deterministic for a fixed `(config, x)` regardless of worker count or
+/// partitioning — the greedy updates depend only on error sums, which are
+/// invariant under how columns are split across partitions (verified by the
+/// differential tests against [`crate::reference`]).
+///
+/// # Errors
+///
+/// Returns [`DbtfError::InvalidConfig`] for bad configurations and
+/// [`DbtfError::EmptyTensor`] if any mode of `x` has size 0.
+pub fn factorize(
+    cluster: &Cluster,
+    x: &BoolTensor,
+    config: &DbtfConfig,
+) -> Result<DbtfResult, DbtfError> {
+    config.validate()?;
+    let dims = x.dims();
+    if dims.iter().any(|&d| d == 0) {
+        return Err(DbtfError::EmptyTensor);
+    }
+    let wall_start = Instant::now();
+    let metrics_start = cluster.metrics();
+    let n_partitions = config
+        .partitions
+        .unwrap_or_else(|| cluster.config().workers * cluster.config().cores_per_worker);
+
+    // ---- Partition the three unfolded tensors (Algorithm 2 lines 1–3). --
+    let ([px1, px2, px3], partition_bytes) = distribute_unfoldings(cluster, x, n_partitions);
+
+    // ---- Initialize L factor sets (Algorithm 2 line 6). ----------------
+    let sets = initial_factor_sets(x, config);
+    cluster.charge_driver(
+        sets.len() as u64 * (dims[0] + dims[1] + dims[2]) as u64 * config.rank as u64,
+    );
+
+    // ---- Iteration 1: update every set, keep the best (lines 7–8). -----
+    let mut peak_cache_bytes = 0u64;
+    let mut best: Option<(FactorSet, u64)> = None;
+    for set in sets {
+        let (factors, error, cache) = update_round(cluster, &px1, &px2, &px3, set, config);
+        peak_cache_bytes = peak_cache_bytes.max(cache);
+        if best.as_ref().is_none_or(|(_, be)| error < *be) {
+            best = Some((factors, error));
+        }
+    }
+    let (mut factors, mut error) = best.expect("initial_sets ≥ 1");
+    let mut iteration_errors = vec![error];
+    let mut converged = error == 0;
+
+    // ---- Iterations 2..T (lines 9–12). ----------------------------------
+    let threshold = config.convergence_threshold * x.nnz().max(1) as f64;
+    for _t in 2..=config.max_iters {
+        if converged {
+            break;
+        }
+        let (next, next_error, cache) =
+            update_round(cluster, &px1, &px2, &px3, factors, config);
+        peak_cache_bytes = peak_cache_bytes.max(cache);
+        let delta = error.abs_diff(next_error) as f64;
+        factors = next;
+        error = next_error;
+        iteration_errors.push(error);
+        if delta <= threshold || error == 0 {
+            converged = true;
+        }
+    }
+
+    let comm = cluster.metrics().since(&metrics_start);
+    let relative_error = if x.nnz() == 0 {
+        if error == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        error as f64 / x.nnz() as f64
+    };
+    Ok(DbtfResult {
+        iterations: iteration_errors.len(),
+        converged,
+        relative_error,
+        error,
+        factors,
+        stats: DbtfStats {
+            wall_secs: wall_start.elapsed().as_secs_f64(),
+            virtual_secs: comm.virtual_time.as_secs_f64(),
+            comm,
+            n_partitions,
+            partition_bytes,
+            peak_cache_bytes,
+        },
+        iteration_errors,
+    })
+}
+
+/// Unfolds `x` along all three modes, partitions each unfolding into
+/// `n_partitions` PVM-blocked vertical partitions (Algorithm 3), and
+/// distributes them across the cluster with full shuffle metering. Returns
+/// the three datasets (mode order) and the total metered bytes.
+///
+/// Shared by the CP and the distributed-Tucker drivers — both operate on
+/// exactly this layout.
+pub(crate) fn distribute_unfoldings(
+    cluster: &Cluster,
+    x: &BoolTensor,
+    n_partitions: usize,
+) -> ([DistVec<PartitionSlot>; 3], u64) {
+    let mut partition_bytes = 0u64;
+    let mut datasets = Vec::with_capacity(3);
+    for mode in Mode::ALL {
+        let unfolding = Unfolding::new(x, mode);
+        // The driver-side unfolding map is O(|X|) (Lemma 4 part 1).
+        cluster.charge_driver(x.nnz() as u64);
+        let parts = partition_unfolding(&unfolding, n_partitions);
+        let elems: Vec<(PartitionSlot, u64)> = parts
+            .into_iter()
+            .map(|p| {
+                let bytes = p.byte_size();
+                (PartitionSlot::new(p), bytes)
+            })
+            .collect();
+        partition_bytes += elems.iter().map(|e| e.1).sum::<u64>();
+        let data = cluster.distribute(elems);
+        // Distributed block organization (Algorithm 3 line 4): each worker
+        // walks its share of the non-zeros once.
+        cluster.map_partitions(&data, |_idx, slot: &mut PartitionSlot, ctx| {
+            ctx.charge(slot.part.nnz() as u64);
+        });
+        datasets.push(data);
+    }
+    let px3 = datasets.pop().expect("three modes");
+    let px2 = datasets.pop().expect("three modes");
+    let px1 = datasets.pop().expect("three modes");
+    ([px1, px2, px3], partition_bytes)
+}
+
+/// One full `UpdateFactors` round (Algorithm 2 lines 14–18): update A, B, C
+/// in turn, computing the exact reconstruction error on the final mode.
+fn update_round(
+    cluster: &Cluster,
+    px1: &DistVec<PartitionSlot>,
+    px2: &DistVec<PartitionSlot>,
+    px3: &DistVec<PartitionSlot>,
+    set: FactorSet,
+    config: &DbtfConfig,
+) -> (FactorSet, u64, u64) {
+    let v = config.cache_group_limit;
+    // X_(1) ≈ A ∘ (C ⊙ B)ᵀ.
+    let o1 = update_factor(cluster, px1, &set.a, &set.c, &set.b, v, false);
+    let a = o1.a;
+    // X_(2) ≈ B ∘ (C ⊙ A)ᵀ.
+    let o2 = update_factor(cluster, px2, &set.b, &set.c, &a, v, false);
+    let b = o2.a;
+    // X_(3) ≈ C ∘ (B ⊙ A)ᵀ; |X_(3) ⊕ C ∘ (B ⊙ A)ᵀ| = |X ⊕ X̃|.
+    let o3 = update_factor(cluster, px3, &set.c, &b, &a, v, true);
+    let c = o3.a;
+    let error = o3.error.expect("error requested");
+    let cache = o1.cache_bytes.max(o2.cache_bytes).max(o3.cache_bytes);
+    (FactorSet { a, b, c }, error, cache)
+}
+
+fn matrix_bytes(m: &BitMatrix) -> u64 {
+    ((m.rows() * m.cols()) as u64).div_ceil(8)
+}
+
+/// One `UpdateFactor` call (Algorithm 4): updates the factor `a` of the
+/// mode whose partitioned unfolding is `data`, against the fixed Khatri-Rao
+/// operands `mf` and `ms`.
+fn update_factor(
+    cluster: &Cluster,
+    data: &DistVec<PartitionSlot>,
+    a: &BitMatrix,
+    mf: &BitMatrix,
+    ms: &BitMatrix,
+    v_limit: usize,
+    compute_error: bool,
+) -> UpdateOutcome {
+    let rank = a.cols();
+    let nrows = a.rows();
+
+    // Begin: broadcast the factors, build per-partition caches
+    // (Algorithm 4 line 1 / Algorithm 5).
+    let bytes = matrix_bytes(a) + matrix_bytes(mf) + matrix_bytes(ms);
+    let factors = cluster.broadcast((a.clone(), mf.clone(), ms.clone()), bytes);
+    let cache_bytes: Vec<u64> = cluster.map_partitions(data, {
+        let factors = factors.clone();
+        move |_idx, slot: &mut PartitionSlot, ctx| {
+            let (a, mf, ms) = factors.get();
+            let (state, ops) = WorkState::build(&slot.part, a, mf, ms, v_limit);
+            ctx.charge(ops);
+            ctx.set_result_bytes(8);
+            let bytes = state.cache_bytes();
+            slot.work = Some(state);
+            bytes
+        }
+    });
+    let peak_cache: u64 = cache_bytes.iter().sum();
+
+    // Column sweep (Algorithm 4 lines 2–12): one superstep per column.
+    let mut master = a.clone();
+    let mut pending: Option<Broadcast<(usize, BitVec)>> = None;
+    for col in 0..rank {
+        let prev = pending.clone();
+        let errs: Vec<Vec<(u64, u64)>> = cluster.map_partitions(data, {
+            move |_idx, slot: &mut PartitionSlot, ctx| {
+                let state = slot.work.as_mut().expect("update_factor not begun");
+                if let Some(decided) = &prev {
+                    let (c, values) = decided.get();
+                    state.apply_column(*c, values);
+                    ctx.charge(values.len() as u64);
+                }
+                let (errs, ops) = state.column_errors(&slot.part, col);
+                ctx.charge(ops);
+                ctx.set_result_bytes(errs.len() as u64 * 16);
+                errs
+            }
+        });
+        // Driver: sum errors across partitions, pick the smaller per row
+        // (ties prefer 0 — the sparser factor).
+        let mut decision = BitVec::zeros(nrows);
+        for r in 0..nrows {
+            let (mut e0, mut e1) = (0u64, 0u64);
+            for per_part in &errs {
+                e0 += per_part[r].0;
+                e1 += per_part[r].1;
+            }
+            if e1 < e0 {
+                decision.set(r, true);
+            }
+            master.set(r, col, e1 < e0);
+        }
+        cluster.charge_driver(nrows as u64 * (errs.len() as u64 + 1));
+        pending = Some(cluster.broadcast((col, decision), (nrows as u64).div_ceil(8) + 8));
+    }
+
+    // Finish: apply the last column; optionally compute the exact error;
+    // drop the caches.
+    let last = pending.expect("rank ≥ 1");
+    let errors: Vec<u64> = cluster.map_partitions(data, {
+        move |_idx, slot: &mut PartitionSlot, ctx| {
+            let state = slot.work.as_mut().expect("update_factor not begun");
+            let (c, values) = last.get();
+            state.apply_column(*c, values);
+            ctx.charge(values.len() as u64);
+            let err = if compute_error {
+                let (err, ops) = state.partition_error(&slot.part);
+                ctx.charge(ops);
+                err
+            } else {
+                0
+            };
+            ctx.set_result_bytes(8);
+            slot.work = None;
+            err
+        }
+    });
+    UpdateOutcome {
+        a: master,
+        error: compute_error.then(|| errors.iter().sum()),
+        cache_bytes: peak_cache,
+    }
+}

@@ -1,0 +1,281 @@
+//! Single-machine reference implementation of the DBTF update rule.
+//!
+//! This module implements exactly the same greedy Boolean CP updates as the
+//! distributed driver — same initialization, column order, tie-breaking and
+//! convergence — but with none of DBTF's machinery: no partitioning, no
+//! cached row summations, every Boolean row summation recomputed from
+//! scratch (Lemma 1 applied naively).
+//!
+//! It serves two purposes:
+//!
+//! 1. **Differential testing**: [`crate::factorize`] must produce
+//!    bit-for-bit identical factors for any worker count, partition count
+//!    `N` and cache group limit `V` (the integration tests assert this).
+//! 2. **Ablation baseline**: benchmarking it against the cached update
+//!    isolates the speed-up contributed by Section III-C's caching, the
+//!    paper's "most important" idea.
+
+use dbtf_tensor::{BitMatrix, BitVec, BoolTensor, Mode, Unfolding};
+
+use crate::config::{DbtfConfig, DbtfError};
+use crate::factors::{initial_factor_sets, FactorSet};
+
+/// Outcome of a [`factorize_reference`] run.
+#[derive(Clone, Debug)]
+pub struct ReferenceResult {
+    /// The best factor set found.
+    pub factors: FactorSet,
+    /// Final reconstruction error `|X ⊕ X̃|`.
+    pub error: u64,
+    /// Error after each iteration.
+    pub iteration_errors: Vec<u64>,
+    /// Whether the convergence criterion fired.
+    pub converged: bool,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+/// Sequential Boolean CP factorization with the DBTF update rule (no
+/// distribution, no caching). See the module docs.
+pub fn factorize_reference(x: &BoolTensor, config: &DbtfConfig) -> Result<ReferenceResult, DbtfError> {
+    config.validate()?;
+    let dims = x.dims();
+    if dims.iter().any(|&d| d == 0) {
+        return Err(DbtfError::EmptyTensor);
+    }
+    let unf1 = Unfolding::new(x, Mode::One);
+    let unf2 = Unfolding::new(x, Mode::Two);
+    let unf3 = Unfolding::new(x, Mode::Three);
+
+    let sets = initial_factor_sets(x, config);
+    let mut best: Option<(FactorSet, u64)> = None;
+    for set in sets {
+        let (factors, error) = update_round(&unf1, &unf2, &unf3, set);
+        if best.as_ref().is_none_or(|(_, be)| error < *be) {
+            best = Some((factors, error));
+        }
+    }
+    let (mut factors, mut error) = best.expect("initial_sets ≥ 1");
+    let mut iteration_errors = vec![error];
+    let mut converged = error == 0;
+    let threshold = config.convergence_threshold * x.nnz().max(1) as f64;
+    for _t in 2..=config.max_iters {
+        if converged {
+            break;
+        }
+        let (next, next_error) = update_round(&unf1, &unf2, &unf3, factors);
+        let delta = error.abs_diff(next_error) as f64;
+        factors = next;
+        error = next_error;
+        iteration_errors.push(error);
+        if delta <= threshold || error == 0 {
+            converged = true;
+        }
+    }
+    Ok(ReferenceResult {
+        factors,
+        error,
+        iterations: iteration_errors.len(),
+        iteration_errors,
+        converged,
+    })
+}
+
+fn update_round(
+    unf1: &Unfolding,
+    unf2: &Unfolding,
+    unf3: &Unfolding,
+    set: FactorSet,
+) -> (FactorSet, u64) {
+    let a = update_factor_reference(unf1, &set.a, &set.c, &set.b);
+    let b = update_factor_reference(unf2, &set.b, &set.c, &a);
+    let c = update_factor_reference(unf3, &set.c, &b, &a);
+    let error = matricized_error(unf3, &c, &b, &a);
+    (FactorSet { a, b, c }, error)
+}
+
+/// The uncached greedy factor update: for each column and row, score both
+/// candidate bit values by recomputing the Boolean row summations of
+/// `M_sᵀ` from scratch over the slabs whose `M_f` row selects the column.
+pub fn update_factor_reference(
+    unf: &Unfolding,
+    a: &BitMatrix,
+    mf: &BitMatrix,
+    ms: &BitMatrix,
+) -> BitMatrix {
+    let rank = a.cols();
+    let nrows = a.rows();
+    let s = ms.rows() as u64;
+    let slabs = mf.rows();
+    let mst = ms.transpose(); // R × S
+    let mut a = a.clone();
+    let mut recon = BitVec::zeros(ms.rows());
+    for col in 0..rank {
+        let mut decision = BitVec::zeros(nrows);
+        for r in 0..nrows {
+            let (mut e0, mut e1) = (0u64, 0u64);
+            for k in 0..slabs {
+                if !mf.get(k, col) {
+                    continue; // equal contribution to both candidates
+                }
+                for value in [false, true] {
+                    recon.clear();
+                    for rr in 0..rank {
+                        let bit = if rr == col { value } else { a.get(r, rr) };
+                        if bit && mf.get(k, rr) {
+                            recon.or_assign(&mst.row_bitvec(rr));
+                        }
+                    }
+                    let actual = unf.row_range(r, k as u64 * s, (k as u64 + 1) * s);
+                    let mut inter = 0u64;
+                    for &c in actual {
+                        if recon.get((c - k as u64 * s) as usize) {
+                            inter += 1;
+                        }
+                    }
+                    let err = recon.count_ones() as u64 + actual.len() as u64 - 2 * inter;
+                    if value {
+                        e1 += err;
+                    } else {
+                        e0 += err;
+                    }
+                }
+            }
+            if e1 < e0 {
+                decision.set(r, true);
+            }
+        }
+        for r in 0..nrows {
+            a.set(r, col, decision.get(r));
+        }
+    }
+    a
+}
+
+/// `|X_(n) ⊕ A ∘ (M_f ⊙ M_s)ᵀ|`, computed slab by slab without
+/// materializing the Khatri-Rao product.
+pub fn matricized_error(unf: &Unfolding, a: &BitMatrix, mf: &BitMatrix, ms: &BitMatrix) -> u64 {
+    let rank = a.cols();
+    let s = ms.rows() as u64;
+    let slabs = mf.rows();
+    let mst = ms.transpose();
+    let mut err = 0u64;
+    let mut recon = BitVec::zeros(ms.rows());
+    for r in 0..a.rows() {
+        for k in 0..slabs {
+            recon.clear();
+            for rr in 0..rank {
+                if a.get(r, rr) && mf.get(k, rr) {
+                    recon.or_assign(&mst.row_bitvec(rr));
+                }
+            }
+            let actual = unf.row_range(r, k as u64 * s, (k as u64 + 1) * s);
+            let mut inter = 0u64;
+            for &c in actual {
+                if recon.get((c - k as u64 * s) as usize) {
+                    inter += 1;
+                }
+            }
+            err += recon.count_ones() as u64 + actual.len() as u64 - 2 * inter;
+        }
+    }
+    err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtf_tensor::reconstruct::reconstruct;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tensor(dims: [usize; 3], density: f64, seed: u64) -> BoolTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut entries = Vec::new();
+        for i in 0..dims[0] as u32 {
+            for j in 0..dims[1] as u32 {
+                for k in 0..dims[2] as u32 {
+                    if rng.gen_bool(density) {
+                        entries.push([i, j, k]);
+                    }
+                }
+            }
+        }
+        BoolTensor::from_entries(dims, entries)
+    }
+
+    #[test]
+    fn matricized_error_equals_tensor_error() {
+        let dims = [5, 6, 4];
+        let x = random_tensor(dims, 0.2, 30);
+        let mut rng = StdRng::seed_from_u64(31);
+        let a = BitMatrix::random(dims[0], 3, 0.4, &mut rng);
+        let b = BitMatrix::random(dims[1], 3, 0.4, &mut rng);
+        let c = BitMatrix::random(dims[2], 3, 0.4, &mut rng);
+        let x_hat = reconstruct(&a, &b, &c);
+        let expect = x.xor_count(&x_hat) as u64;
+        let unf3 = Unfolding::new(&x, Mode::Three);
+        assert_eq!(matricized_error(&unf3, &c, &b, &a), expect);
+        let unf1 = Unfolding::new(&x, Mode::One);
+        assert_eq!(matricized_error(&unf1, &a, &c, &b), expect);
+    }
+
+    /// A factor update never increases the matricized error.
+    #[test]
+    fn update_is_monotone() {
+        let dims = [6, 5, 7];
+        let x = random_tensor(dims, 0.25, 32);
+        let unf1 = Unfolding::new(&x, Mode::One);
+        let mut rng = StdRng::seed_from_u64(33);
+        for trial in 0..5 {
+            let a = BitMatrix::random(dims[0], 4, 0.3, &mut rng);
+            let b = BitMatrix::random(dims[1], 4, 0.3, &mut rng);
+            let c = BitMatrix::random(dims[2], 4, 0.3, &mut rng);
+            let before = matricized_error(&unf1, &a, &c, &b);
+            let a2 = update_factor_reference(&unf1, &a, &c, &b);
+            let after = matricized_error(&unf1, &a2, &c, &b);
+            assert!(after <= before, "trial {trial}: {after} > {before}");
+        }
+    }
+
+    /// An exactly factorizable tensor with its own factors as the start
+    /// point stays at zero error.
+    #[test]
+    fn exact_input_stays_exact() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let a = BitMatrix::random(5, 2, 0.4, &mut rng);
+        let b = BitMatrix::random(6, 2, 0.4, &mut rng);
+        let c = BitMatrix::random(4, 2, 0.4, &mut rng);
+        let x = reconstruct(&a, &b, &c);
+        let unf1 = Unfolding::new(&x, Mode::One);
+        let a2 = update_factor_reference(&unf1, &a, &c, &b);
+        assert_eq!(matricized_error(&unf1, &a2, &c, &b), 0);
+    }
+
+    #[test]
+    fn reference_runs_end_to_end() {
+        let x = random_tensor([8, 8, 8], 0.1, 35);
+        let cfg = DbtfConfig {
+            rank: 3,
+            max_iters: 4,
+            ..DbtfConfig::default()
+        };
+        let res = factorize_reference(&x, &cfg).unwrap();
+        assert_eq!(res.iterations, res.iteration_errors.len());
+        // Iteration errors never increase (ALS-style monotonicity).
+        for w in res.iteration_errors.windows(2) {
+            assert!(w[1] <= w[0], "errors increased: {:?}", res.iteration_errors);
+        }
+        // The reported error matches the factors.
+        assert_eq!(res.factors.error(&x) as u64, res.error);
+    }
+
+    #[test]
+    fn rejects_empty_mode() {
+        let x = BoolTensor::empty([0, 3, 3]);
+        assert!(matches!(
+            factorize_reference(&x, &DbtfConfig::default()),
+            Err(DbtfError::EmptyTensor)
+        ));
+    }
+}

@@ -1,0 +1,474 @@
+//! Worker-side state and inner loops of the factor update (paper
+//! Section III-A/III-C, Algorithm 4).
+//!
+//! During one `UpdateFactor` call, every partition holds a transient
+//! [`WorkState`]: a working copy of the factor matrix being updated, the
+//! per-block key masks of `M_f`, and the cached Boolean row summations of
+//! `M_sᵀ` (full-size plus vertically sliced caches for the partition's edge
+//! blocks). The driver drives one superstep per factor column; each
+//! superstep scores both candidate values of every row's entry in that
+//! column against the partition's share of the unfolded tensor.
+
+use dbtf_tensor::{BitMatrix, BitVec};
+
+use crate::cache::{GroupLayout, RowSumCache};
+use crate::partition::{BlockKind, ModePartition};
+
+/// A partition plus its transient update state; the element type stored in
+/// the cluster's distributed datasets.
+pub struct PartitionSlot {
+    /// The immutable partitioned unfolding (cached across the whole run).
+    pub part: ModePartition,
+    /// Per-`UpdateFactor` state (CP path); `None` outside an update.
+    pub(crate) work: Option<WorkState>,
+    /// Per-`UpdateFactor` state (Tucker path); `None` outside an update.
+    pub(crate) tucker: Option<crate::tucker_distributed::TuckerWorkState>,
+}
+
+impl PartitionSlot {
+    /// Wraps a partition with no active update state.
+    pub fn new(part: ModePartition) -> Self {
+        PartitionSlot {
+            part,
+            work: None,
+            tucker: None,
+        }
+    }
+}
+
+/// Per-block cache handle: full blocks share the partition's full-size
+/// cache; edge blocks own a sliced cache (Algorithm 5 line 4).
+enum BlockCache {
+    Full,
+    Sliced(RowSumCache),
+}
+
+/// Transient state of one partition during an `UpdateFactor` call.
+pub(crate) struct WorkState {
+    layout: GroupLayout,
+    /// Working copy of the factor matrix being updated (`P × R`). Kept in
+    /// sync with the driver's master copy via per-column broadcasts.
+    a: BitMatrix,
+    /// Per-block group key masks of the owning `M_f` row
+    /// (`mf_masks[b][g] = group-g bits of m_{f, slab(b)}`).
+    mf_masks: Vec<Vec<u64>>,
+    full_cache: RowSumCache,
+    block_caches: Vec<BlockCache>,
+    /// Scratch row-mask buffer (`P × G`), refreshed each column superstep.
+    row_masks: Vec<u64>,
+}
+
+/// Ops-accounting constants: one unit ≈ one 64-bit word operation.
+mod cost {
+    /// Key construction per (row, block, group).
+    pub const KEY: u64 = 1;
+    /// Per word ORed or popcounted.
+    pub const WORD: u64 = 1;
+    /// Per sparse one tested against a cached row.
+    pub const NNZ_TEST: u64 = 1;
+}
+
+impl WorkState {
+    /// Builds the update state for `part`: caches all Boolean row
+    /// summations of `M_sᵀ` (sliced per edge block) and extracts the
+    /// per-block `M_f` key masks. Returns the state and the charged ops.
+    pub(crate) fn build(
+        part: &ModePartition,
+        a: &BitMatrix,
+        mf: &BitMatrix,
+        ms: &BitMatrix,
+        v_limit: usize,
+    ) -> (Self, u64) {
+        let rank = a.cols();
+        debug_assert_eq!(mf.cols(), rank);
+        debug_assert_eq!(ms.cols(), rank);
+        debug_assert_eq!(ms.rows(), part.slab_width, "M_s height must be the slab width");
+        let layout = GroupLayout::new(rank, v_limit);
+        let ngroups = layout.num_groups();
+
+        let full_cache = RowSumCache::build(ms, &layout);
+        let width_words = part.slab_width.div_ceil(64) as u64;
+        let mut ops = full_cache.num_entries() as u64 * width_words;
+
+        let mut mf_masks = Vec::with_capacity(part.blocks.len());
+        let mut block_caches = Vec::with_capacity(part.blocks.len());
+        for block in &part.blocks {
+            let mut masks = vec![0u64; ngroups];
+            layout.row_masks(mf, block.slab, &mut masks);
+            mf_masks.push(masks);
+            ops += ngroups as u64 * cost::KEY;
+            match block.kind {
+                BlockKind::Full => block_caches.push(BlockCache::Full),
+                _ => {
+                    let sliced =
+                        full_cache.slice(block.inner_lo as usize, block.inner_len as usize);
+                    ops += sliced.num_entries() as u64
+                        * (block.inner_len as u64).div_ceil(64)
+                        * cost::WORD;
+                    block_caches.push(BlockCache::Sliced(sliced));
+                }
+            }
+        }
+
+        let state = WorkState {
+            layout,
+            a: a.clone(),
+            mf_masks,
+            full_cache,
+            block_caches,
+            row_masks: vec![0u64; part.nrows * ngroups],
+        };
+        (state, ops)
+    }
+
+    /// Total bytes held by this state's caches (for memory reporting).
+    pub(crate) fn cache_bytes(&self) -> u64 {
+        let sliced: u64 = self
+            .block_caches
+            .iter()
+            .map(|c| match c {
+                BlockCache::Full => 0,
+                BlockCache::Sliced(s) => s.byte_size(),
+            })
+            .sum();
+        self.full_cache.byte_size() + sliced
+    }
+
+    /// Applies a decided column to the working factor copy.
+    pub(crate) fn apply_column(&mut self, col: usize, values: &BitVec) {
+        debug_assert_eq!(values.len(), self.a.rows());
+        for r in 0..self.a.rows() {
+            self.a.set(r, col, values.get(r));
+        }
+    }
+
+    /// Refreshes the per-row group key masks from the working factor copy.
+    fn refresh_row_masks(&mut self) {
+        let ngroups = self.layout.num_groups();
+        for r in 0..self.a.rows() {
+            let base = r * ngroups;
+            for g in 0..ngroups {
+                let (first, bits) = self.layout.group(g);
+                self.row_masks[base + g] = self.a.row_word(r, first, bits);
+            }
+        }
+    }
+
+    /// Scores both candidate values of column `col` for every row
+    /// (Algorithm 4 lines 4–10).
+    ///
+    /// Returns `(err0, err1)` per row, summed over this partition's blocks
+    /// whose `M_f` row has a one in column `col` — blocks without it
+    /// contribute identically to both candidates, so skipping them leaves
+    /// every `err1 − err0` comparison exact. Also returns the charged ops.
+    pub(crate) fn column_errors(
+        &mut self,
+        part: &ModePartition,
+        col: usize,
+    ) -> (Vec<(u64, u64)>, u64) {
+        let nrows = part.nrows;
+        let ngroups = self.layout.num_groups();
+        let (gc, off) = self.layout.locate(col);
+        let col_bit = 1u64 << off;
+        self.refresh_row_masks();
+        let mut ops = (nrows * ngroups) as u64 * cost::KEY;
+        let mut errs = vec![(0u64, 0u64); nrows];
+        let scratch_words = part.slab_width.div_ceil(64).max(1);
+        let mut scratch0 = vec![0u64; scratch_words];
+        let mut scratch1 = vec![0u64; scratch_words];
+
+        for (b, block) in part.blocks.iter().enumerate() {
+            let mf = &self.mf_masks[b];
+            if (mf[gc] & col_bit) == 0 {
+                continue; // irrelevant: both candidates reconstruct equally
+            }
+            let cache = match &self.block_caches[b] {
+                BlockCache::Full => &self.full_cache,
+                BlockCache::Sliced(s) => s,
+            };
+            if ngroups == 1 {
+                for r in 0..nrows {
+                    let base = self.row_masks[r] & mf[0];
+                    let key0 = base & !col_bit;
+                    let key1 = base | col_bit;
+                    let (row0, pop0) = cache.fetch_single(key0);
+                    let (row1, pop1) = cache.fetch_single(key1);
+                    let actual = block.row(r);
+                    let (mut inter0, mut inter1) = (0u64, 0u64);
+                    for &o in actual {
+                        let w = (o / 64) as usize;
+                        let bit = 1u64 << (o % 64);
+                        inter0 += u64::from(row0.words()[w] & bit != 0);
+                        inter1 += u64::from(row1.words()[w] & bit != 0);
+                    }
+                    let nnz = actual.len() as u64;
+                    errs[r].0 += pop0 as u64 + nnz - 2 * inter0;
+                    errs[r].1 += pop1 as u64 + nnz - 2 * inter1;
+                    ops += cost::KEY + 2 * nnz * cost::NNZ_TEST;
+                }
+            } else {
+                let mut keys0 = vec![0u64; ngroups];
+                let mut keys1 = vec![0u64; ngroups];
+                let words = (block.inner_len as u64).div_ceil(64);
+                for r in 0..nrows {
+                    let base = r * ngroups;
+                    for g in 0..ngroups {
+                        let key = self.row_masks[base + g] & mf[g];
+                        keys0[g] = key;
+                        keys1[g] = key;
+                    }
+                    keys0[gc] &= !col_bit;
+                    keys1[gc] |= col_bit;
+                    let cache_words = cache.width().div_ceil(64);
+                    let pop0 = cache.fetch_or(&keys0, &mut scratch0[..cache_words]);
+                    let pop1 = cache.fetch_or(&keys1, &mut scratch1[..cache_words]);
+                    let actual = block.row(r);
+                    let (mut inter0, mut inter1) = (0u64, 0u64);
+                    for &o in actual {
+                        let w = (o / 64) as usize;
+                        let bit = 1u64 << (o % 64);
+                        inter0 += u64::from(scratch0[w] & bit != 0);
+                        inter1 += u64::from(scratch1[w] & bit != 0);
+                    }
+                    let nnz = actual.len() as u64;
+                    errs[r].0 += pop0 as u64 + nnz - 2 * inter0;
+                    errs[r].1 += pop1 as u64 + nnz - 2 * inter1;
+                    ops += ngroups as u64 * cost::KEY
+                        + 2 * words * (ngroups as u64 + 1) * cost::WORD
+                        + 2 * nnz * cost::NNZ_TEST;
+                }
+            }
+        }
+        (errs, ops)
+    }
+
+    /// Exact reconstruction error of this partition's column range under
+    /// the *current* working factor copy:
+    /// `Σ_rows |[X_(n)]_{r, lo..hi} ⊕ [A ∘ (M_f ⊙ M_s)ᵀ]_{r, lo..hi}|`.
+    pub(crate) fn partition_error(&mut self, part: &ModePartition) -> (u64, u64) {
+        let nrows = part.nrows;
+        let ngroups = self.layout.num_groups();
+        self.refresh_row_masks();
+        let mut ops = (nrows * ngroups) as u64 * cost::KEY;
+        let mut err = 0u64;
+        let mut keys = vec![0u64; ngroups];
+        let scratch_words = part.slab_width.div_ceil(64).max(1);
+        let mut scratch = vec![0u64; scratch_words];
+        for (b, block) in part.blocks.iter().enumerate() {
+            let mf = &self.mf_masks[b];
+            let cache = match &self.block_caches[b] {
+                BlockCache::Full => &self.full_cache,
+                BlockCache::Sliced(s) => s,
+            };
+            for r in 0..nrows {
+                let base = r * ngroups;
+                for g in 0..ngroups {
+                    keys[g] = self.row_masks[base + g] & mf[g];
+                }
+                let actual = block.row(r);
+                let nnz = actual.len() as u64;
+                if ngroups == 1 {
+                    let (row, pop) = cache.fetch_single(keys[0]);
+                    let mut inter = 0u64;
+                    for &o in actual {
+                        let w = (o / 64) as usize;
+                        inter += u64::from(row.words()[w] & (1u64 << (o % 64)) != 0);
+                    }
+                    err += pop as u64 + nnz - 2 * inter;
+                    ops += cost::KEY + nnz * cost::NNZ_TEST;
+                } else {
+                    let cache_words = cache.width().div_ceil(64);
+                    let pop = cache.fetch_or(&keys, &mut scratch[..cache_words]);
+                    let mut inter = 0u64;
+                    for &o in actual {
+                        let w = (o / 64) as usize;
+                        inter += u64::from(scratch[w] & (1u64 << (o % 64)) != 0);
+                    }
+                    err += pop as u64 + nnz - 2 * inter;
+                    ops += ngroups as u64 * cost::KEY
+                        + (block.inner_len as u64).div_ceil(64) * (ngroups as u64 + 1)
+                        + nnz * cost::NNZ_TEST;
+                }
+            }
+        }
+        (err, ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition_unfolding;
+    use dbtf_tensor::ops::{bool_matmul, khatri_rao};
+    use dbtf_tensor::reconstruct::reconstruct;
+    use dbtf_tensor::{BoolTensor, Mode, Unfolding};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tensor(dims: [usize; 3], density: f64, seed: u64) -> BoolTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut entries = Vec::new();
+        for i in 0..dims[0] as u32 {
+            for j in 0..dims[1] as u32 {
+                for k in 0..dims[2] as u32 {
+                    if rng.gen_bool(density) {
+                        entries.push([i, j, k]);
+                    }
+                }
+            }
+        }
+        BoolTensor::from_entries(dims, entries)
+    }
+
+    /// Reference: |X_(1) ⊕ A ∘ (M_f ⊙ M_s)ᵀ| restricted to a column range.
+    fn naive_range_error(
+        unf: &Unfolding,
+        a: &BitMatrix,
+        mf: &BitMatrix,
+        ms: &BitMatrix,
+        lo: u64,
+        hi: u64,
+    ) -> u64 {
+        let recon = bool_matmul(a, &khatri_rao(mf, ms).transpose());
+        let mut err = 0u64;
+        for r in 0..unf.nrows() {
+            for c in lo..hi {
+                let x = unf.get(r, c);
+                let y = recon.get(r, c as usize);
+                err += u64::from(x != y);
+            }
+        }
+        err
+    }
+
+    /// The partition_error of every partition must sum to the full
+    /// matricized reconstruction error, for any partitioning and grouping.
+    #[test]
+    fn partition_error_sums_to_full_error() {
+        let dims = [5, 6, 7];
+        let t = random_tensor(dims, 0.2, 20);
+        let mut rng = StdRng::seed_from_u64(21);
+        let rank = 4;
+        let a = BitMatrix::random(dims[0], rank, 0.4, &mut rng);
+        let b = BitMatrix::random(dims[1], rank, 0.4, &mut rng);
+        let c = BitMatrix::random(dims[2], rank, 0.4, &mut rng);
+        let unf = Unfolding::new(&t, Mode::One);
+        let full = naive_range_error(&unf, &a, &c, &b, 0, unf.ncols());
+        // Cross-check against the tensor-level error.
+        let x_hat = reconstruct(&a, &b, &c);
+        assert_eq!(full, t.xor_count(&x_hat) as u64);
+
+        for n in [1usize, 2, 5, 11] {
+            for v in [15usize, 2, 1] {
+                let parts = partition_unfolding(&unf, n);
+                let mut total = 0u64;
+                for p in &parts {
+                    let (mut ws, _) = WorkState::build(p, &a, &c, &b, v);
+                    let (err, _) = ws.partition_error(p);
+                    total += err;
+                }
+                assert_eq!(total, full, "N = {n}, V = {v}");
+            }
+        }
+    }
+
+    /// column_errors must report, for each row, exactly the error of the
+    /// relevant blocks under both candidate bit values.
+    #[test]
+    fn column_errors_match_naive() {
+        let dims = [4, 5, 6];
+        let t = random_tensor(dims, 0.25, 22);
+        let mut rng = StdRng::seed_from_u64(23);
+        let rank = 3;
+        let a = BitMatrix::random(dims[0], rank, 0.5, &mut rng);
+        let b = BitMatrix::random(dims[1], rank, 0.5, &mut rng);
+        let c = BitMatrix::random(dims[2], rank, 0.5, &mut rng);
+        let unf = Unfolding::new(&t, Mode::One);
+        let s = Mode::One.slab_width(dims) as u64;
+
+        for n in [1usize, 3, 7] {
+            for v in [15usize, 1] {
+                let parts = partition_unfolding(&unf, n);
+                for col in 0..rank {
+                    // Gather distributed (err0, err1) sums per row.
+                    let mut sums = vec![(0u64, 0u64); dims[0]];
+                    for p in &parts {
+                        let (mut ws, _) = WorkState::build(p, &a, &c, &b, v);
+                        let (errs, _) = ws.column_errors(p, col);
+                        for (r, (e0, e1)) in errs.into_iter().enumerate() {
+                            sums[r].0 += e0;
+                            sums[r].1 += e1;
+                        }
+                    }
+                    // Naive: for each candidate value, error over the
+                    // columns belonging to slabs with m_f[k][col] = 1.
+                    for val in [false, true] {
+                        let mut a_mod = a.clone();
+                        for r in 0..dims[0] {
+                            a_mod.set(r, col, val);
+                        }
+                        let recon = bool_matmul(&a_mod, &khatri_rao(&c, &b).transpose());
+                        for r in 0..dims[0] {
+                            let mut expect = 0u64;
+                            for k in 0..dims[2] {
+                                if !c.get(k, col) {
+                                    continue;
+                                }
+                                for cc in (k as u64 * s)..((k as u64 + 1) * s) {
+                                    expect +=
+                                        u64::from(unf.get(r, cc) != recon.get(r, cc as usize));
+                                }
+                            }
+                            let got = if val { sums[r].1 } else { sums[r].0 };
+                            assert_eq!(got, expect, "N={n} V={v} col={col} row={r} val={val}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applying a column must change subsequent error computations.
+    #[test]
+    fn apply_column_updates_state() {
+        let dims = [3, 4, 5];
+        let t = random_tensor(dims, 0.3, 24);
+        let mut rng = StdRng::seed_from_u64(25);
+        let a = BitMatrix::random(dims[0], 2, 0.5, &mut rng);
+        let b = BitMatrix::random(dims[1], 2, 0.5, &mut rng);
+        let c = BitMatrix::random(dims[2], 2, 0.5, &mut rng);
+        let unf = Unfolding::new(&t, Mode::One);
+        let parts = partition_unfolding(&unf, 1);
+        let (mut ws, _) = WorkState::build(&parts[0], &a, &c, &b, 15);
+        let (before, _) = ws.partition_error(&parts[0]);
+        // Flip column 0 to all-ones and recompute.
+        let all = BitVec::ones(dims[0]);
+        ws.apply_column(0, &all);
+        let mut a_mod = a.clone();
+        for r in 0..dims[0] {
+            a_mod.set(r, 0, true);
+        }
+        let expect = naive_range_error(&unf, &a_mod, &c, &b, 0, unf.ncols());
+        let (after, _) = ws.partition_error(&parts[0]);
+        assert_eq!(after, expect);
+        // (`before` is almost surely different, but don't rely on chance.)
+        let expect_before = naive_range_error(&unf, &a, &c, &b, 0, unf.ncols());
+        assert_eq!(before, expect_before);
+    }
+
+    #[test]
+    fn cache_bytes_reported() {
+        let dims = [3, 4, 5];
+        let t = random_tensor(dims, 0.3, 26);
+        let mut rng = StdRng::seed_from_u64(27);
+        let a = BitMatrix::random(dims[0], 2, 0.5, &mut rng);
+        let b = BitMatrix::random(dims[1], 2, 0.5, &mut rng);
+        let c = BitMatrix::random(dims[2], 2, 0.5, &mut rng);
+        let unf = Unfolding::new(&t, Mode::One);
+        // 3 partitions over 20 columns with S = 4 → edge blocks exist.
+        let parts = partition_unfolding(&unf, 3);
+        let (ws, ops) = WorkState::build(&parts[0], &a, &c, &b, 15);
+        assert!(ws.cache_bytes() > 0);
+        assert!(ops > 0);
+    }
+}

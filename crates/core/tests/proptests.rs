@@ -1,0 +1,157 @@
+//! Property-based tests for the DBTF core: the distributed implementation
+//! is equivalent to the sequential reference for *arbitrary* tensors,
+//! cluster shapes, partitionings and cache groupings; partitioning and
+//! caching invariants hold for arbitrary geometry.
+
+use dbtf::cache::{GroupLayout, RowSumCache};
+use dbtf::partition::{partition_unfolding, BlockKind};
+use dbtf::reference::factorize_reference;
+use dbtf::{factorize, DbtfConfig};
+use dbtf_cluster::{Cluster, ClusterConfig};
+use dbtf_tensor::ops::or_selected_rows;
+use dbtf_tensor::{BitMatrix, BitVec, BoolTensor, Mode, Unfolding};
+use proptest::prelude::*;
+
+fn tensor_strategy(max_dim: usize, max_entries: usize) -> impl Strategy<Value = BoolTensor> {
+    (2..=max_dim, 2..=max_dim, 2..=max_dim).prop_flat_map(move |(i, j, k)| {
+        proptest::collection::vec(
+            (0..i as u32, 0..j as u32, 0..k as u32).prop_map(|(a, b, c)| [a, b, c]),
+            1..=max_entries,
+        )
+        .prop_map(move |entries| BoolTensor::from_entries([i, j, k], entries))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline invariant: distributed ≡ sequential reference,
+    /// bit-for-bit, whatever the tensor, worker count, partition count,
+    /// cache grouping and rank.
+    #[test]
+    fn distributed_equals_reference(
+        x in tensor_strategy(9, 60),
+        workers in 1usize..4,
+        partitions in 1usize..12,
+        v in 1usize..6,
+        rank in 1usize..5,
+        seed in 0u64..50,
+    ) {
+        let config = DbtfConfig {
+            rank,
+            max_iters: 2,
+            cache_group_limit: v,
+            partitions: Some(partitions),
+            seed,
+            ..DbtfConfig::default()
+        };
+        let reference = factorize_reference(&x, &config).unwrap();
+        let cluster = Cluster::new(ClusterConfig::with_workers(workers));
+        let result = factorize(&cluster, &x, &config).unwrap();
+        prop_assert_eq!(&result.factors, &reference.factors);
+        prop_assert_eq!(result.iteration_errors, reference.iteration_errors);
+        // And the reported error is real.
+        prop_assert_eq!(result.factors.error(&x) as u64, result.error);
+    }
+
+    /// Iteration errors are monotone non-increasing for any input.
+    #[test]
+    fn errors_never_increase(
+        x in tensor_strategy(8, 50),
+        seed in 0u64..20,
+    ) {
+        let config = DbtfConfig {
+            rank: 3,
+            max_iters: 4,
+            seed,
+            ..DbtfConfig::default()
+        };
+        let result = factorize_reference(&x, &config).unwrap();
+        for w in result.iteration_errors.windows(2) {
+            prop_assert!(w[1] <= w[0]);
+        }
+    }
+
+    /// Partition blocks tile the column range exactly, never cross slab
+    /// boundaries, respect Lemma 3, and preserve every non-zero — for any
+    /// tensor shape, mode and partition count.
+    #[test]
+    fn partition_invariants(
+        x in tensor_strategy(10, 80),
+        n in 1usize..20,
+    ) {
+        for mode in Mode::ALL {
+            let u = Unfolding::new(&x, mode);
+            let s = mode.slab_width(x.dims()) as u64;
+            let parts = partition_unfolding(&u, n);
+            prop_assert_eq!(parts.len(), n);
+            let mut pos = 0u64;
+            let mut total_nnz = 0usize;
+            for p in &parts {
+                prop_assert_eq!(p.col_lo, pos);
+                pos = p.col_hi;
+                total_nnz += p.nnz();
+                let mut bpos = p.col_lo;
+                let kinds: Vec<BlockKind> = p.blocks.iter().map(|b| b.kind).collect();
+                for b in &p.blocks {
+                    let lo = b.slab as u64 * s + b.inner_lo as u64;
+                    prop_assert_eq!(lo, bpos);
+                    prop_assert!(b.inner_lo as u64 + b.inner_len as u64 <= s);
+                    bpos = lo + b.inner_len as u64;
+                }
+                prop_assert_eq!(bpos, p.col_hi);
+                // Lemma 3: at most three block types per partition.
+                let distinct: std::collections::HashSet<_> = kinds.iter().collect();
+                prop_assert!(distinct.len() <= 3);
+            }
+            prop_assert_eq!(pos, u.ncols());
+            prop_assert_eq!(total_nnz, u.nnz());
+        }
+    }
+
+    /// Cache fetches equal naive row summations for any rank, grouping and
+    /// slab width — including the sliced caches of edge blocks.
+    #[test]
+    fn cache_equals_naive(
+        rank in 1usize..9,
+        v in 1usize..9,
+        s in 1usize..40,
+        density in 0.05f64..0.8,
+        seed in 0u64..1000,
+        slice_frac in 0.0f64..1.0,
+    ) {
+        use rand::{SeedableRng, rngs::StdRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ms = BitMatrix::random(s, rank, density, &mut rng);
+        let mst = ms.transpose();
+        let layout = GroupLayout::new(rank, v);
+        let cache = RowSumCache::build(&ms, &layout);
+        let mut scratch = vec![0u64; s.div_ceil(64)];
+        for mask in 0u64..(1 << rank).min(64) {
+            let mut keys = vec![0u64; layout.num_groups()];
+            for g in 0..layout.num_groups() {
+                let (first, bits) = layout.group(g);
+                keys[g] = (mask >> first) & ((1u64 << bits) - 1);
+            }
+            let pop = cache.fetch_or(&keys, &mut scratch);
+            let expect = or_selected_rows(&mst, &BitVec::from_words(rank, vec![mask]));
+            prop_assert_eq!(BitVec::from_words(s, scratch.clone()), expect.clone());
+            prop_assert_eq!(pop as usize, expect.count_ones());
+        }
+        // A random vertical slice agrees entry-wise with slicing rows.
+        let lo = ((s as f64) * slice_frac * 0.5) as usize;
+        let len = s - lo;
+        let sliced = cache.slice(lo, len);
+        for mask in 0u64..(1 << rank).min(16) {
+            let mut keys = vec![0u64; layout.num_groups()];
+            for g in 0..layout.num_groups() {
+                let (first, bits) = layout.group(g);
+                keys[g] = (mask >> first) & ((1u64 << bits) - 1);
+            }
+            let mut sl_scratch = vec![0u64; len.div_ceil(64).max(1)];
+            sliced.fetch_or(&keys, &mut sl_scratch);
+            let full = or_selected_rows(&mst, &BitVec::from_words(rank, vec![mask]));
+            prop_assert_eq!(BitVec::from_words(len, sl_scratch), full.slice(lo, len));
+        }
+    }
+}

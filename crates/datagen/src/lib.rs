@@ -1,0 +1,30 @@
+//! Workload generators for the DBTF evaluation (paper Section IV-A1).
+//!
+//! Three families of inputs, all seeded and deterministic:
+//!
+//! - [`random`]: uniform random Boolean tensors for the dimensionality and
+//!   density scalability sweeps (Figures 1(a) and 1(b)).
+//! - [`planted`]: tensors built from known random factor matrices with
+//!   additive/destructive noise, for the reconstruction-error experiments
+//!   (Section IV-D): "we generate three random factor matrices, construct a
+//!   noise-free tensor from them, and then add noise".
+//! - [`proxies`]: synthetic stand-ins for the paper's six real-world
+//!   datasets (Table III). The originals (Facebook, DBLP, CAIDA-DDoS,
+//!   NELL) are not redistributable here, so each proxy reproduces the
+//!   original's mode sizes, density and coarse structure (temporal bursts,
+//!   power-law degrees, blocky communities) at a configurable scale —
+//!   the properties that drive the running-time behaviour of all three
+//!   factorization methods.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod noise;
+pub mod planted;
+pub mod proxies;
+pub mod random;
+
+pub use noise::{add_noise, NoiseSpec};
+pub use planted::{PlantedConfig, PlantedTensor};
+pub use proxies::{generate_proxy, proxy_specs, DatasetSpec};
+pub use random::uniform_random;

@@ -1,0 +1,144 @@
+//! Binary-matrix I/O (factor matrices on disk).
+//!
+//! Text format: a header line `# shape ROWS COLS`, then one line per row
+//! listing the column indices of its ones (empty line = empty row).
+//! This is the natural format for Boolean factors — each row reads as the
+//! set it represents.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::io::ParseError;
+use crate::BitMatrix;
+
+/// Writes a matrix in the sparse text format.
+pub fn write_matrix<W: Write>(matrix: &BitMatrix, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# shape {} {}", matrix.rows(), matrix.cols())?;
+    for r in 0..matrix.rows() {
+        let mut first = true;
+        for c in matrix.iter_row_ones(r) {
+            if first {
+                write!(w, "{c}")?;
+                first = false;
+            } else {
+                write!(w, " {c}")?;
+            }
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Reads a matrix from the sparse text format.
+pub fn read_matrix<R: Read>(reader: R) -> Result<BitMatrix, ParseError> {
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    let mut line_no = 0usize;
+
+    // Header.
+    let malformed = |line_no: usize, text: &str| ParseError::Malformed(line_no, text.to_string());
+    if reader.read_line(&mut line)? == 0 {
+        return Err(malformed(1, "missing # shape header"));
+    }
+    line_no += 1;
+    let header = line.trim();
+    let dims: Vec<usize> = header
+        .strip_prefix("# shape")
+        .ok_or_else(|| malformed(line_no, header))?
+        .split_whitespace()
+        .map(str::parse)
+        .collect::<Result<_, _>>()
+        .map_err(|_| malformed(line_no, header))?;
+    if dims.len() != 2 {
+        return Err(malformed(line_no, header));
+    }
+    let (rows, cols) = (dims[0], dims[1]);
+    let mut matrix = BitMatrix::zeros(rows, cols);
+    for r in 0..rows {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(malformed(line_no + 1, "unexpected end of file"));
+        }
+        line_no += 1;
+        for tok in line.split_whitespace() {
+            let c: usize = tok
+                .parse()
+                .map_err(|_| malformed(line_no, line.trim()))?;
+            if c >= cols {
+                return Err(ParseError::OutOfRange(line_no, tok.to_string()));
+            }
+            matrix.set(r, c, true);
+        }
+    }
+    Ok(matrix)
+}
+
+/// Writes a matrix to a file path.
+pub fn write_matrix_file<P: AsRef<Path>>(matrix: &BitMatrix, path: P) -> io::Result<()> {
+    write_matrix(matrix, std::fs::File::create(path)?)
+}
+
+/// Reads a matrix from a file path.
+pub fn read_matrix_file<P: AsRef<Path>>(path: P) -> Result<BitMatrix, ParseError> {
+    read_matrix(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = BitMatrix::random(13, 70, 0.2, &mut rng);
+        let mut buf = Vec::new();
+        write_matrix(&m, &mut buf).unwrap();
+        assert_eq!(read_matrix(&buf[..]).unwrap(), m);
+    }
+
+    #[test]
+    fn empty_rows_roundtrip() {
+        let m = BitMatrix::from_rows(3, 5, &[&[][..], &[0, 4][..], &[][..]]);
+        let mut buf = Vec::new();
+        write_matrix(&m, &mut buf).unwrap();
+        assert_eq!(read_matrix(&buf[..]).unwrap(), m);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(matches!(
+            read_matrix("0 1 2\n".as_bytes()),
+            Err(ParseError::Malformed(1, _))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_column() {
+        let text = "# shape 1 3\n5\n";
+        assert!(matches!(
+            read_matrix(text.as_bytes()),
+            Err(ParseError::OutOfRange(2, _))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let text = "# shape 3 3\n0\n";
+        assert!(matches!(
+            read_matrix(text.as_bytes()),
+            Err(ParseError::Malformed(_, _))
+        ));
+    }
+
+    #[test]
+    fn zero_sized_matrix() {
+        let m = BitMatrix::zeros(0, 0);
+        let mut buf = Vec::new();
+        write_matrix(&m, &mut buf).unwrap();
+        let back = read_matrix(&buf[..]).unwrap();
+        assert_eq!((back.rows(), back.cols()), (0, 0));
+    }
+}

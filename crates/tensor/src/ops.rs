@@ -1,0 +1,279 @@
+//! Boolean matrix operations from Section II of the paper: Boolean matrix
+//! product, Kronecker product, Khatri-Rao product and the pointwise
+//! vector-matrix product.
+
+use crate::{BitMatrix, BitVec};
+
+/// Boolean matrix product `A ∘ B` (Equation 6): `(A ∘ B)_{ij} = ⋁_k a_{ik} ∧ b_{kj}`.
+///
+/// `A` is `m × r`, `B` is `r × n`; the result is `m × n`. Implemented as
+/// "OR together the rows of `B` selected by each row of `A`" — exactly the
+/// Lemma 1 view the DBTF update relies on.
+///
+/// # Panics
+///
+/// Panics if `A.cols() != B.rows()`.
+pub fn bool_matmul(a: &BitMatrix, b: &BitMatrix) -> BitMatrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "inner dimensions differ: {} vs {}",
+        a.cols(),
+        b.rows()
+    );
+    let mut out = BitMatrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        // Collect into a scratch row first to keep the borrow checker happy.
+        let mut acc = vec![0u64; b.words_per_row()];
+        for k in a.iter_row_ones(i).collect::<Vec<_>>() {
+            b.or_row_into(k, &mut acc);
+        }
+        out.row_mut(i).copy_from_slice(&acc);
+    }
+    out
+}
+
+/// Kronecker product `A ⊗ B` (Equation 2).
+///
+/// For `A: I₁ × J₁` and `B: I₂ × J₂` the result is `I₁I₂ × J₁J₂`, with
+/// `(A ⊗ B)_{(i₁·I₂ + i₂), (j₁·J₂ + j₂)} = a_{i₁j₁} ∧ b_{i₂j₂}`.
+pub fn kronecker(a: &BitMatrix, b: &BitMatrix) -> BitMatrix {
+    let mut out = BitMatrix::zeros(a.rows() * b.rows(), a.cols() * b.cols());
+    for i1 in 0..a.rows() {
+        for j1 in a.iter_row_ones(i1).collect::<Vec<_>>() {
+            for i2 in 0..b.rows() {
+                for j2 in b.iter_row_ones(i2).collect::<Vec<_>>() {
+                    out.set(i1 * b.rows() + i2, j1 * b.cols() + j2, true);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Khatri-Rao product `A ⊙ B` (Equation 3): the column-wise Kronecker
+/// product.
+///
+/// For `A: I × R` and `B: J × R` the result is `IJ × R` with column `r`
+/// equal to `a_{:r} ⊗ b_{:r}`; row `i·J + j` of the result is
+/// `a_{i:} ∧ b_{j:}`.
+///
+/// In the DBTF update of mode 1, `X_(1) ≈ A ∘ (C ⊙ B)ᵀ`: the Khatri-Rao row
+/// index `k·J + j` matches the matricization column `j + k·J`, so pass the
+/// *outer* factor (C) first and the *inner* factor (B) second.
+///
+/// # Panics
+///
+/// Panics if the operands have different column counts.
+pub fn khatri_rao(a: &BitMatrix, b: &BitMatrix) -> BitMatrix {
+    assert_eq!(a.cols(), b.cols(), "rank mismatch: {} vs {}", a.cols(), b.cols());
+    let r = a.cols();
+    let mut out = BitMatrix::zeros(a.rows() * b.rows(), r);
+    for i in 0..a.rows() {
+        for j in 0..b.rows() {
+            let row = i * b.rows() + j;
+            for c in 0..r {
+                if a.get(i, c) && b.get(j, c) {
+                    out.set(row, c, true);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A specific row range of `A ⊙ B`, generated without materializing the full
+/// product.
+///
+/// This is the distributed-generation idea of Section III-B: given only the
+/// factor matrices and a row-index range, each machine builds exactly the
+/// rows `[lo, hi)` it needs (Equation 13).
+pub fn khatri_rao_rows(a: &BitMatrix, b: &BitMatrix, lo: u64, hi: u64) -> BitMatrix {
+    assert_eq!(a.cols(), b.cols(), "rank mismatch");
+    let total = a.rows() as u64 * b.rows() as u64;
+    assert!(lo <= hi && hi <= total, "row range out of bounds");
+    let r = a.cols();
+    let mut out = BitMatrix::zeros((hi - lo) as usize, r);
+    for (row_out, row) in (lo..hi).enumerate() {
+        let i = (row / b.rows() as u64) as usize;
+        let j = (row % b.rows() as u64) as usize;
+        for c in 0..r {
+            if a.get(i, c) && b.get(j, c) {
+                out.set(row_out, c, true);
+            }
+        }
+    }
+    out
+}
+
+/// Pointwise vector-matrix product, transposed: `(v ⊛ B)ᵀ` (Equation 4).
+///
+/// `v` is a length-R binary row vector, `B` is `J × R`; the result is the
+/// `R × J` matrix whose row `r` is `v_r · b_{:r}ᵀ` — i.e. row `r` of `Bᵀ` if
+/// `v_r = 1` and the zero row otherwise. These are the blue blocks of the
+/// paper's Figures 4/5: `(C ⊙ B)ᵀ = [(c_{1:} ⊛ B)ᵀ ⋯ (c_{K:} ⊛ B)ᵀ]`.
+pub fn pvm_product_t(v: &BitVec, b: &BitMatrix) -> BitMatrix {
+    assert_eq!(v.len(), b.cols(), "vector length must equal rank");
+    let bt = b.transpose();
+    let mut out = BitMatrix::zeros(b.cols(), b.rows());
+    for r in v.iter_ones() {
+        let src = bt.row(r).to_vec();
+        out.row_mut(r).copy_from_slice(&src);
+    }
+    out
+}
+
+/// Boolean sum of the rows of `m` selected by `mask` (Lemma 1's primitive):
+/// `⊕_{r : mask_r = 1} m_{r:}`.
+pub fn or_selected_rows(m: &BitMatrix, mask: &BitVec) -> BitVec {
+    assert_eq!(mask.len(), m.rows(), "mask length must equal row count");
+    let mut acc = vec![0u64; m.words_per_row()];
+    for r in mask.iter_ones() {
+        m.or_row_into(r, &mut acc);
+    }
+    BitVec::from_words(m.cols(), acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Reference Boolean product straight from Equation 6.
+    fn naive_matmul(a: &BitMatrix, b: &BitMatrix) -> BitMatrix {
+        let mut out = BitMatrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let v = (0..a.cols()).any(|k| a.get(i, k) && b.get(k, j));
+                out.set(i, j, v);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_matches_definition() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let (m, r, n) = (
+                rng.gen_range(1..8),
+                rng.gen_range(1..8),
+                rng.gen_range(1..70),
+            );
+            let a = BitMatrix::random(m, r, 0.4, &mut rng);
+            let b = BitMatrix::random(r, n, 0.4, &mut rng);
+            assert_eq!(bool_matmul(&a, &b), naive_matmul(&a, &b));
+        }
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = BitMatrix::random(5, 5, 0.5, &mut rng);
+        assert_eq!(bool_matmul(&a, &BitMatrix::identity(5)), a);
+        assert_eq!(bool_matmul(&BitMatrix::identity(5), &a), a);
+    }
+
+    #[test]
+    fn matmul_boolean_semantics() {
+        // Two overlapping contributions must still give 1 (1 ⊕ 1 = 1).
+        let a = BitMatrix::from_rows(1, 2, &[&[0, 1][..]]);
+        let b = BitMatrix::from_rows(2, 1, &[&[0][..], &[0][..]]);
+        let c = bool_matmul(&a, &b);
+        assert!(c.get(0, 0));
+        assert_eq!(c.count_ones(), 1);
+    }
+
+    #[test]
+    fn kronecker_shape_and_entries() {
+        let a = BitMatrix::from_rows(2, 2, &[&[0][..], &[1][..]]);
+        let b = BitMatrix::from_rows(1, 2, &[&[0, 1][..]]);
+        let k = kronecker(&a, &b);
+        assert_eq!((k.rows(), k.cols()), (2, 4));
+        // a_{00} = 1 → top-left block = b.
+        assert!(k.get(0, 0) && k.get(0, 1));
+        assert!(!k.get(0, 2) && !k.get(0, 3));
+        // a_{11} = 1 → bottom-right block = b.
+        assert!(k.get(1, 2) && k.get(1, 3));
+    }
+
+    #[test]
+    fn khatri_rao_is_columnwise_kronecker() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = BitMatrix::random(4, 3, 0.5, &mut rng);
+        let b = BitMatrix::random(5, 3, 0.5, &mut rng);
+        let kr = khatri_rao(&a, &b);
+        assert_eq!((kr.rows(), kr.cols()), (20, 3));
+        for c in 0..3 {
+            for i in 0..4 {
+                for j in 0..5 {
+                    assert_eq!(
+                        kr.get(i * 5 + j, c),
+                        a.get(i, c) && b.get(j, c),
+                        "mismatch at column {c}, ({i}, {j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn khatri_rao_rows_matches_full_product() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = BitMatrix::random(6, 4, 0.5, &mut rng);
+        let b = BitMatrix::random(7, 4, 0.5, &mut rng);
+        let full = khatri_rao(&a, &b);
+        for (lo, hi) in [(0u64, 42u64), (5, 20), (41, 42), (10, 10)] {
+            let part = khatri_rao_rows(&a, &b, lo, hi);
+            assert_eq!(part.rows() as u64, hi - lo);
+            for (r_out, r_full) in (lo..hi).enumerate() {
+                for c in 0..4 {
+                    assert_eq!(part.get(r_out, c), full.get(r_full as usize, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pvm_blocks_tile_khatri_rao_transpose() {
+        // (C ⊙ B)ᵀ = [(c_1: ⊛ B)ᵀ ⋯ (c_K: ⊛ B)ᵀ]: check column blocks.
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = BitMatrix::random(3, 4, 0.5, &mut rng); // K × R
+        let b = BitMatrix::random(5, 4, 0.5, &mut rng); // J × R
+        let kr_t = khatri_rao(&c, &b).transpose(); // R × KJ
+        for k in 0..3 {
+            let block = pvm_product_t(&c.row_bitvec(k), &b); // R × J
+            for r in 0..4 {
+                for j in 0..5 {
+                    assert_eq!(
+                        block.get(r, j),
+                        kr_t.get(r, k * 5 + j),
+                        "PVM block {k} mismatch at ({r}, {j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn or_selected_rows_lemma1() {
+        // Lemma 1: a_{i:} ∘ Mᵀ equals the Boolean sum of the rows of Mᵀ
+        // selected by the ones of a_{i:}.
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = BitMatrix::random(6, 40, 0.3, &mut rng);
+        let mask = BitVec::from_indices(6, &[1, 3, 4]);
+        let or = or_selected_rows(&m, &mask);
+        // Compare with the Boolean product of the 1×6 mask matrix and m.
+        let mask_m = BitMatrix::from_bitvec_rows(6, &[mask]);
+        let prod = bool_matmul(&mask_m, &m);
+        assert_eq!(prod.row_bitvec(0), or);
+    }
+
+    #[test]
+    fn or_selected_rows_empty_mask() {
+        let m = BitMatrix::identity(4);
+        let or = or_selected_rows(&m, &BitVec::zeros(4));
+        assert_eq!(or.count_ones(), 0);
+    }
+}

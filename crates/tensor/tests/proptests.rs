@@ -1,0 +1,213 @@
+//! Property-based tests for the Boolean tensor algebra.
+
+use dbtf_tensor::ops::{bool_matmul, khatri_rao, khatri_rao_rows, or_selected_rows, pvm_product_t};
+use dbtf_tensor::reconstruct::{reconstruct, reconstruction_error};
+use dbtf_tensor::{BitMatrix, BitVec, BoolTensor, Mode, Unfolding};
+use proptest::prelude::*;
+
+/// Strategy: a random Boolean tensor with dims in [1, max_dim]³ and the
+/// given max entry count.
+fn tensor_strategy(max_dim: usize, max_entries: usize) -> impl Strategy<Value = BoolTensor> {
+    (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(move |(i, j, k)| {
+        proptest::collection::vec(
+            (0..i as u32, 0..j as u32, 0..k as u32).prop_map(|(a, b, c)| [a, b, c]),
+            0..=max_entries,
+        )
+        .prop_map(move |entries| BoolTensor::from_entries([i, j, k], entries))
+    })
+}
+
+fn matrix_strategy(
+    rows: impl Strategy<Value = usize> + 'static,
+    cols: impl Strategy<Value = usize> + 'static,
+) -> impl Strategy<Value = BitMatrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(proptest::bool::ANY, r * c).prop_map(move |bits| {
+            let mut m = BitMatrix::zeros(r, c);
+            for (idx, bit) in bits.into_iter().enumerate() {
+                if bit {
+                    m.set(idx / c, idx % c, true);
+                }
+            }
+            m
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Matricize → dematricize is the identity on coordinates.
+    #[test]
+    fn matricization_roundtrips(t in tensor_strategy(12, 60)) {
+        for mode in Mode::ALL {
+            for e in t.iter() {
+                let (r, c) = mode.matricize(t.dims(), e);
+                prop_assert_eq!(mode.dematricize(t.dims(), r, c), e);
+            }
+        }
+    }
+
+    /// Unfold → refold is the identity on tensors, for every mode.
+    #[test]
+    fn unfolding_refolds(t in tensor_strategy(10, 80)) {
+        for mode in Mode::ALL {
+            let u = Unfolding::new(&t, mode);
+            prop_assert_eq!(u.nnz(), t.nnz());
+            prop_assert_eq!(u.refold(), t.clone());
+        }
+    }
+
+    /// Distinct tensor entries map to distinct matricized positions.
+    #[test]
+    fn matricization_injective(t in tensor_strategy(10, 80)) {
+        for mode in Mode::ALL {
+            let mut seen = std::collections::HashSet::new();
+            for e in t.iter() {
+                prop_assert!(seen.insert(mode.matricize(t.dims(), e)));
+            }
+        }
+    }
+
+    /// xor_count is a metric-ish symmetric difference: symmetric, zero on
+    /// equal inputs, and |a⊕b| = |a| + |b| − 2|a∧b|.
+    #[test]
+    fn tensor_xor_identities(
+        a in tensor_strategy(8, 50),
+    ) {
+        let dims = a.dims();
+        let b_entries: Vec<[u32;3]> = a.iter().skip(1).collect();
+        let b = BoolTensor::from_entries(dims, b_entries);
+        prop_assert_eq!(a.xor_count(&b), b.xor_count(&a));
+        prop_assert_eq!(a.xor_count(&a), 0);
+        prop_assert_eq!(
+            a.xor_count(&b),
+            a.nnz() + b.nnz() - 2 * a.and_count(&b)
+        );
+    }
+
+    /// Boolean matmul matches the elementwise definition (Equation 6).
+    #[test]
+    fn bool_matmul_definition(
+        a in matrix_strategy((1usize..6).boxed(), (1usize..5).boxed()),
+        bcols in 1usize..70,
+        seed in any::<u64>(),
+    ) {
+        use rand::{SeedableRng, rngs::StdRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = BitMatrix::random(a.cols(), bcols, 0.4, &mut rng);
+        let prod = bool_matmul(&a, &b);
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let expect = (0..a.cols()).any(|k| a.get(i, k) && b.get(k, j));
+                prop_assert_eq!(prod.get(i, j), expect);
+            }
+        }
+    }
+
+    /// or_selected_rows equals row-by-row Boolean matmul (Lemma 1).
+    #[test]
+    fn lemma1_row_summation(
+        m in matrix_strategy((1usize..8).boxed(), (1usize..80).boxed()),
+        mask_bits in proptest::collection::vec(proptest::bool::ANY, 8),
+    ) {
+        let mask = {
+            let mut v = BitVec::zeros(m.rows());
+            for (i, &b) in mask_bits.iter().take(m.rows()).enumerate() {
+                if b { v.set(i, true); }
+            }
+            v
+        };
+        let or = or_selected_rows(&m, &mask);
+        let as_matrix = BitMatrix::from_bitvec_rows(m.rows(), &[mask]);
+        prop_assert_eq!(bool_matmul(&as_matrix, &m).row_bitvec(0), or);
+    }
+
+    /// Khatri-Rao row-range generation agrees with the full product
+    /// (the Section III-B distributed-generation identity).
+    #[test]
+    fn khatri_rao_range_consistent(
+        a in matrix_strategy((1usize..5).boxed(), (1usize..5).boxed()),
+        b_rows in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        use rand::{SeedableRng, rngs::StdRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = BitMatrix::random(b_rows, a.cols(), 0.5, &mut rng);
+        let full = khatri_rao(&a, &b);
+        let total = (a.rows() * b.rows()) as u64;
+        let mid = total / 2;
+        let head = khatri_rao_rows(&a, &b, 0, mid);
+        let tail = khatri_rao_rows(&a, &b, mid, total);
+        for r in 0..total {
+            for c in 0..a.cols() {
+                let got = if r < mid {
+                    head.get(r as usize, c)
+                } else {
+                    tail.get((r - mid) as usize, c)
+                };
+                prop_assert_eq!(got, full.get(r as usize, c));
+            }
+        }
+    }
+
+    /// PVM blocks concatenate to the Khatri-Rao transpose (Figure 4's
+    /// decomposition) and reconstruction matches Equation 12.
+    #[test]
+    fn matricized_reconstruction(
+        seed in any::<u64>(),
+        i in 1usize..5, j in 1usize..5, k in 1usize..5, r in 1usize..4,
+    ) {
+        use rand::{SeedableRng, rngs::StdRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = BitMatrix::random(i, r, 0.5, &mut rng);
+        let b = BitMatrix::random(j, r, 0.5, &mut rng);
+        let c = BitMatrix::random(k, r, 0.5, &mut rng);
+        let x = reconstruct(&a, &b, &c);
+        prop_assert_eq!(reconstruction_error(&x, &a, &b, &c), 0);
+
+        let unf = Unfolding::new(&x, Mode::One);
+        let kr_t = khatri_rao(&c, &b).transpose();
+        let expected = bool_matmul(&a, &kr_t);
+        for row in 0..i {
+            for col in 0..(j * k) {
+                prop_assert_eq!(unf.get(row, col as u64), expected.get(row, col));
+            }
+        }
+        // PVM tiling.
+        for kk in 0..k {
+            let block = pvm_product_t(&c.row_bitvec(kk), &b);
+            for rr in 0..r {
+                for jj in 0..j {
+                    prop_assert_eq!(block.get(rr, jj), kr_t.get(rr, kk * j + jj));
+                }
+            }
+        }
+    }
+
+    /// BitVec slice/extract_word agree with per-bit reads.
+    #[test]
+    fn bitvec_slicing(
+        len in 1usize..300,
+        ones in proptest::collection::vec(0usize..300, 0..40),
+        start_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let ones: Vec<usize> = ones.into_iter().filter(|&i| i < len).collect();
+        let v = BitVec::from_indices(len, &ones);
+        let start = ((len as f64) * start_frac) as usize;
+        let max_len = len - start;
+        let slice_len = ((max_len as f64) * len_frac) as usize;
+        let s = v.slice(start, slice_len);
+        for b in 0..slice_len {
+            prop_assert_eq!(s.get(b), v.get(start + b));
+        }
+        prop_assert_eq!(v.count_range(start, slice_len), s.count_ones());
+        if slice_len <= 64 {
+            let w = v.extract_word(start, slice_len);
+            for b in 0..slice_len {
+                prop_assert_eq!((w >> b) & 1 == 1, v.get(start + b));
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the DBTF reproduction workspace.
+//!
+//! This crate exists to host the workspace-level examples (`examples/`) and
+//! integration tests (`tests/`) that span the member crates. It re-exports
+//! the public APIs of every member so examples can use a single import root.
+//!
+//! The actual functionality lives in:
+//!
+//! - [`tensor`] — Boolean tensor and matrix algebra ([`dbtf_tensor`]),
+//! - [`cluster`] — the simulated distributed dataflow engine
+//!   ([`dbtf_cluster`]),
+//! - [`core`] — the DBTF algorithm itself ([`dbtf`]),
+//! - [`baselines`] — BCP_ALS, ASSO and Walk'n'Merge ([`dbtf_baselines`]),
+//! - [`datagen`] — workload generators and dataset proxies
+//!   ([`dbtf_datagen`]).
+
+pub use dbtf as core;
+pub use dbtf_baselines as baselines;
+pub use dbtf_cluster as cluster;
+pub use dbtf_datagen as datagen;
+pub use dbtf_tensor as tensor;

@@ -1,0 +1,189 @@
+//! Workspace integration tests: the full pipeline across all crates —
+//! data generation → distributed factorization → baselines → evaluation.
+
+use dbtf::{factorize, DbtfConfig};
+use dbtf_baselines::{bcp_als, walk_n_merge, BcpAlsConfig, WnmConfig};
+use dbtf_cluster::{Cluster, ClusterConfig};
+use dbtf_datagen::proxies::{generate_proxy, proxy_specs};
+use dbtf_datagen::{add_noise, uniform_random, NoiseSpec, PlantedConfig, PlantedTensor};
+use dbtf_tensor::BoolTensor;
+
+/// Two clean combinatorial blocks: every method should nail this.
+fn two_block_tensor() -> BoolTensor {
+    let mut entries = Vec::new();
+    for i in 0..5u32 {
+        for j in 0..5u32 {
+            for k in 0..5u32 {
+                entries.push([i, j, k]);
+                entries.push([i + 6, j + 6, k + 6]);
+            }
+        }
+    }
+    BoolTensor::from_entries([11, 11, 11], entries)
+}
+
+#[test]
+fn all_three_methods_solve_clean_blocks() {
+    let x = two_block_tensor();
+
+    let cluster = Cluster::new(ClusterConfig::with_workers(3));
+    let dbtf_result = factorize(
+        &cluster,
+        &x,
+        &DbtfConfig {
+            rank: 2,
+            initial_sets: 8,
+            seed: 0,
+            ..DbtfConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(dbtf_result.error, 0, "DBTF misses the planted blocks");
+
+    let bcp = bcp_als(
+        &x,
+        &BcpAlsConfig {
+            rank: 2,
+            ..BcpAlsConfig::default()
+        },
+        None,
+    )
+    .unwrap();
+    assert_eq!(bcp.error, 0, "BCP_ALS misses the planted blocks");
+
+    let wnm = walk_n_merge(
+        &x,
+        &WnmConfig {
+            merge_threshold: 0.95,
+            seed: 1,
+            ..WnmConfig::default()
+        },
+        None,
+    )
+    .unwrap();
+    assert_eq!(wnm.error(&x, 2), 0, "Walk'n'Merge misses the planted blocks");
+}
+
+#[test]
+fn dbtf_beats_trivial_factorization_on_noisy_planted_tensors() {
+    let planted = PlantedTensor::generate(PlantedConfig {
+        dims: [24, 24, 24],
+        rank: 4,
+        factor_density: 0.3,
+        noise: NoiseSpec::additive(0.10),
+        seed: 5,
+    });
+    let x = &planted.tensor;
+    let cluster = Cluster::new(ClusterConfig::with_workers(2));
+    let result = factorize(
+        &cluster,
+        x,
+        &DbtfConfig {
+            rank: 4,
+            initial_sets: 8,
+            seed: 2,
+            ..DbtfConfig::default()
+        },
+    )
+    .unwrap();
+    // Better than the all-zero factorization (error |X|), and not absurdly
+    // far from the oracle floor.
+    assert!(
+        result.error < x.nnz() as u64 / 2,
+        "error {} vs |X| = {}",
+        result.error,
+        x.nnz()
+    );
+}
+
+#[test]
+fn proxies_factorize_end_to_end() {
+    // Every Table III proxy at a tiny scale must run through DBTF without
+    // issues (shape/structure smoke test across crates).
+    for spec in proxy_specs() {
+        let x = generate_proxy(&spec, 0.003, 1);
+        let cluster = Cluster::new(ClusterConfig::with_workers(2));
+        let result = factorize(
+            &cluster,
+            &x,
+            &DbtfConfig {
+                rank: 3,
+                max_iters: 2,
+                seed: 0,
+                ..DbtfConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            result.error <= x.nnz() as u64,
+            "{}: error above |X| is impossible for greedy updates",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn io_roundtrip_through_factorization() {
+    // Write a tensor, read it back, factorize both: identical results.
+    let x = uniform_random([10, 12, 9], 0.1, 3);
+    let mut buf = Vec::new();
+    dbtf_tensor::io::write_tensor(&x, &mut buf).unwrap();
+    let y = dbtf_tensor::io::read_tensor(&buf[..]).unwrap();
+    assert_eq!(x, y);
+    let cfg = DbtfConfig {
+        rank: 3,
+        max_iters: 2,
+        seed: 4,
+        ..DbtfConfig::default()
+    };
+    let ca = Cluster::new(ClusterConfig::with_workers(2));
+    let cb = Cluster::new(ClusterConfig::with_workers(2));
+    let ra = factorize(&ca, &x, &cfg).unwrap();
+    let rb = factorize(&cb, &y, &cfg).unwrap();
+    assert_eq!(ra.factors, rb.factors);
+}
+
+#[test]
+fn noise_monotonically_degrades_oracle_floor() {
+    let clean = PlantedTensor::generate(PlantedConfig {
+        dims: [20, 20, 20],
+        rank: 3,
+        factor_density: 0.3,
+        noise: NoiseSpec::none(),
+        seed: 6,
+    });
+    let mut last = 0usize;
+    for level in [0.0, 0.1, 0.2, 0.3] {
+        let noisy = add_noise(&clean.clean, NoiseSpec::additive(level), 7);
+        let floor = noisy.xor_count(&clean.clean);
+        assert!(floor >= last, "noise floor must not decrease");
+        last = floor;
+    }
+}
+
+#[test]
+fn virtual_time_faster_with_more_workers_same_result() {
+    let x = uniform_random([48, 48, 48], 0.05, 8);
+    let cfg = DbtfConfig {
+        rank: 6,
+        max_iters: 2,
+        partitions: Some(64),
+        seed: 9,
+        ..DbtfConfig::default()
+    };
+    let run = |workers: usize| {
+        let cluster = Cluster::new(ClusterConfig {
+            workers,
+            ..ClusterConfig::paper_cluster()
+        });
+        let r = factorize(&cluster, &x, &cfg).unwrap();
+        (r.factors.clone(), r.stats.virtual_secs)
+    };
+    let (f4, t4) = run(4);
+    let (f16, t16) = run(16);
+    assert_eq!(f4, f16, "worker count must not change the factorization");
+    assert!(
+        t16 < t4,
+        "16 workers ({t16}s) must beat 4 workers ({t4}s) in virtual time"
+    );
+}
