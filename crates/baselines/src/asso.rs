@@ -173,8 +173,7 @@ pub fn asso(
                     ones += (fresh & rw).count_ones() as u64;
                 }
                 let zeros = fresh_total - ones;
-                let g = config.weight_cover * ones as f64
-                    - config.weight_overcover * zeros as f64;
+                let g = config.weight_cover * ones as f64 - config.weight_overcover * zeros as f64;
                 if g > 0.0 {
                     gain += g;
                     u.set(i, true);
@@ -190,10 +189,10 @@ pub fn asso(
         if gain <= 0.0 {
             break; // remaining factors would only hurt
         }
-        for i in 0..n {
+        for (i, cov) in covered.iter_mut().enumerate() {
             if u.get(i) {
                 usage.set(i, r, true);
-                covered[i].or_assign(&candidates[cand_idx]);
+                cov.or_assign(&candidates[cand_idx]);
             }
         }
         let cand = candidates[cand_idx].clone();
@@ -207,7 +206,11 @@ pub fn asso(
     for i in 0..n {
         error += row_sets[i].xor_count(&covered[i]) as u64;
     }
-    Ok(AssoResult { usage, basis, error })
+    Ok(AssoResult {
+        usage,
+        basis,
+        error,
+    })
 }
 
 #[cfg(test)]
@@ -240,7 +243,11 @@ mod tests {
             ..AssoConfig::default()
         };
         let res = asso(&as_slices(&dense_rows(&x)), 8, &cfg, None).unwrap();
-        assert_eq!(res.error, 0, "usage:\n{:?}\nbasis:\n{:?}", res.usage, res.basis);
+        assert_eq!(
+            res.error, 0,
+            "usage:\n{:?}\nbasis:\n{:?}",
+            res.usage, res.basis
+        );
         // And U ∘ B really reconstructs X.
         assert_eq!(bool_matmul(&res.usage, &res.basis), x);
     }

@@ -107,7 +107,7 @@ pub fn bcp_als(
         return Err(BaselineError::InvalidConfig("max_iters must be ≥ 1".into()));
     }
     let dims = x.dims();
-    if dims.iter().any(|&d| d == 0) {
+    if dims.contains(&0) {
         return Err(BaselineError::InvalidConfig(
             "tensor has a zero-sized mode".into(),
         ));

@@ -42,8 +42,7 @@ impl Deadline {
     /// A deadline `secs` from now.
     pub fn in_secs(secs: f64) -> Self {
         Deadline {
-            instant: std::time::Instant::now()
-                + std::time::Duration::from_secs_f64(secs.max(0.0)),
+            instant: std::time::Instant::now() + std::time::Duration::from_secs_f64(secs.max(0.0)),
         }
     }
 

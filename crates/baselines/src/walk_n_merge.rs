@@ -173,7 +173,14 @@ pub fn walk_n_merge(
     let mut thread_results: Vec<Result<Vec<WnmBlock>, BaselineError>> = Vec::new();
     if config.threads == 1 {
         thread_results.push(walk_range(
-            x, entries, &fiber_ik, &fiber_jk, config, num_walks, config.seed, deadline,
+            x,
+            entries,
+            &fiber_ik,
+            &fiber_jk,
+            config,
+            num_walks,
+            config.seed,
+            deadline,
         ));
     } else {
         let threads = config.threads;
@@ -249,7 +256,7 @@ pub fn walk_n_merge(
 
     // --- Size filter and ordering. ---------------------------------------
     blocks.retain(|b| b.meets_min_size(config.min_block));
-    blocks.sort_by(|a, b| b.ones.cmp(&a.ones));
+    blocks.sort_by_key(|b| std::cmp::Reverse(b.ones));
     Ok(WnmResult { blocks })
 }
 

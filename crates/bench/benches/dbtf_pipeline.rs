@@ -75,7 +75,11 @@ fn bench_rank_selection(c: &mut Criterion) {
     c.bench_function("model_selection/sweep_r1_to_4", |bench| {
         bench.iter(|| {
             let cluster = Cluster::new(ClusterConfig::with_workers(2));
-            black_box(select_rank(&cluster, &x, &[1, 2, 4], &base).unwrap().best_rank)
+            black_box(
+                select_rank(&cluster, &x, &[1, 2, 4], &base)
+                    .unwrap()
+                    .best_rank,
+            )
         })
     });
 }

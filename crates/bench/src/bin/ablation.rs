@@ -48,7 +48,9 @@ fn main() {
         let ms = BitMatrix::random(s, rank, 0.25, &mut rng);
         let mst = ms.transpose();
         let layout = GroupLayout::new(rank, 15);
-        let keys: Vec<u64> = (0..fetches).map(|_| rng.gen_range(0..1u64 << rank)).collect();
+        let keys: Vec<u64> = (0..fetches)
+            .map(|_| rng.gen_range(0..1u64 << rank))
+            .collect();
 
         let t0 = Instant::now();
         let cache = RowSumCache::build(&ms, &layout);
@@ -69,9 +71,7 @@ fn main() {
         }
         let naive_secs = t0.elapsed().as_secs_f64();
         assert_eq!(acc, acc2);
-        println!(
-            "1. caching (Section III-C): {fetches} Boolean row summations, R={rank}, S={s}:"
-        );
+        println!("1. caching (Section III-C): {fetches} Boolean row summations, R={rank}, S={s}:");
         println!("   naive recomputation: {naive_secs:.3}s");
         println!(
             "   cached fetch:        {cached_secs:.3}s (+{build_secs:.3}s one-off table build)"
@@ -108,7 +108,10 @@ fn main() {
             res.factors.total_ones()
         );
     }
-    println!("   (oracle / injected-noise floor: {:.3})\n", planted.oracle_error() as f64 / x.nnz() as f64);
+    println!(
+        "   (oracle / injected-noise floor: {:.3})\n",
+        planted.oracle_error() as f64 / x.nnz() as f64
+    );
 
     // --- 3. Partition count. ----------------------------------------------
     // A larger uniform tensor so compute is visible against the fixed

@@ -69,8 +69,7 @@ fn main() {
     );
 
     // --- Lemma 7: iteration traffic ∝ T and ∝ R. -------------------------
-    let traffic =
-        |r: &DbtfResult| r.stats.comm.bytes_broadcast + r.stats.comm.bytes_collected;
+    let traffic = |r: &DbtfResult| r.stats.comm.bytes_broadcast + r.stats.comm.bytes_collected;
     println!("\nLemma 7 — broadcast+collect is O(T·I·R·(M+N)):");
     println!(
         "  2x iters    → traffic ratio {:.2} (expected ≈ 2; iterations {} → {})",

@@ -37,7 +37,10 @@ fn main() {
         .iter()
         .map(|&d| uniform_random([d, d, d], 0.01, seed))
         .collect();
-    let dim_dbtf: Vec<_> = dims_probe.iter().map(|x| run_dbtf(x, &config(10), workers)).collect();
+    let dim_dbtf: Vec<_> = dims_probe
+        .iter()
+        .map(|x| run_dbtf(x, &config(10), workers))
+        .collect();
     let dim_bcp: Vec<_> = dims_probe
         .iter()
         .map(|x| run_bcp_als(x, 10, oot_secs, None))
@@ -52,7 +55,10 @@ fn main() {
         .iter()
         .map(|&d| uniform_random([64, 64, 64], d, seed))
         .collect();
-    let den_dbtf: Vec<_> = dens_probe.iter().map(|x| run_dbtf(x, &config(10), workers)).collect();
+    let den_dbtf: Vec<_> = dens_probe
+        .iter()
+        .map(|x| run_dbtf(x, &config(10), workers))
+        .collect();
     let den_bcp: Vec<_> = dens_probe
         .iter()
         .map(|x| run_bcp_als(x, 10, oot_secs, None))

@@ -71,8 +71,21 @@ impl Outcome {
 /// Runs DBTF on a fresh paper-shaped cluster (16 workers × 8 cores by
 /// default) and reports **virtual** seconds.
 pub fn run_dbtf(x: &BoolTensor, config: &DbtfConfig, workers: usize) -> Outcome {
+    run_dbtf_threads(x, config, workers, None)
+}
+
+/// Like [`run_dbtf`] but pinning the number of *real* compute threads per
+/// worker (`None` = one per simulated core). Results and virtual-time
+/// metrics are identical for every setting; only host wall-clock changes.
+pub fn run_dbtf_threads(
+    x: &BoolTensor,
+    config: &DbtfConfig,
+    workers: usize,
+    compute_threads: Option<usize>,
+) -> Outcome {
     let cluster = Cluster::new(ClusterConfig {
         workers,
+        compute_threads,
         ..ClusterConfig::paper_cluster()
     });
     match factorize(&cluster, x, config) {
@@ -203,7 +216,12 @@ mod tests {
 
     #[test]
     fn outcome_cells() {
-        assert!(Outcome::Done { secs: 1.5, error: 3 }.cell().contains("1.500"));
+        assert!(Outcome::Done {
+            secs: 1.5,
+            error: 3
+        }
+        .cell()
+        .contains("1.500"));
         assert!(Outcome::OutOfTime.cell().contains("O.O.T."));
         assert!(Outcome::OutOfMemory.cell().contains("O.O.M."));
     }
@@ -217,8 +235,7 @@ mod tests {
                 for rank in [10usize, 30] {
                     let budget = scaled_memory_budget(&spec, scale, rank);
                     let orig_ooms = bcp_memory_estimate(spec.dims, rank) > PAPER_BUDGET;
-                    let scaled_ooms =
-                        bcp_memory_estimate(spec.scaled_dims(scale), rank) > budget;
+                    let scaled_ooms = bcp_memory_estimate(spec.scaled_dims(scale), rank) > budget;
                     assert_eq!(orig_ooms, scaled_ooms, "{} at scale {scale}", spec.name);
                 }
             }

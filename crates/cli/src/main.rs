@@ -3,7 +3,7 @@
 //! ```text
 //! dbtf factorize   --input X.txt --rank 10 [--workers 16] [--iters 10]
 //!                  [--sets 1] [--seed 0] [--partitions N] [--v 15]
-//!                  [--output PREFIX]
+//!                  [--compute-threads T] [--output PREFIX]
 //! dbtf tucker      --input X.txt --ranks 4,4,4 [--iters 10] [--sets 1]
 //!                  [--seed 0] [--output PREFIX]
 //! dbtf select-rank --input X.txt --candidates 2,4,6,8 [--sets 4]
@@ -79,7 +79,7 @@ common options:
   --seed N         RNG seed (default 0)
 
 factorize: --rank R [--workers 16] [--iters 10] [--sets 1]
-           [--partitions N] [--v 15] [--output PREFIX]
+           [--partitions N] [--v 15] [--compute-threads T] [--output PREFIX]
 tucker:    --ranks R1,R2,R3 [--iters 10] [--sets 1] [--workers M]\n           [--output PREFIX]   (--workers runs the distributed driver)
 select-rank: --candidates R1,R2,… [--sets 4]
 generate random:  --dims I,J,K --density D --output FILE
@@ -119,6 +119,16 @@ fn save_tensor(
 fn cmd_factorize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     let x = load_tensor(parsed)?;
     let workers: usize = parsed.get("workers", 16)?;
+    // `--compute-threads N` pins the real per-worker thread count (the
+    // `DBTF_COMPUTE_THREADS` env var also works); results are identical
+    // for every setting, only host wall-clock changes.
+    let compute_threads: Option<usize> = match parsed.get_str("compute-threads") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| ArgError(format!("invalid value for --compute-threads: {raw:?}")))?,
+        ),
+        None => None,
+    };
     let config = DbtfConfig {
         rank: parsed.require("rank")?,
         max_iters: parsed.get("iters", 10)?,
@@ -130,6 +140,7 @@ fn cmd_factorize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> 
     };
     let cluster = Cluster::new(ClusterConfig {
         workers,
+        compute_threads,
         ..ClusterConfig::paper_cluster()
     });
     let result = factorize(&cluster, &x, &config)?;
@@ -177,7 +188,9 @@ fn cmd_tucker(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     let result = match parsed.get_str("workers") {
         Some(w) => {
             let cluster = Cluster::new(ClusterConfig {
-                workers: w.parse().map_err(|_| ArgError(format!("invalid --workers {w:?}")))?,
+                workers: w
+                    .parse()
+                    .map_err(|_| ArgError(format!("invalid --workers {w:?}")))?,
                 ..ClusterConfig::paper_cluster()
             });
             dbtf::tucker_distributed::tucker_factorize_distributed(&cluster, &x, &config)?

@@ -39,13 +39,22 @@ fn generate_stats_factorize_pipeline() {
     let dir = tempdir("pipeline");
     let x = dir.join("x.txt");
     let out = dbtf(&[
-        "generate", "random",
-        "--dims", "16,16,16",
-        "--density", "0.1",
-        "--seed", "3",
-        "--output", x.to_str().unwrap(),
+        "generate",
+        "random",
+        "--dims",
+        "16,16,16",
+        "--density",
+        "0.1",
+        "--seed",
+        "3",
+        "--output",
+        x.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = dbtf(&["stats", "--input", x.to_str().unwrap()]);
     assert!(out.status.success());
@@ -55,13 +64,22 @@ fn generate_stats_factorize_pipeline() {
     let prefix = dir.join("f");
     let out = dbtf(&[
         "factorize",
-        "--input", x.to_str().unwrap(),
-        "--rank", "3",
-        "--iters", "2",
-        "--workers", "2",
-        "--output", prefix.to_str().unwrap(),
+        "--input",
+        x.to_str().unwrap(),
+        "--rank",
+        "3",
+        "--iters",
+        "2",
+        "--workers",
+        "2",
+        "--output",
+        prefix.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     for suffix in ["A", "B", "C"] {
         let p = dir.join(format!("f.{suffix}.txt"));
         let m = dbtf_tensor::matrix_io::read_matrix_file(&p).unwrap();
@@ -76,14 +94,24 @@ fn binary_roundtrip_through_cli() {
     let dir = tempdir("binary");
     let x = dir.join("x.dbtf");
     let out = dbtf(&[
-        "generate", "planted",
-        "--dims", "12,12,12",
-        "--rank", "2",
-        "--factor-density", "0.4",
-        "--additive", "0.05",
-        "--output", x.to_str().unwrap(),
+        "generate",
+        "planted",
+        "--dims",
+        "12,12,12",
+        "--rank",
+        "2",
+        "--factor-density",
+        "0.4",
+        "--additive",
+        "0.05",
+        "--output",
+        x.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     // `.dbtf` extension implies binary on both ends.
     let t = dbtf_tensor::io::read_tensor_binary_file(&x).unwrap();
     assert_eq!(t.dims(), [12, 12, 12]);
@@ -98,11 +126,16 @@ fn tucker_and_select_rank() {
     let dir = tempdir("tucker");
     let x = dir.join("x.txt");
     assert!(dbtf(&[
-        "generate", "planted",
-        "--dims", "14,14,14",
-        "--rank", "2",
-        "--factor-density", "0.35",
-        "--output", x.to_str().unwrap(),
+        "generate",
+        "planted",
+        "--dims",
+        "14,14,14",
+        "--rank",
+        "2",
+        "--factor-density",
+        "0.35",
+        "--output",
+        x.to_str().unwrap(),
     ])
     .status
     .success());
@@ -110,21 +143,36 @@ fn tucker_and_select_rank() {
     let prefix = dir.join("t");
     let out = dbtf(&[
         "tucker",
-        "--input", x.to_str().unwrap(),
-        "--ranks", "2,2,2",
-        "--sets", "4",
-        "--output", prefix.to_str().unwrap(),
+        "--input",
+        x.to_str().unwrap(),
+        "--ranks",
+        "2,2,2",
+        "--sets",
+        "4",
+        "--output",
+        prefix.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(dir.join("t.core.txt").exists());
 
     let out = dbtf(&[
         "select-rank",
-        "--input", x.to_str().unwrap(),
-        "--candidates", "1,2,3",
-        "--workers", "2",
+        "--input",
+        x.to_str().unwrap(),
+        "--candidates",
+        "1,2,3",
+        "--workers",
+        "2",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("← best"));
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -132,9 +180,12 @@ fn tucker_and_select_rank() {
 #[test]
 fn bad_proxy_name_lists_options() {
     let out = dbtf(&[
-        "generate", "proxy",
-        "--name", "nonsense",
-        "--output", "/dev/null",
+        "generate",
+        "proxy",
+        "--name",
+        "nonsense",
+        "--output",
+        "/dev/null",
     ]);
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("Facebook"));

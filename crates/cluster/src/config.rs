@@ -58,7 +58,23 @@ pub struct ClusterConfig {
     pub workers: usize,
     /// Cores per worker machine (the paper's machines have 8 hyper-threaded
     /// cores; its executors use 8).
+    ///
+    /// Drives both the virtual-time model (a worker retires
+    /// `cores_per_worker × core_throughput` ops per virtual second) and,
+    /// unless overridden by [`ClusterConfig::compute_threads`], the number
+    /// of real OS threads each worker fans its partition tasks out to.
     pub cores_per_worker: usize,
+    /// Override for the number of *real* compute threads per worker.
+    ///
+    /// `None` (the default) uses `cores_per_worker`, so the simulated and
+    /// the actual parallelism agree. Setting it decouples wall-clock
+    /// execution from the virtual-time model — e.g. `Some(1)` forces
+    /// serial execution for debugging, without changing any virtual-time
+    /// or ops metric (results and metrics are bit-identical for every
+    /// setting). The `DBTF_COMPUTE_THREADS` environment variable, when
+    /// set, takes precedence over `None`.
+    #[serde(default)]
+    pub compute_threads: Option<usize>,
     /// Abstract ops one core retires per virtual second. Calibrate against
     /// a real single-worker run to map ops to seconds; the default
     /// (2 × 10⁹) approximates one 64-bit Boolean word-op per cycle at 2 GHz.
@@ -99,6 +115,22 @@ impl ClusterConfig {
         self.cores_per_worker as f64 * self.core_throughput(worker_id)
     }
 
+    /// The number of real compute threads each worker runs its partition
+    /// tasks on: [`ClusterConfig::compute_threads`] if set, else the
+    /// `DBTF_COMPUTE_THREADS` environment variable, else
+    /// [`ClusterConfig::cores_per_worker`].
+    pub fn resolved_compute_threads(&self) -> usize {
+        if let Some(n) = self.compute_threads {
+            return n.max(1);
+        }
+        if let Ok(raw) = std::env::var("DBTF_COMPUTE_THREADS") {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        self.cores_per_worker
+    }
+
     /// Per-core ops/second of worker `worker_id`.
     pub fn core_throughput(&self, worker_id: usize) -> f64 {
         if worker_id < self.stragglers {
@@ -114,6 +146,7 @@ impl Default for ClusterConfig {
         ClusterConfig {
             workers: 4,
             cores_per_worker: 8,
+            compute_threads: None,
             core_throughput_ops_per_sec: 2e9,
             network: NetworkModel::default(),
             stragglers: 0,
@@ -148,6 +181,29 @@ mod tests {
         assert_eq!(cfg.workers, 16);
         assert_eq!(cfg.cores_per_worker, 8);
         assert!(cfg.worker_throughput(0) > cfg.core_throughput_ops_per_sec);
+    }
+
+    #[test]
+    fn compute_threads_default_to_cores() {
+        // (Only the field-driven paths: the DBTF_COMPUTE_THREADS fallback
+        // is env-dependent and exercised by the CLI, not unit tests.)
+        let cfg = ClusterConfig {
+            cores_per_worker: 6,
+            ..ClusterConfig::default()
+        };
+        if std::env::var("DBTF_COMPUTE_THREADS").is_err() {
+            assert_eq!(cfg.resolved_compute_threads(), 6);
+        }
+        let pinned = ClusterConfig {
+            compute_threads: Some(2),
+            ..cfg
+        };
+        assert_eq!(pinned.resolved_compute_threads(), 2);
+        let floor = ClusterConfig {
+            compute_threads: Some(0),
+            ..cfg
+        };
+        assert_eq!(floor.resolved_compute_threads(), 1);
     }
 
     #[test]

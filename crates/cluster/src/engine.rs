@@ -36,8 +36,12 @@ enum WorkerMsg {
 
 struct BatchResult {
     worker: usize,
-    /// (global partition index, boxed task result) pairs.
+    /// (global partition index, boxed task result) pairs, sorted by
+    /// partition index regardless of which compute thread ran the task.
     results: Vec<(usize, AnyPart)>,
+    /// Tasks that panicked: (global partition index, panic message),
+    /// sorted by partition index.
+    panics: Vec<(usize, String)>,
     total_ops: u64,
     max_task_ops: u64,
     result_bytes: u64,
@@ -68,7 +72,11 @@ impl Cluster {
     /// Panics if `config.workers == 0` or `config.cores_per_worker == 0`.
     pub fn new(config: ClusterConfig) -> Self {
         assert!(config.workers > 0, "a cluster needs at least one worker");
-        assert!(config.cores_per_worker > 0, "workers need at least one core");
+        assert!(
+            config.cores_per_worker > 0,
+            "workers need at least one core"
+        );
+        let compute_threads = config.resolved_compute_threads();
         let mut senders = Vec::with_capacity(config.workers);
         let mut handles = Vec::with_capacity(config.workers);
         for worker_id in 0..config.workers {
@@ -77,7 +85,7 @@ impl Cluster {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("dbtf-worker-{worker_id}"))
-                    .spawn(move || worker_loop(worker_id, rx))
+                    .spawn(move || worker_loop(worker_id, rx, compute_threads))
                     .expect("failed to spawn worker thread"),
             );
         }
@@ -216,10 +224,21 @@ impl Cluster {
     /// partition (mutation persists — the dataset is cached), and the
     /// [`TaskContext`] for cost accounting.
     ///
+    /// Each worker fans its local partitions out across
+    /// [`ClusterConfig::resolved_compute_threads`] compute threads
+    /// (`cores_per_worker` by default), so a multi-partition superstep uses
+    /// real intra-worker parallelism. Results are merged back in partition
+    /// order and the ops/bytes accounting is reduced in a fixed order, so
+    /// outputs and all virtual-time metrics are bit-identical for every
+    /// thread count.
+    ///
     /// # Panics
     ///
-    /// Panics if `data` belongs to a different cluster or if a worker
-    /// thread has died (e.g. a task panicked in an earlier superstep).
+    /// Panics if `data` belongs to a different cluster, if a worker thread
+    /// has died, or — with a clean per-partition message — if a task
+    /// panicked. A task panic is caught on the worker (the worker itself
+    /// survives and later supersteps still run), but the partition the task
+    /// was mutating is left in an unspecified state.
     pub fn map_partitions<P, T, F>(&self, data: &DistVec<P>, f: F) -> Vec<T>
     where
         P: Send + 'static,
@@ -254,8 +273,12 @@ impl Cluster {
         let mut makespan = 0.0f64;
         let mut collect_secs = 0.0f64;
         let mut busy = self.inner.metrics.worker_busy_secs.lock();
+        let mut task_panics: Vec<(usize, usize, String)> = Vec::new();
         for _ in 0..self.num_workers() {
             let batch = reply_rx.recv().expect("worker hung up");
+            for (idx, msg) in &batch.panics {
+                task_panics.push((*idx, batch.worker, msg.clone()));
+            }
             // Worker time: perfect intra-worker parallelism over its cores,
             // floored by its single largest task (a task occupies one core).
             // Straggler workers run at reduced throughput.
@@ -282,8 +305,23 @@ impl Cluster {
             }
         }
         drop(busy);
+        if !task_panics.is_empty() {
+            task_panics.sort_by_key(|(idx, ..)| *idx);
+            let lines: Vec<String> = task_panics
+                .iter()
+                .map(|(idx, w, msg)| format!("partition {idx} on worker {w}: {msg}"))
+                .collect();
+            panic!(
+                "{} task(s) panicked during superstep — {}",
+                task_panics.len(),
+                lines.join("; ")
+            );
+        }
         self.inner.metrics.advance_clock(makespan + collect_secs);
-        self.inner.metrics.supersteps.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .metrics
+            .supersteps
+            .fetch_add(1, Ordering::Relaxed);
         slots
             .into_iter()
             .enumerate()
@@ -393,44 +431,145 @@ impl<T> std::ops::Deref for Broadcast<T> {
     }
 }
 
-fn worker_loop(worker_id: usize, rx: Receiver<WorkerMsg>) {
+fn worker_loop(worker_id: usize, rx: Receiver<WorkerMsg>, compute_threads: usize) {
     let mut datasets: std::collections::HashMap<u64, Vec<(usize, AnyPart)>> =
         std::collections::HashMap::new();
     while let Ok(msg) = rx.recv() {
         match msg {
-            WorkerMsg::Store { dataset, mut parts, ack } => {
+            WorkerMsg::Store {
+                dataset,
+                mut parts,
+                ack,
+            } => {
                 datasets.entry(dataset).or_default().append(&mut parts);
                 let _ = ack.send(());
             }
-            WorkerMsg::Run { dataset, task, reply } => {
-                let mut results = Vec::new();
-                let mut total_ops = 0u64;
-                let mut max_task_ops = 0u64;
-                let mut result_bytes = 0u64;
-                if let Some(parts) = datasets.get_mut(&dataset) {
-                    results.reserve(parts.len());
-                    for (idx, part) in parts.iter_mut() {
-                        let mut ctx = TaskContext::new(worker_id, *idx);
-                        let out = task(*idx, part.as_mut(), &mut ctx);
-                        total_ops += ctx.ops();
-                        max_task_ops = max_task_ops.max(ctx.ops());
-                        result_bytes += ctx.result_bytes();
-                        results.push((*idx, out));
-                    }
-                }
-                let _ = reply.send(BatchResult {
-                    worker: worker_id,
-                    results,
-                    total_ops,
-                    max_task_ops,
-                    result_bytes,
-                });
+            WorkerMsg::Run {
+                dataset,
+                task,
+                reply,
+            } => {
+                let parts = datasets
+                    .get_mut(&dataset)
+                    .map(Vec::as_mut_slice)
+                    .unwrap_or(&mut []);
+                let batch = run_batch(worker_id, parts, task.as_ref(), compute_threads);
+                let _ = reply.send(batch);
             }
             WorkerMsg::DropDataset { dataset } => {
                 datasets.remove(&dataset);
             }
             WorkerMsg::Shutdown => break,
         }
+    }
+}
+
+/// Outcome of one partition task on a compute thread.
+struct TaskOutcome {
+    idx: usize,
+    result: Result<AnyPart, String>,
+    ops: u64,
+    result_bytes: u64,
+}
+
+/// Runs one task under `catch_unwind` so a panicking task takes down
+/// neither the compute thread nor the worker; the panic payload travels to
+/// the driver as a message instead.
+fn run_task(
+    worker_id: usize,
+    idx: usize,
+    part: &mut (dyn Any + Send),
+    task: &TaskFn,
+) -> TaskOutcome {
+    let mut ctx = TaskContext::new(worker_id, idx);
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(idx, part, &mut ctx)))
+            .map_err(|payload| {
+                if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                }
+            });
+    TaskOutcome {
+        idx,
+        result,
+        ops: ctx.ops(),
+        result_bytes: ctx.result_bytes(),
+    }
+}
+
+/// Executes one superstep's share of tasks on this worker, fanning the
+/// locally stored partitions out across `compute_threads` scoped threads
+/// (each pulls the next partition from a shared queue — cheap work
+/// stealing for uneven task costs).
+///
+/// The merge is deterministic: outcomes are sorted by global partition
+/// index and the ops/bytes counters are reduced in that fixed order, so
+/// the reply is bit-identical for every thread count.
+fn run_batch(
+    worker_id: usize,
+    parts: &mut [(usize, AnyPart)],
+    task: &TaskFn,
+    compute_threads: usize,
+) -> BatchResult {
+    let nthreads = compute_threads.min(parts.len()).max(1);
+    let mut outcomes: Vec<TaskOutcome> = if nthreads <= 1 {
+        parts
+            .iter_mut()
+            .map(|(idx, part)| run_task(worker_id, *idx, part.as_mut(), task))
+            .collect()
+    } else {
+        let (job_tx, job_rx) = unbounded::<&mut (usize, AnyPart)>();
+        for item in parts.iter_mut() {
+            job_tx.send(item).expect("job queue closed early");
+        }
+        drop(job_tx);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..nthreads)
+                .map(|_| {
+                    let job_rx = job_rx.clone();
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        while let Ok(item) = job_rx.recv() {
+                            let idx = item.0;
+                            out.push(run_task(worker_id, idx, item.1.as_mut(), task));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("compute thread died"))
+                .collect()
+        })
+    };
+    outcomes.sort_by_key(|o| o.idx);
+
+    let mut results = Vec::with_capacity(outcomes.len());
+    let mut panics = Vec::new();
+    let mut total_ops = 0u64;
+    let mut max_task_ops = 0u64;
+    let mut result_bytes = 0u64;
+    for outcome in outcomes {
+        total_ops += outcome.ops;
+        max_task_ops = max_task_ops.max(outcome.ops);
+        result_bytes += outcome.result_bytes;
+        match outcome.result {
+            Ok(out) => results.push((outcome.idx, out)),
+            Err(msg) => panics.push((outcome.idx, msg)),
+        }
+    }
+    BatchResult {
+        worker: worker_id,
+        results,
+        panics,
+        total_ops,
+        max_task_ops,
+        result_bytes,
     }
 }
 
@@ -632,7 +771,93 @@ mod tests {
         });
         assert!((uniform - 1.0).abs() < 1e-9, "uniform {uniform}");
         // Worker 0 at quarter speed takes 4 s: the whole superstep waits.
-        assert!((with_straggler - 4.0).abs() < 1e-9, "straggler {with_straggler}");
+        assert!(
+            (with_straggler - 4.0).abs() < 1e-9,
+            "straggler {with_straggler}"
+        );
+    }
+
+    #[test]
+    fn compute_threads_do_not_change_results_or_metrics() {
+        let run = |threads: usize| {
+            let cluster = Cluster::new(ClusterConfig {
+                workers: 2,
+                cores_per_worker: 4,
+                compute_threads: Some(threads),
+                core_throughput_ops_per_sec: 1e6,
+                ..ClusterConfig::default()
+            });
+            let data = cluster.distribute((0..13u64).map(|v| (v, 8)).collect());
+            let mut outs = Vec::new();
+            for round in 0..3u64 {
+                outs.push(cluster.map_partitions(&data, move |idx, v, ctx| {
+                    ctx.charge((idx as u64 + 1) * 1_000 * (round + 1));
+                    ctx.set_result_bytes(idx as u64);
+                    *v = v.wrapping_mul(31).wrapping_add(round);
+                    *v
+                }));
+            }
+            (outs, cluster.gather(&data), cluster.metrics())
+        };
+        let (o1, g1, m1) = run(1);
+        let (o4, g4, m4) = run(4);
+        assert_eq!(o1, o4);
+        assert_eq!(g1, g4);
+        assert_eq!(m1, m4, "virtual-time metrics must not depend on threads");
+    }
+
+    #[test]
+    fn task_panic_surfaces_cleanly_and_worker_survives() {
+        let cluster = Cluster::new(ClusterConfig {
+            workers: 2,
+            cores_per_worker: 4,
+            compute_threads: Some(4),
+            core_throughput_ops_per_sec: 1e6,
+            network: NetworkModel::free(),
+            ..ClusterConfig::default()
+        });
+        let data = cluster.distribute((0..8u32).map(|v| (v, 4)).collect());
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: Vec<u32> = cluster.map_partitions(&data, |idx, v, _ctx| {
+                if idx == 3 {
+                    panic!("boom in partition {idx}");
+                }
+                *v
+            });
+        }))
+        .expect_err("superstep with a panicking task must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("clean String panic message");
+        assert!(msg.contains("partition 3"), "message was: {msg}");
+        assert!(msg.contains("boom in partition 3"), "message was: {msg}");
+        assert!(msg.contains("worker 1"), "message was: {msg}");
+        // The worker threads caught the panic and must still serve
+        // supersteps (no hang, no "worker hung up").
+        let out: Vec<u32> = cluster.map_partitions(&data, |_idx, v, _ctx| *v);
+        assert_eq!(out, (0..8u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn task_panic_surfaces_with_single_compute_thread() {
+        let cluster = Cluster::new(ClusterConfig {
+            workers: 1,
+            cores_per_worker: 2,
+            compute_threads: Some(1),
+            core_throughput_ops_per_sec: 1e6,
+            ..ClusterConfig::default()
+        });
+        let data = cluster.distribute(vec![(0u8, 1), (1u8, 1)]);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cluster.map_partitions(&data, |idx, _v, _ctx| {
+                assert!(idx != 1, "failing task");
+            });
+        }))
+        .expect_err("must propagate");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("partition 1"), "message was: {msg}");
+        cluster.map_partitions(&data, |_idx, _v, _ctx| {});
     }
 
     #[test]

@@ -14,10 +14,13 @@
 //!   per-partition tasks run on the worker holding the partition and their
 //!   results are collected by the driver (Algorithm 4 lines 7–10).
 //!
-//! # Virtual time
+//! # Virtual time vs. real parallelism
 //!
 //! Workers are real OS threads with shared-nothing state (partitions are
-//! moved into the owning worker and never referenced from outside), so the
+//! moved into the owning worker and never referenced from outside), and
+//! each worker additionally fans its partition tasks out across
+//! [`ClusterConfig::cores_per_worker`] compute threads (override:
+//! [`ClusterConfig::compute_threads`] or `DBTF_COMPUTE_THREADS`), so the
 //! execution is genuinely concurrent on a multi-core host. But wall-clock
 //! time on one host cannot reproduce the paper's *machine scalability*
 //! experiment (Figure 7), so the engine additionally keeps a **virtual

@@ -162,7 +162,12 @@ impl MetricsSnapshot {
             worker_busy_secs: self
                 .worker_busy_secs
                 .iter()
-                .zip(earlier.worker_busy_secs.iter().chain(std::iter::repeat(&0.0)))
+                .zip(
+                    earlier
+                        .worker_busy_secs
+                        .iter()
+                        .chain(std::iter::repeat(&0.0)),
+                )
                 .map(|(a, b)| (a - b).max(0.0))
                 .collect(),
         }

@@ -179,7 +179,15 @@ impl RowSumCache {
                 *d |= s;
             }
         }
-        scratch.iter().map(|w| w.count_ones() as u32).sum()
+        scratch.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// The cached row of group `g` for `key` (no OR), for callers that
+    /// combine group rows themselves — e.g. the column superstep, which
+    /// shares the OR of all non-candidate groups between both candidates.
+    #[inline]
+    pub fn group_row(&self, g: usize, key: u64) -> &BitVec {
+        &self.tables[g].rows[key as usize]
     }
 
     /// The per-group cached rows for `keys` (no OR), for callers that can
@@ -294,9 +302,9 @@ mod tests {
         for mask in [0u64, 1, 0b1010101, 0b1111111, 0b0110010] {
             // Split the full mask into group keys.
             let mut keys = vec![0u64; layout.num_groups()];
-            for g in 0..layout.num_groups() {
+            for (g, key) in keys.iter_mut().enumerate() {
                 let (first, bits) = layout.group(g);
-                keys[g] = (mask >> first) & ((1 << bits) - 1);
+                *key = (mask >> first) & ((1 << bits) - 1);
             }
             let pop = cache.fetch_or(&keys, &mut scratch);
             let sel = BitVec::from_words(r, vec![mask]);

@@ -72,7 +72,7 @@ pub fn factorize(
 ) -> Result<DbtfResult, DbtfError> {
     config.validate()?;
     let dims = x.dims();
-    if dims.iter().any(|&d| d == 0) {
+    if dims.contains(&0) {
         return Err(DbtfError::EmptyTensor);
     }
     let wall_start = Instant::now();
@@ -110,8 +110,7 @@ pub fn factorize(
         if converged {
             break;
         }
-        let (next, next_error, cache) =
-            update_round(cluster, &px1, &px2, &px3, factors, config);
+        let (next, next_error, cache) = update_round(cluster, &px1, &px2, &px3, factors, config);
         peak_cache_bytes = peak_cache_bytes.max(cache);
         let delta = error.abs_diff(next_error) as f64;
         factors = next;

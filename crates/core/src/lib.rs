@@ -47,7 +47,7 @@
 //! let x = BoolTensor::from_entries([8, 8, 8], entries);
 //!
 //! let cluster = Cluster::new(ClusterConfig::with_workers(2));
-//! let config = DbtfConfig { rank: 2, seed: 0, ..DbtfConfig::default() };
+//! let config = DbtfConfig { rank: 2, seed: 1, ..DbtfConfig::default() };
 //! let result = factorize(&cluster, &x, &config).unwrap();
 //! assert_eq!(result.error, 0); // both blocks recovered exactly
 //! ```
@@ -57,18 +57,18 @@
 
 pub mod cache;
 mod config;
-pub mod model_selection;
 mod driver;
 mod factors;
+pub mod model_selection;
 pub mod partition;
 pub mod reference;
 mod stats;
 pub mod tucker;
 pub mod tucker_distributed;
-mod update;
+pub mod update;
 
 pub use config::{DbtfConfig, DbtfError, InitStrategy};
 pub use driver::{factorize, DbtfResult};
 pub use factors::{initial_factor_sets, random_factor_sets, FactorSet};
 pub use stats::DbtfStats;
-pub use update::PartitionSlot;
+pub use update::{PartitionSlot, WorkState};

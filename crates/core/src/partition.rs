@@ -124,12 +124,7 @@ pub fn partition_unfolding(unfolding: &Unfolding, n_partitions: usize) -> Vec<Mo
         let col_lo = p * q / n;
         let col_hi = (p + 1) * q / n;
         partitions.push(build_partition(
-            unfolding,
-            p as usize,
-            col_lo,
-            col_hi,
-            s,
-            nrows,
+            unfolding, p as usize, col_lo, col_hi, s, nrows,
         ));
     }
     partitions

@@ -37,10 +37,13 @@ pub struct ReferenceResult {
 
 /// Sequential Boolean CP factorization with the DBTF update rule (no
 /// distribution, no caching). See the module docs.
-pub fn factorize_reference(x: &BoolTensor, config: &DbtfConfig) -> Result<ReferenceResult, DbtfError> {
+pub fn factorize_reference(
+    x: &BoolTensor,
+    config: &DbtfConfig,
+) -> Result<ReferenceResult, DbtfError> {
     config.validate()?;
     let dims = x.dims();
-    if dims.iter().any(|&d| d == 0) {
+    if dims.contains(&0) {
         return Err(DbtfError::EmptyTensor);
     }
     let unf1 = Unfolding::new(x, Mode::One);

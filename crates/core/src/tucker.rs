@@ -71,7 +71,7 @@ impl Default for TuckerConfig {
 impl TuckerConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), DbtfError> {
-        if self.ranks.iter().any(|&r| r == 0) {
+        if self.ranks.contains(&0) {
             return Err(DbtfError::InvalidConfig(
                 "all core ranks must be at least 1".into(),
             ));
@@ -83,9 +83,7 @@ impl TuckerConfig {
             return Err(DbtfError::InvalidConfig("max_iters must be ≥ 1".into()));
         }
         if self.initial_sets == 0 {
-            return Err(DbtfError::InvalidConfig(
-                "initial_sets must be ≥ 1".into(),
-            ));
+            return Err(DbtfError::InvalidConfig("initial_sets must be ≥ 1".into()));
         }
         Ok(())
     }
@@ -108,8 +106,7 @@ impl TuckerFactorization {
     /// Materializes the Boolean reconstruction
     /// `x̃_ijk = ⋁_{p,q,r} g_pqr ∧ a_ip ∧ b_jq ∧ c_kr`.
     pub fn reconstruct(&self) -> BoolTensor {
-        let mut builder =
-            TensorBuilder::new([self.a.rows(), self.b.rows(), self.c.rows()]);
+        let mut builder = TensorBuilder::new([self.a.rows(), self.b.rows(), self.c.rows()]);
         for [p, q, r] in self.core.iter() {
             let is: Vec<usize> = self.a.column(p as usize).iter_ones().collect();
             let js: Vec<usize> = self.b.column(q as usize).iter_ones().collect();
@@ -163,7 +160,7 @@ pub struct TuckerResult {
 pub fn tucker_factorize(x: &BoolTensor, config: &TuckerConfig) -> Result<TuckerResult, DbtfError> {
     config.validate()?;
     let dims = x.dims();
-    if dims.iter().any(|&d| d == 0) {
+    if dims.contains(&0) {
         return Err(DbtfError::EmptyTensor);
     }
     let unf1 = Unfolding::new(x, Mode::One);
@@ -362,9 +359,21 @@ pub(crate) fn revive_dead_components(
             }
             // Couple it into the core at a random slot.
             let entry = match mode {
-                0 => [col as u32, rng.gen_range(0..r2 as u32), rng.gen_range(0..r3 as u32)],
-                1 => [rng.gen_range(0..r1 as u32), col as u32, rng.gen_range(0..r3 as u32)],
-                _ => [rng.gen_range(0..r1 as u32), rng.gen_range(0..r2 as u32), col as u32],
+                0 => [
+                    col as u32,
+                    rng.gen_range(0..r2 as u32),
+                    rng.gen_range(0..r3 as u32),
+                ],
+                1 => [
+                    rng.gen_range(0..r1 as u32),
+                    col as u32,
+                    rng.gen_range(0..r3 as u32),
+                ],
+                _ => [
+                    rng.gen_range(0..r1 as u32),
+                    rng.gen_range(0..r2 as u32),
+                    col as u32,
+                ],
             };
             new_core.push(entry);
             revived_any = true;
@@ -476,9 +485,9 @@ fn update_factor(unf: &Unfolding, factor: &BitMatrix, patterns: &[BitVec]) -> Bi
         for row in 0..nrows {
             // Reconstruction of this row from the *other* active columns.
             others.clear();
-            for p in 0..ncols_rank {
+            for (p, other_pat) in patterns.iter().enumerate() {
                 if p != col && factor.get(row, p) {
-                    others.or_assign(&patterns[p]);
+                    others.or_assign(other_pat);
                 }
             }
             // Candidate 1 adds `pattern`; candidate 0 doesn't. Restrict the
@@ -503,8 +512,8 @@ fn update_factor(unf: &Unfolding, factor: &BitMatrix, patterns: &[BitVec]) -> Bi
             //   mismatches = (ones in support not covered) +
             //                (covered support cells that are zero in X)
             err0 += ones_in_support - ones_covered_by_others;
-            err0 += support_covered_by_others
-                - ones_covered_by_others.min(support_covered_by_others);
+            err0 +=
+                support_covered_by_others - ones_covered_by_others.min(support_covered_by_others);
             // err1: the whole support reconstructs as 1.
             err1 += support - ones_in_support;
             if err1 < err0 {
@@ -620,9 +629,7 @@ fn update_core(
                         for &i in &is {
                             for &j in &js {
                                 for &k in &ks {
-                                    *cover
-                                        .entry([i as u32, j as u32, k as u32])
-                                        .or_insert(0) += 1;
+                                    *cover.entry([i as u32, j as u32, k as u32]).or_insert(0) += 1;
                                 }
                             }
                         }
@@ -655,10 +662,8 @@ mod tests {
         let a = BitMatrix::random(12, 3, 0.35, &mut rng);
         let b = BitMatrix::random(10, 3, 0.35, &mut rng);
         let c = BitMatrix::random(11, 3, 0.35, &mut rng);
-        let core = BoolTensor::from_entries(
-            [3, 3, 3],
-            vec![[0, 0, 0], [1, 1, 1], [2, 2, 2], [0, 1, 2]],
-        );
+        let core =
+            BoolTensor::from_entries([3, 3, 3], vec![[0, 0, 0], [1, 1, 1], [2, 2, 2], [0, 1, 2]]);
         let f = TuckerFactorization { core, a, b, c };
         (f.reconstruct(), f)
     }
@@ -690,9 +695,9 @@ mod tests {
         // Row i of X_(1) must be the OR of patterns selected by a_i:.
         for i in 0..12usize {
             let mut expect = BitVec::zeros((10 * 11) as usize);
-            for p in 0..3 {
+            for (p, pattern) in patterns.iter().enumerate().take(3) {
                 if f.a.get(i, p) {
-                    expect.or_assign(&patterns[p]);
+                    expect.or_assign(pattern);
                 }
             }
             for col in 0..(10 * 11) as u64 {
@@ -715,7 +720,10 @@ mod tests {
         .error(&x);
         let a2 = update_factor(&unf1, &noisy_a, &patterns);
         let after = TuckerFactorization { a: a2, ..f.clone() }.error(&x);
-        assert!(after <= before, "update worsened the error: {before} → {after}");
+        assert!(
+            after <= before,
+            "update worsened the error: {before} → {after}"
+        );
     }
 
     #[test]

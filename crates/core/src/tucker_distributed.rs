@@ -32,7 +32,9 @@ use crate::cache::{GroupLayout, RowSumCache};
 use crate::config::DbtfError;
 use crate::driver::distribute_unfoldings;
 use crate::partition::ModePartition;
-use crate::tucker::{init_set, revive_dead_components, TuckerConfig, TuckerFactorization, TuckerResult};
+use crate::tucker::{
+    init_set, revive_dead_components, TuckerConfig, TuckerFactorization, TuckerResult,
+};
 use crate::update::PartitionSlot;
 
 /// Worker-side state of one partition during a distributed Tucker factor
@@ -97,9 +99,9 @@ impl TuckerWorkState {
     fn union_mask(&self, block: usize, row: usize, skip: Option<usize>) -> u64 {
         let masks = &self.block_masks[block];
         let mut union = 0u64;
-        for t in 0..self.factor.cols() {
+        for (t, &mask) in masks.iter().enumerate() {
             if Some(t) != skip && self.factor.get(row, t) {
-                union |= masks[t];
+                union |= mask;
             }
         }
         union
@@ -138,9 +140,9 @@ impl TuckerWorkState {
             (inter, pop_in_block)
         } else {
             let mut keys = vec![0u64; ngroups];
-            for g in 0..ngroups {
+            for (g, key) in keys.iter_mut().enumerate() {
                 let (first, bits) = self.layout.group(g);
-                keys[g] = (union >> first) & (u64::MAX >> (64 - bits));
+                *key = (union >> first) & (u64::MAX >> (64 - bits));
             }
             let words = cache.width().div_ceil(64);
             cache.fetch_or(&keys, &mut scratch[..words]);
@@ -179,7 +181,7 @@ pub fn tucker_factorize_distributed(
         ));
     }
     let dims = x.dims();
-    if dims.iter().any(|&d| d == 0) {
+    if dims.contains(&0) {
         return Err(DbtfError::EmptyTensor);
     }
     let n_partitions = cluster.config().workers * cluster.config().cores_per_worker;
@@ -330,13 +332,12 @@ fn update_factor_distributed(
                 if mask_t == 0 {
                     continue; // both candidates reconstruct identically
                 }
-                for row in 0..part.nrows {
+                for (row, err) in errs.iter_mut().enumerate() {
                     let base = state.union_mask(b, row, Some(col));
                     let (e0, o0) = state.block_error(part, b, row, base, &mut scratch);
-                    let (e1, o1) =
-                        state.block_error(part, b, row, base | mask_t, &mut scratch);
-                    errs[row].0 += e0;
-                    errs[row].1 += e1;
+                    let (e1, o1) = state.block_error(part, b, row, base | mask_t, &mut scratch);
+                    err.0 += e0;
+                    err.1 += e1;
                     ops += o0 + o1 + r_t as u64;
                 }
             }
@@ -439,10 +440,7 @@ fn update_core_distributed(
                 {
                     continue;
                 }
-                let current = cluster.broadcast(
-                    entries.clone(),
-                    entries.len() as u64 * 6 + 16,
-                );
+                let current = cluster.broadcast(entries.clone(), entries.len() as u64 * 6 + 16);
                 let counts: Vec<(u64, u64)> = cluster.map_partitions(px1, {
                     let factors = factors.clone();
                     let current = current.clone();
@@ -467,7 +465,9 @@ fn update_core_distributed(
                 } else {
                     // delta = zeros − ones; flip on when delta < 0.
                     if ones > zeros {
-                        let idx = entries.binary_search(&e).expect_err("inactive entry absent");
+                        let idx = entries
+                            .binary_search(&e)
+                            .expect_err("inactive entry absent");
                         entries.insert(idx, e);
                     }
                 }

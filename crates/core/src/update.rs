@@ -2,17 +2,33 @@
 //! Section III-A/III-C, Algorithm 4).
 //!
 //! During one `UpdateFactor` call, every partition holds a transient
-//! [`WorkState`]: a working copy of the factor matrix being updated, the
-//! per-block key masks of `M_f`, and the cached Boolean row summations of
-//! `M_sᵀ` (full-size plus vertically sliced caches for the partition's edge
-//! blocks). The driver drives one superstep per factor column; each
+//! [`WorkState`]: the per-row group key masks of the factor being updated,
+//! the per-block key masks of `M_f`, and the cached Boolean row summations
+//! of `M_sᵀ` (full-size plus vertically sliced caches for the partition's
+//! edge blocks). The driver drives one superstep per factor column; each
 //! superstep scores both candidate values of every row's entry in that
 //! column against the partition's share of the unfolded tensor.
+//!
+//! # Hot-path design
+//!
+//! The column superstep is DBTF's innermost loop, so [`WorkState`] is built
+//! for zero per-superstep heap allocation and minimal redundant work:
+//!
+//! - **Incremental key masks.** The working factor copy is held directly as
+//!   the `P × G` group-key buffer `row_masks`; [`WorkState::apply_column`]
+//!   patches the changed column's single bit per row (word-wise over the
+//!   broadcast column) instead of rebuilding the whole buffer each call.
+//! - **Owned scratch.** Key and OR scratch buffers live in the state, sized
+//!   once in [`WorkState::build`].
+//! - **Density-adaptive intersection.** Each block chooses, at build time,
+//!   between probing its sparse ones against the cached row (cost
+//!   `O(nnz)`) and a word-wise AND + popcount against a dense bitmap of
+//!   its rows (cost `O(width/64)` per row) — whichever is cheaper.
 
 use dbtf_tensor::{BitMatrix, BitVec};
 
 use crate::cache::{GroupLayout, RowSumCache};
-use crate::partition::{BlockKind, ModePartition};
+use crate::partition::{Block, BlockKind, ModePartition};
 
 /// A partition plus its transient update state; the element type stored in
 /// the cluster's distributed datasets.
@@ -43,19 +59,77 @@ enum BlockCache {
     Sliced(RowSumCache),
 }
 
+/// A dense row-major bitmap of one block's rows, built when the block is
+/// dense enough that word-wise AND + popcount beats per-nonzero probing.
+struct DenseRows {
+    /// Words per row (`inner_len.div_ceil(64)`).
+    words: usize,
+    /// `nrows × words` bitmap; bit `c` of row `r` ⇔ block one at `(r, c)`.
+    data: Vec<u64>,
+}
+
+impl DenseRows {
+    /// Builds the bitmap from the block's CSR rows.
+    fn build(block: &Block, nrows: usize) -> Self {
+        let words = (block.inner_len as usize).div_ceil(64);
+        let mut data = vec![0u64; nrows * words];
+        for r in 0..nrows {
+            let row = &mut data[r * words..(r + 1) * words];
+            for &o in block.row(r) {
+                row[(o / 64) as usize] |= 1u64 << (o % 64);
+            }
+        }
+        DenseRows { words, data }
+    }
+
+    /// The bitmap words of row `r`.
+    #[inline]
+    fn row(&self, r: usize) -> &[u64] {
+        &self.data[r * self.words..(r + 1) * self.words]
+    }
+
+    /// Heap bytes held.
+    fn byte_size(&self) -> u64 {
+        self.data.len() as u64 * 8
+    }
+}
+
+/// Whether `block` should intersect via a dense bitmap: per-row probing
+/// costs `O(nnz)` over the block, the dense path `O(nrows × words)`, so
+/// the bitmap wins once the ones outnumber the words. Deterministic per
+/// block, so virtual-time ops never depend on the execution schedule.
+fn use_dense(block: &Block, nrows: usize) -> bool {
+    let words = (block.inner_len as usize).div_ceil(64);
+    block.nnz() >= nrows * words
+}
+
 /// Transient state of one partition during an `UpdateFactor` call.
-pub(crate) struct WorkState {
+///
+/// Public so benchmarks can drive the column-superstep kernel directly;
+/// within the crate it is owned by [`PartitionSlot`].
+pub struct WorkState {
     layout: GroupLayout,
-    /// Working copy of the factor matrix being updated (`P × R`). Kept in
-    /// sync with the driver's master copy via per-column broadcasts.
-    a: BitMatrix,
+    /// Row count `P` of the factor being updated.
+    nrows: usize,
+    /// The working factor copy, held directly in key form: `P × G` group
+    /// key words, `row_masks[r·G + g]` = group-`g` bits of factor row `r`.
+    /// Maintained incrementally by [`WorkState::apply_column`].
+    row_masks: Vec<u64>,
     /// Per-block group key masks of the owning `M_f` row
     /// (`mf_masks[b][g] = group-g bits of m_{f, slab(b)}`).
     mf_masks: Vec<Vec<u64>>,
     full_cache: RowSumCache,
     block_caches: Vec<BlockCache>,
-    /// Scratch row-mask buffer (`P × G`), refreshed each column superstep.
-    row_masks: Vec<u64>,
+    /// Per-block dense bitmaps for blocks past the density threshold.
+    dense_rows: Vec<Option<DenseRows>>,
+    /// Scratch: one key word per group.
+    keys: Vec<u64>,
+    /// Scratch: OR of the cached rows of all groups except the superstep's.
+    scratch_base: Vec<u64>,
+    /// Scratch: combined cached row under candidate 0 / the current keys.
+    scratch0: Vec<u64>,
+    /// Scratch: combined cached row under candidate 1.
+    scratch1: Vec<u64>,
 }
 
 /// Ops-accounting constants: one unit ≈ one 64-bit word operation.
@@ -66,13 +140,17 @@ mod cost {
     pub const WORD: u64 = 1;
     /// Per sparse one tested against a cached row.
     pub const NNZ_TEST: u64 = 1;
+    /// Per word ANDed + popcounted on the dense intersection path.
+    pub const DENSE_AND: u64 = 1;
 }
 
 impl WorkState {
     /// Builds the update state for `part`: caches all Boolean row
-    /// summations of `M_sᵀ` (sliced per edge block) and extracts the
-    /// per-block `M_f` key masks. Returns the state and the charged ops.
-    pub(crate) fn build(
+    /// summations of `M_sᵀ` (sliced per edge block), extracts the
+    /// per-block `M_f` key masks, converts `a` into the incremental
+    /// row-key buffer, and sizes all kernel scratch. Returns the state and
+    /// the charged ops.
+    pub fn build(
         part: &ModePartition,
         a: &BitMatrix,
         mf: &BitMatrix,
@@ -82,7 +160,11 @@ impl WorkState {
         let rank = a.cols();
         debug_assert_eq!(mf.cols(), rank);
         debug_assert_eq!(ms.cols(), rank);
-        debug_assert_eq!(ms.rows(), part.slab_width, "M_s height must be the slab width");
+        debug_assert_eq!(
+            ms.rows(),
+            part.slab_width,
+            "M_s height must be the slab width"
+        );
         let layout = GroupLayout::new(rank, v_limit);
         let ngroups = layout.num_groups();
 
@@ -92,6 +174,7 @@ impl WorkState {
 
         let mut mf_masks = Vec::with_capacity(part.blocks.len());
         let mut block_caches = Vec::with_capacity(part.blocks.len());
+        let mut dense_rows = Vec::with_capacity(part.blocks.len());
         for block in &part.blocks {
             let mut masks = vec![0u64; ngroups];
             layout.row_masks(mf, block.slab, &mut masks);
@@ -108,21 +191,42 @@ impl WorkState {
                     block_caches.push(BlockCache::Sliced(sliced));
                 }
             }
+            if use_dense(block, part.nrows) {
+                let dense = DenseRows::build(block, part.nrows);
+                ops += dense.data.len() as u64 * cost::WORD;
+                dense_rows.push(Some(dense));
+            } else {
+                dense_rows.push(None);
+            }
         }
 
+        // Seed the incremental key buffer from the initial factor copy.
+        let mut row_masks = vec![0u64; part.nrows * ngroups];
+        for r in 0..part.nrows {
+            layout.row_masks(a, r, &mut row_masks[r * ngroups..(r + 1) * ngroups]);
+        }
+        ops += (part.nrows * ngroups) as u64 * cost::KEY;
+
+        let scratch_words = part.slab_width.div_ceil(64).max(1);
         let state = WorkState {
             layout,
-            a: a.clone(),
+            nrows: part.nrows,
+            row_masks,
             mf_masks,
             full_cache,
             block_caches,
-            row_masks: vec![0u64; part.nrows * ngroups],
+            dense_rows,
+            keys: vec![0u64; ngroups],
+            scratch_base: vec![0u64; scratch_words],
+            scratch0: vec![0u64; scratch_words],
+            scratch1: vec![0u64; scratch_words],
         };
         (state, ops)
     }
 
-    /// Total bytes held by this state's caches (for memory reporting).
-    pub(crate) fn cache_bytes(&self) -> u64 {
+    /// Total bytes held by this state's caches and dense bitmaps (for
+    /// memory reporting).
+    pub fn cache_bytes(&self) -> u64 {
         let sliced: u64 = self
             .block_caches
             .iter()
@@ -131,25 +235,32 @@ impl WorkState {
                 BlockCache::Sliced(s) => s.byte_size(),
             })
             .sum();
-        self.full_cache.byte_size() + sliced
+        let dense: u64 = self
+            .dense_rows
+            .iter()
+            .flatten()
+            .map(DenseRows::byte_size)
+            .sum();
+        self.full_cache.byte_size() + sliced + dense
     }
 
-    /// Applies a decided column to the working factor copy.
-    pub(crate) fn apply_column(&mut self, col: usize, values: &BitVec) {
-        debug_assert_eq!(values.len(), self.a.rows());
-        for r in 0..self.a.rows() {
-            self.a.set(r, col, values.get(r));
-        }
-    }
-
-    /// Refreshes the per-row group key masks from the working factor copy.
-    fn refresh_row_masks(&mut self) {
+    /// Applies a decided column to the working factor copy by patching the
+    /// affected group key word of every row — the incremental counterpart
+    /// of the former full `P × G` rebuild. The broadcast column is read
+    /// whole words at a time.
+    pub fn apply_column(&mut self, col: usize, values: &BitVec) {
+        debug_assert_eq!(values.len(), self.nrows);
         let ngroups = self.layout.num_groups();
-        for r in 0..self.a.rows() {
-            let base = r * ngroups;
-            for g in 0..ngroups {
-                let (first, bits) = self.layout.group(g);
-                self.row_masks[base + g] = self.a.row_word(r, first, bits);
+        let (gc, off) = self.layout.locate(col);
+        let col_bit = 1u64 << off;
+        for (wi, &word) in values.words().iter().enumerate() {
+            let row0 = wi * 64;
+            let in_word = (self.nrows - row0).min(64);
+            for i in 0..in_word {
+                let idx = (row0 + i) * ngroups + gc;
+                // Branchless single-bit patch from the value word.
+                let bit = (word >> i) & 1;
+                self.row_masks[idx] = (self.row_masks[idx] & !col_bit) | (bit * col_bit);
             }
         }
     }
@@ -161,21 +272,16 @@ impl WorkState {
     /// whose `M_f` row has a one in column `col` — blocks without it
     /// contribute identically to both candidates, so skipping them leaves
     /// every `err1 − err0` comparison exact. Also returns the charged ops.
-    pub(crate) fn column_errors(
-        &mut self,
-        part: &ModePartition,
-        col: usize,
-    ) -> (Vec<(u64, u64)>, u64) {
+    ///
+    /// Aside from the returned vector (the task's result payload), this
+    /// performs no heap allocation: all scratch lives in the state.
+    pub fn column_errors(&mut self, part: &ModePartition, col: usize) -> (Vec<(u64, u64)>, u64) {
         let nrows = part.nrows;
         let ngroups = self.layout.num_groups();
         let (gc, off) = self.layout.locate(col);
         let col_bit = 1u64 << off;
-        self.refresh_row_masks();
-        let mut ops = (nrows * ngroups) as u64 * cost::KEY;
+        let mut ops = 0u64;
         let mut errs = vec![(0u64, 0u64); nrows];
-        let scratch_words = part.slab_width.div_ceil(64).max(1);
-        let mut scratch0 = vec![0u64; scratch_words];
-        let mut scratch1 = vec![0u64; scratch_words];
 
         for (b, block) in part.blocks.iter().enumerate() {
             let mf = &self.mf_masks[b];
@@ -186,56 +292,113 @@ impl WorkState {
                 BlockCache::Full => &self.full_cache,
                 BlockCache::Sliced(s) => s,
             };
+            let dense = self.dense_rows[b].as_ref();
+            // Loop-invariant per block: word width of the cached rows.
+            let cache_words = cache.width().div_ceil(64);
             if ngroups == 1 {
-                for r in 0..nrows {
-                    let base = self.row_masks[r] & mf[0];
+                let mf0 = mf[0];
+                for (r, err) in errs.iter_mut().enumerate() {
+                    let base = self.row_masks[r * ngroups] & mf0;
                     let key0 = base & !col_bit;
                     let key1 = base | col_bit;
                     let (row0, pop0) = cache.fetch_single(key0);
                     let (row1, pop1) = cache.fetch_single(key1);
-                    let actual = block.row(r);
-                    let (mut inter0, mut inter1) = (0u64, 0u64);
-                    for &o in actual {
-                        let w = (o / 64) as usize;
-                        let bit = 1u64 << (o % 64);
-                        inter0 += u64::from(row0.words()[w] & bit != 0);
-                        inter1 += u64::from(row1.words()[w] & bit != 0);
+                    let (inter0, inter1);
+                    let nnz = block.row(r).len() as u64;
+                    match dense {
+                        Some(d) => {
+                            let (mut i0, mut i1) = (0u64, 0u64);
+                            let dr = d.row(r);
+                            for (w, &dw) in dr.iter().enumerate() {
+                                i0 += (row0.words()[w] & dw).count_ones() as u64;
+                                i1 += (row1.words()[w] & dw).count_ones() as u64;
+                            }
+                            (inter0, inter1) = (i0, i1);
+                            ops += cost::KEY + 2 * cache_words as u64 * cost::DENSE_AND;
+                        }
+                        None => {
+                            let (mut i0, mut i1) = (0u64, 0u64);
+                            for &o in block.row(r) {
+                                let w = (o / 64) as usize;
+                                let bit = 1u64 << (o % 64);
+                                i0 += u64::from(row0.words()[w] & bit != 0);
+                                i1 += u64::from(row1.words()[w] & bit != 0);
+                            }
+                            (inter0, inter1) = (i0, i1);
+                            ops += cost::KEY + 2 * nnz * cost::NNZ_TEST;
+                        }
                     }
-                    let nnz = actual.len() as u64;
-                    errs[r].0 += pop0 as u64 + nnz - 2 * inter0;
-                    errs[r].1 += pop1 as u64 + nnz - 2 * inter1;
-                    ops += cost::KEY + 2 * nnz * cost::NNZ_TEST;
+                    err.0 += pop0 as u64 + nnz - 2 * inter0;
+                    err.1 += pop1 as u64 + nnz - 2 * inter1;
                 }
             } else {
-                let mut keys0 = vec![0u64; ngroups];
-                let mut keys1 = vec![0u64; ngroups];
-                let words = (block.inner_len as u64).div_ceil(64);
-                for r in 0..nrows {
+                for (r, err) in errs.iter_mut().enumerate() {
                     let base = r * ngroups;
+                    for (g, key) in self.keys.iter_mut().enumerate() {
+                        *key = self.row_masks[base + g] & mf[g];
+                    }
+                    // The two candidates differ only in group `gc`, so OR
+                    // the other groups once and share the result.
+                    let sb = &mut self.scratch_base[..cache_words];
+                    sb.fill(0);
                     for g in 0..ngroups {
-                        let key = self.row_masks[base + g] & mf[g];
-                        keys0[g] = key;
-                        keys1[g] = key;
+                        if g != gc {
+                            for (d, s) in
+                                sb.iter_mut().zip(cache.group_row(g, self.keys[g]).words())
+                            {
+                                *d |= s;
+                            }
+                        }
                     }
-                    keys0[gc] &= !col_bit;
-                    keys1[gc] |= col_bit;
-                    let cache_words = cache.width().div_ceil(64);
-                    let pop0 = cache.fetch_or(&keys0, &mut scratch0[..cache_words]);
-                    let pop1 = cache.fetch_or(&keys1, &mut scratch1[..cache_words]);
-                    let actual = block.row(r);
-                    let (mut inter0, mut inter1) = (0u64, 0u64);
-                    for &o in actual {
-                        let w = (o / 64) as usize;
-                        let bit = 1u64 << (o % 64);
-                        inter0 += u64::from(scratch0[w] & bit != 0);
-                        inter1 += u64::from(scratch1[w] & bit != 0);
+                    let key0 = self.keys[gc] & !col_bit;
+                    let key1 = self.keys[gc] | col_bit;
+                    let row0 = cache.group_row(gc, key0).words();
+                    let row1 = cache.group_row(gc, key1).words();
+                    let nnz = block.row(r).len() as u64;
+                    let (mut pop0, mut pop1) = (0u64, 0u64);
+                    let (inter0, inter1);
+                    match dense {
+                        Some(d) => {
+                            let (mut i0, mut i1) = (0u64, 0u64);
+                            let dr = d.row(r);
+                            for w in 0..cache_words {
+                                let w0 = self.scratch_base[w] | row0[w];
+                                let w1 = self.scratch_base[w] | row1[w];
+                                pop0 += w0.count_ones() as u64;
+                                pop1 += w1.count_ones() as u64;
+                                i0 += (w0 & dr[w]).count_ones() as u64;
+                                i1 += (w1 & dr[w]).count_ones() as u64;
+                            }
+                            (inter0, inter1) = (i0, i1);
+                            ops += ngroups as u64 * cost::KEY
+                                + cache_words as u64 * (ngroups as u64 - 1) * cost::WORD
+                                + 2 * cache_words as u64 * (cost::WORD + cost::DENSE_AND);
+                        }
+                        None => {
+                            for w in 0..cache_words {
+                                let w0 = self.scratch_base[w] | row0[w];
+                                let w1 = self.scratch_base[w] | row1[w];
+                                pop0 += w0.count_ones() as u64;
+                                pop1 += w1.count_ones() as u64;
+                                self.scratch0[w] = w0;
+                                self.scratch1[w] = w1;
+                            }
+                            let (mut i0, mut i1) = (0u64, 0u64);
+                            for &o in block.row(r) {
+                                let w = (o / 64) as usize;
+                                let bit = 1u64 << (o % 64);
+                                i0 += u64::from(self.scratch0[w] & bit != 0);
+                                i1 += u64::from(self.scratch1[w] & bit != 0);
+                            }
+                            (inter0, inter1) = (i0, i1);
+                            ops += ngroups as u64 * cost::KEY
+                                + cache_words as u64 * (ngroups as u64 - 1) * cost::WORD
+                                + 2 * cache_words as u64 * cost::WORD
+                                + 2 * nnz * cost::NNZ_TEST;
+                        }
                     }
-                    let nnz = actual.len() as u64;
-                    errs[r].0 += pop0 as u64 + nnz - 2 * inter0;
-                    errs[r].1 += pop1 as u64 + nnz - 2 * inter1;
-                    ops += ngroups as u64 * cost::KEY
-                        + 2 * words * (ngroups as u64 + 1) * cost::WORD
-                        + 2 * nnz * cost::NNZ_TEST;
+                    err.0 += pop0 + nnz - 2 * inter0;
+                    err.1 += pop1 + nnz - 2 * inter1;
                 }
             }
         }
@@ -245,50 +408,76 @@ impl WorkState {
     /// Exact reconstruction error of this partition's column range under
     /// the *current* working factor copy:
     /// `Σ_rows |[X_(n)]_{r, lo..hi} ⊕ [A ∘ (M_f ⊙ M_s)ᵀ]_{r, lo..hi}|`.
-    pub(crate) fn partition_error(&mut self, part: &ModePartition) -> (u64, u64) {
+    pub fn partition_error(&mut self, part: &ModePartition) -> (u64, u64) {
         let nrows = part.nrows;
         let ngroups = self.layout.num_groups();
-        self.refresh_row_masks();
-        let mut ops = (nrows * ngroups) as u64 * cost::KEY;
+        let mut ops = 0u64;
         let mut err = 0u64;
-        let mut keys = vec![0u64; ngroups];
-        let scratch_words = part.slab_width.div_ceil(64).max(1);
-        let mut scratch = vec![0u64; scratch_words];
         for (b, block) in part.blocks.iter().enumerate() {
             let mf = &self.mf_masks[b];
             let cache = match &self.block_caches[b] {
                 BlockCache::Full => &self.full_cache,
                 BlockCache::Sliced(s) => s,
             };
+            let dense = self.dense_rows[b].as_ref();
+            // Loop-invariant per block: word width of the cached rows.
+            let cache_words = cache.width().div_ceil(64);
             for r in 0..nrows {
                 let base = r * ngroups;
-                for g in 0..ngroups {
-                    keys[g] = self.row_masks[base + g] & mf[g];
-                }
-                let actual = block.row(r);
-                let nnz = actual.len() as u64;
+                let nnz = block.row(r).len() as u64;
+                let (pop, inter);
                 if ngroups == 1 {
-                    let (row, pop) = cache.fetch_single(keys[0]);
-                    let mut inter = 0u64;
-                    for &o in actual {
-                        let w = (o / 64) as usize;
-                        inter += u64::from(row.words()[w] & (1u64 << (o % 64)) != 0);
+                    let (row, row_pop) = cache.fetch_single(self.row_masks[r] & mf[0]);
+                    pop = row_pop as u64;
+                    match dense {
+                        Some(d) => {
+                            let mut i = 0u64;
+                            for (w, &dw) in d.row(r).iter().enumerate() {
+                                i += (row.words()[w] & dw).count_ones() as u64;
+                            }
+                            inter = i;
+                            ops += cost::KEY + cache_words as u64 * cost::DENSE_AND;
+                        }
+                        None => {
+                            let mut i = 0u64;
+                            for &o in block.row(r) {
+                                let w = (o / 64) as usize;
+                                i += u64::from(row.words()[w] & (1u64 << (o % 64)) != 0);
+                            }
+                            inter = i;
+                            ops += cost::KEY + nnz * cost::NNZ_TEST;
+                        }
                     }
-                    err += pop as u64 + nnz - 2 * inter;
-                    ops += cost::KEY + nnz * cost::NNZ_TEST;
                 } else {
-                    let cache_words = cache.width().div_ceil(64);
-                    let pop = cache.fetch_or(&keys, &mut scratch[..cache_words]);
-                    let mut inter = 0u64;
-                    for &o in actual {
-                        let w = (o / 64) as usize;
-                        inter += u64::from(scratch[w] & (1u64 << (o % 64)) != 0);
+                    for (g, key) in self.keys.iter_mut().enumerate() {
+                        *key = self.row_masks[base + g] & mf[g];
                     }
-                    err += pop as u64 + nnz - 2 * inter;
-                    ops += ngroups as u64 * cost::KEY
-                        + (block.inner_len as u64).div_ceil(64) * (ngroups as u64 + 1)
-                        + nnz * cost::NNZ_TEST;
+                    pop = cache.fetch_or(&self.keys, &mut self.scratch0[..cache_words]) as u64;
+                    match dense {
+                        Some(d) => {
+                            let mut i = 0u64;
+                            for (w, &dw) in d.row(r).iter().enumerate() {
+                                i += (self.scratch0[w] & dw).count_ones() as u64;
+                            }
+                            inter = i;
+                            ops += ngroups as u64 * cost::KEY
+                                + cache_words as u64 * (ngroups as u64 + 1) * cost::WORD
+                                + cache_words as u64 * cost::DENSE_AND;
+                        }
+                        None => {
+                            let mut i = 0u64;
+                            for &o in block.row(r) {
+                                let w = (o / 64) as usize;
+                                i += u64::from(self.scratch0[w] & (1u64 << (o % 64)) != 0);
+                            }
+                            inter = i;
+                            ops += ngroups as u64 * cost::KEY
+                                + cache_words as u64 * (ngroups as u64 + 1) * cost::WORD
+                                + nnz * cost::NNZ_TEST;
+                        }
+                    }
                 }
+                err += pop + nnz - 2 * inter;
             }
         }
         (err, ops)
@@ -408,7 +597,7 @@ mod tests {
                             a_mod.set(r, col, val);
                         }
                         let recon = bool_matmul(&a_mod, &khatri_rao(&c, &b).transpose());
-                        for r in 0..dims[0] {
+                        for (r, &sum) in sums.iter().enumerate() {
                             let mut expect = 0u64;
                             for k in 0..dims[2] {
                                 if !c.get(k, col) {
@@ -419,7 +608,7 @@ mod tests {
                                         u64::from(unf.get(r, cc) != recon.get(r, cc as usize));
                                 }
                             }
-                            let got = if val { sums[r].1 } else { sums[r].0 };
+                            let got = if val { sum.1 } else { sum.0 };
                             assert_eq!(got, expect, "N={n} V={v} col={col} row={r} val={val}");
                         }
                     }
@@ -454,6 +643,79 @@ mod tests {
         // (`before` is almost surely different, but don't rely on chance.)
         let expect_before = naive_range_error(&unf, &a, &c, &b, 0, unf.ncols());
         assert_eq!(before, expect_before);
+    }
+
+    /// The incremental mask maintenance must agree with rebuilding the
+    /// state from the modified factor, across multi-group layouts and
+    /// repeated column applications.
+    #[test]
+    fn incremental_masks_match_rebuild() {
+        let dims = [6, 5, 7];
+        let t = random_tensor(dims, 0.3, 28);
+        let mut rng = StdRng::seed_from_u64(29);
+        let rank = 5;
+        let a = BitMatrix::random(dims[0], rank, 0.5, &mut rng);
+        let b = BitMatrix::random(dims[1], rank, 0.5, &mut rng);
+        let c = BitMatrix::random(dims[2], rank, 0.5, &mut rng);
+        let unf = Unfolding::new(&t, Mode::One);
+        for v in [15usize, 2, 1] {
+            let parts = partition_unfolding(&unf, 3);
+            for p in &parts {
+                let (mut ws, _) = WorkState::build(p, &a, &c, &b, v);
+                let mut a_mod = a.clone();
+                // Apply a pseudo-random column sequence to both copies.
+                for (step, col) in [0usize, 3, 1, 4, 2, 0, 4].into_iter().enumerate() {
+                    let mut vals = BitVec::zeros(dims[0]);
+                    for r in 0..dims[0] {
+                        let bit = (r + step + col) % 3 != 0;
+                        vals.set(r, bit);
+                        a_mod.set(r, col, bit);
+                    }
+                    ws.apply_column(col, &vals);
+                }
+                let (mut fresh, _) = WorkState::build(p, &a_mod, &c, &b, v);
+                let (err_inc, ops_inc) = ws.partition_error(p);
+                let (err_fresh, ops_fresh) = fresh.partition_error(p);
+                assert_eq!(err_inc, err_fresh, "V = {v}, partition {}", p.index);
+                assert_eq!(ops_inc, ops_fresh, "ops must not depend on history");
+                for col in 0..rank {
+                    let (e_inc, _) = ws.column_errors(p, col);
+                    let (e_fresh, _) = fresh.column_errors(p, col);
+                    assert_eq!(e_inc, e_fresh, "V = {v}, col {col}");
+                }
+            }
+        }
+    }
+
+    /// A dense block must take the bitmap path and produce identical
+    /// errors to the sparse probe path (exercised via a sparse tensor).
+    #[test]
+    fn dense_path_matches_sparse_semantics() {
+        let dims = [4, 6, 5];
+        // Density 0.9 ⇒ every block passes the nnz ≥ nrows × words
+        // threshold (words = 1 at these widths).
+        let t = random_tensor(dims, 0.9, 30);
+        let mut rng = StdRng::seed_from_u64(31);
+        let rank = 3;
+        let a = BitMatrix::random(dims[0], rank, 0.5, &mut rng);
+        let b = BitMatrix::random(dims[1], rank, 0.5, &mut rng);
+        let c = BitMatrix::random(dims[2], rank, 0.5, &mut rng);
+        let unf = Unfolding::new(&t, Mode::One);
+        let parts = partition_unfolding(&unf, 2);
+        let mut used_dense = false;
+        for p in &parts {
+            for block in &p.blocks {
+                used_dense |= use_dense(block, p.nrows);
+            }
+            for v in [15usize, 2] {
+                let (mut ws, _) = WorkState::build(p, &a, &c, &b, v);
+                let (err, _) = ws.partition_error(p);
+                let lo = p.col_lo;
+                let hi = p.col_hi;
+                assert_eq!(err, naive_range_error(&unf, &a, &c, &b, lo, hi));
+            }
+        }
+        assert!(used_dense, "test tensor should trigger the dense path");
     }
 
     #[test]

@@ -120,7 +120,11 @@ fn errors_monotone_and_consistent() {
     };
     let result = factorize(&cluster, &x, &config).unwrap();
     for w in result.iteration_errors.windows(2) {
-        assert!(w[1] <= w[0], "errors increased: {:?}", result.iteration_errors);
+        assert!(
+            w[1] <= w[0],
+            "errors increased: {:?}",
+            result.iteration_errors
+        );
     }
     assert_eq!(result.factors.error(&x) as u64, result.error);
     assert_eq!(result.iterations, result.iteration_errors.len());

@@ -129,9 +129,9 @@ proptest! {
         let mut scratch = vec![0u64; s.div_ceil(64)];
         for mask in 0u64..(1 << rank).min(64) {
             let mut keys = vec![0u64; layout.num_groups()];
-            for g in 0..layout.num_groups() {
+            for (g, key) in keys.iter_mut().enumerate() {
                 let (first, bits) = layout.group(g);
-                keys[g] = (mask >> first) & ((1u64 << bits) - 1);
+                *key = (mask >> first) & ((1u64 << bits) - 1);
             }
             let pop = cache.fetch_or(&keys, &mut scratch);
             let expect = or_selected_rows(&mst, &BitVec::from_words(rank, vec![mask]));
@@ -144,9 +144,9 @@ proptest! {
         let sliced = cache.slice(lo, len);
         for mask in 0u64..(1 << rank).min(16) {
             let mut keys = vec![0u64; layout.num_groups()];
-            for g in 0..layout.num_groups() {
+            for (g, key) in keys.iter_mut().enumerate() {
                 let (first, bits) = layout.group(g);
-                keys[g] = (mask >> first) & ((1u64 << bits) - 1);
+                *key = (mask >> first) & ((1u64 << bits) - 1);
             }
             let mut sl_scratch = vec![0u64; len.div_ceil(64).max(1)];
             sliced.fetch_or(&keys, &mut sl_scratch);

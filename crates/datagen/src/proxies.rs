@@ -140,7 +140,7 @@ pub fn generate_proxy(spec: &DatasetSpec, scale: f64, seed: u64) -> BoolTensor {
     assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
     let dims = spec.scaled_dims(scale);
     let target = spec.scaled_nnz(scale) as usize;
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xda7a_5e7);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0da7_a5e7);
     let mut builder = TensorBuilder::with_capacity(dims, target + target / 8 + 16);
     // Structured entries fill ~80% of the budget; background the rest.
     let structured_budget = target * 4 / 5;

@@ -96,8 +96,7 @@ mod tests {
         let t = uniform_random([16, 16, 16], 0.1, 3);
         // With ~410 entries, every mode should see many distinct indices.
         for m in 0..3 {
-            let distinct: std::collections::HashSet<u32> =
-                t.iter().map(|e| e[m]).collect();
+            let distinct: std::collections::HashSet<u32> = t.iter().map(|e| e[m]).collect();
             assert!(distinct.len() > 8, "mode {m} too concentrated");
         }
     }

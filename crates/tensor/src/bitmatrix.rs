@@ -109,7 +109,10 @@ impl BitMatrix {
     /// Reads entry `(r, c)`.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> bool {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of range"
+        );
         let w = self.data[r * self.words_per_row + c / WORD_BITS];
         (w >> (c % WORD_BITS)) & 1 == 1
     }
@@ -117,7 +120,10 @@ impl BitMatrix {
     /// Writes entry `(r, c)`.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, value: bool) {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of range"
+        );
         let w = &mut self.data[r * self.words_per_row + c / WORD_BITS];
         let mask = 1u64 << (c % WORD_BITS);
         if value {
@@ -225,13 +231,10 @@ impl BitMatrix {
     pub fn iter_row_ones(&self, r: usize) -> impl Iterator<Item = usize> + '_ {
         self.row(r).iter().enumerate().flat_map(|(wi, &w)| {
             let base = wi * WORD_BITS;
-            std::iter::successors(
-                if w != 0 { Some(w) } else { None },
-                |&rem| {
-                    let next = rem & (rem - 1);
-                    (next != 0).then_some(next)
-                },
-            )
+            std::iter::successors(if w != 0 { Some(w) } else { None }, |&rem| {
+                let next = rem & (rem - 1);
+                (next != 0).then_some(next)
+            })
             .map(move |rem| base + rem.trailing_zeros() as usize)
         })
     }

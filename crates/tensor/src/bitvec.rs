@@ -65,7 +65,10 @@ impl BitVec {
     /// Tail bits beyond `nbits` are cleared.
     pub fn from_words(nbits: usize, mut words: Vec<u64>) -> Self {
         assert_eq!(words.len(), words_for(nbits), "word count mismatch");
-        let mut v = BitVec { nbits, words: Vec::new() };
+        let mut v = BitVec {
+            nbits,
+            words: Vec::new(),
+        };
         std::mem::swap(&mut v.words, &mut words);
         v.mask_tail();
         v
@@ -192,13 +195,10 @@ impl BitVec {
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
             let base = wi * WORD_BITS;
-            std::iter::successors(
-                if w != 0 { Some(w) } else { None },
-                |&rem| {
-                    let next = rem & (rem - 1);
-                    (next != 0).then_some(next)
-                },
-            )
+            std::iter::successors(if w != 0 { Some(w) } else { None }, |&rem| {
+                let next = rem & (rem - 1);
+                (next != 0).then_some(next)
+            })
             .map(move |rem| base + rem.trailing_zeros() as usize)
         })
     }

@@ -102,7 +102,11 @@ pub fn read_tensor<R: Read>(reader: R) -> Result<BoolTensor, ParseError> {
         if entries.is_empty() {
             [0, 0, 0]
         } else {
-            [max[0] as usize + 1, max[1] as usize + 1, max[2] as usize + 1]
+            [
+                max[0] as usize + 1,
+                max[1] as usize + 1,
+                max[2] as usize + 1,
+            ]
         }
     });
     let mut builder = TensorBuilder::with_capacity(dims, entries.len());

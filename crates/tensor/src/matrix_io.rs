@@ -62,9 +62,7 @@ pub fn read_matrix<R: Read>(reader: R) -> Result<BitMatrix, ParseError> {
         }
         line_no += 1;
         for tok in line.split_whitespace() {
-            let c: usize = tok
-                .parse()
-                .map_err(|_| malformed(line_no, line.trim()))?;
+            let c: usize = tok.parse().map_err(|_| malformed(line_no, line.trim()))?;
             if c >= cols {
                 return Err(ParseError::OutOfRange(line_no, tok.to_string()));
             }

@@ -66,7 +66,13 @@ pub fn kronecker(a: &BitMatrix, b: &BitMatrix) -> BitMatrix {
 ///
 /// Panics if the operands have different column counts.
 pub fn khatri_rao(a: &BitMatrix, b: &BitMatrix) -> BitMatrix {
-    assert_eq!(a.cols(), b.cols(), "rank mismatch: {} vs {}", a.cols(), b.cols());
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "rank mismatch: {} vs {}",
+        a.cols(),
+        b.cols()
+    );
     let r = a.cols();
     let mut out = BitMatrix::zeros(a.rows() * b.rows(), r);
     for i in 0..a.rows() {

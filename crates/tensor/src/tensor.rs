@@ -212,7 +212,9 @@ impl BoolTensor {
     ) -> usize {
         self.entries
             .iter()
-            .filter(|e| i_range.contains(&e[0]) && j_range.contains(&e[1]) && k_range.contains(&e[2]))
+            .filter(|e| {
+                i_range.contains(&e[0]) && j_range.contains(&e[1]) && k_range.contains(&e[2])
+            })
             .count()
     }
 }
@@ -222,7 +224,10 @@ impl fmt::Debug for BoolTensor {
         write!(
             f,
             "BoolTensor[{}×{}×{}, |X| = {}]",
-            self.dims[0], self.dims[1], self.dims[2], self.nnz()
+            self.dims[0],
+            self.dims[1],
+            self.dims[2],
+            self.nnz()
         )
     }
 }

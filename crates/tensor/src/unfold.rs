@@ -234,7 +234,7 @@ mod tests {
         // x_{ijk} → [X_(2)]_{j, i + k·I}, I = 2.
         let dims = [2, 3, 4];
         assert_eq!(Mode::Two.matricize(dims, [1, 2, 3]), (2, 1 + 3 * 2));
-        assert_eq!(Mode::Two.matricize(dims, [0, 1, 2]), (1, 0 + 2 * 2));
+        assert_eq!(Mode::Two.matricize(dims, [0, 1, 2]), (1, (2 * 2)));
     }
 
     #[test]
@@ -326,11 +326,14 @@ mod tests {
                 let (r, c) = mode.matricize(t.dims(), e);
                 assert!(u.get(r as usize, c));
             }
-            assert!(!u.get(0, u.ncols() - 1) || t.contains(
-                mode.dematricize(t.dims(), 0, u.ncols() - 1)[0],
-                mode.dematricize(t.dims(), 0, u.ncols() - 1)[1],
-                mode.dematricize(t.dims(), 0, u.ncols() - 1)[2],
-            ));
+            assert!(
+                !u.get(0, u.ncols() - 1)
+                    || t.contains(
+                        mode.dematricize(t.dims(), 0, u.ncols() - 1)[0],
+                        mode.dematricize(t.dims(), 0, u.ncols() - 1)[1],
+                        mode.dematricize(t.dims(), 0, u.ncols() - 1)[2],
+                    )
+            );
         }
     }
 }

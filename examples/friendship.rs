@@ -12,8 +12,8 @@
 //! activity window.
 
 use dbtf::{factorize, DbtfConfig};
-use dbtf_tensor::{BoolTensor, TensorBuilder};
 use dbtf_cluster::{Cluster, ClusterConfig};
+use dbtf_tensor::{BoolTensor, TensorBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

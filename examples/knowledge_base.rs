@@ -142,10 +142,8 @@ fn main() {
         .count();
     let recall = hits as f64 / held_out.len().max(1) as f64;
     // Precision proxy: how much of the predicted mass is real (train ∪ test).
-    let all: std::collections::HashSet<[u32; 3]> = x
-        .iter()
-        .chain(held_out.iter().copied())
-        .collect();
+    let all: std::collections::HashSet<[u32; 3]> =
+        x.iter().chain(held_out.iter().copied()).collect();
     let predicted_new: Vec<[u32; 3]> = reconstruction
         .iter()
         .filter(|t| !x.contains(t[0], t[1], t[2]))

@@ -43,10 +43,13 @@ fn main() {
         .enumerate()
         .filter(|&(_, n)| n > 0)
         .collect();
-    victims.sort_by(|a, b| b.1.cmp(&a.1));
+    victims.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     println!("top victims by raw packet count:");
     for &(v, n) in victims.iter().take(3) {
-        println!("  dst {v}: {n} packets ({:.1}% of trace)", 100.0 * n as f64 / x.nnz() as f64);
+        println!(
+            "  dst {v}: {n} packets ({:.1}% of trace)",
+            100.0 * n as f64 / x.nnz() as f64
+        );
     }
 
     // --- DBTF: attack waves as rank-1 components. -------------------------

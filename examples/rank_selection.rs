@@ -36,12 +36,16 @@ fn main() {
         seed: 2,
         ..DbtfConfig::default()
     };
-    let selection = select_rank(&cluster, x, &[1, 2, 3, 4, 5, 6, 8], &base)
-        .expect("selection succeeds");
+    let selection =
+        select_rank(&cluster, x, &[1, 2, 3, 4, 5, 6, 8], &base).expect("selection succeeds");
 
     println!("\n{:>5} {:>10} {:>16}", "rank", "error", "DL (bits)");
     for c in &selection.candidates {
-        let marker = if c.rank == selection.best_rank { "  ← best" } else { "" };
+        let marker = if c.rank == selection.best_rank {
+            "  ← best"
+        } else {
+            ""
+        };
         println!(
             "{:>5} {:>10} {:>16.0}{marker}",
             c.rank, c.error, c.description_length

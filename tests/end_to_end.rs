@@ -61,7 +61,11 @@ fn all_three_methods_solve_clean_blocks() {
         None,
     )
     .unwrap();
-    assert_eq!(wnm.error(&x, 2), 0, "Walk'n'Merge misses the planted blocks");
+    assert_eq!(
+        wnm.error(&x, 2),
+        0,
+        "Walk'n'Merge misses the planted blocks"
+    );
 }
 
 #[test]

@@ -1,0 +1,53 @@
+//! Real intra-worker parallelism must be invisible in every output: the
+//! same factorization run with 1, 2 and 4 compute threads per worker has
+//! to produce bit-identical factors, errors and virtual-time metrics
+//! (only host wall-clock may differ).
+
+use dbtf::{factorize, DbtfConfig, DbtfResult};
+use dbtf_cluster::{Cluster, ClusterConfig};
+use dbtf_datagen::uniform_random;
+use dbtf_tensor::BoolTensor;
+
+fn run_with_threads(x: &BoolTensor, threads: usize) -> DbtfResult {
+    let cluster = Cluster::new(ClusterConfig {
+        workers: 3,
+        compute_threads: Some(threads),
+        ..ClusterConfig::default()
+    });
+    let config = DbtfConfig {
+        rank: 4,
+        max_iters: 3,
+        initial_sets: 2,
+        seed: 7,
+        ..DbtfConfig::default()
+    };
+    factorize(&cluster, x, &config).unwrap()
+}
+
+#[test]
+fn factorization_identical_across_compute_threads() {
+    let x = uniform_random([18, 15, 12], 0.15, 3);
+    let baseline = run_with_threads(&x, 1);
+    for threads in [2usize, 4] {
+        let run = run_with_threads(&x, threads);
+        assert_eq!(run.factors, baseline.factors, "{threads} threads");
+        assert_eq!(run.error, baseline.error, "{threads} threads");
+        assert_eq!(
+            run.iteration_errors, baseline.iteration_errors,
+            "{threads} threads"
+        );
+        assert_eq!(run.iterations, baseline.iterations, "{threads} threads");
+        assert_eq!(run.converged, baseline.converged, "{threads} threads");
+        // Virtual time and communication metrics come from the simulated
+        // cost model, not the real schedule: exact equality required.
+        assert_eq!(
+            run.stats.virtual_secs, baseline.stats.virtual_secs,
+            "{threads} threads"
+        );
+        assert_eq!(run.stats.comm, baseline.stats.comm, "{threads} threads");
+        assert_eq!(
+            run.stats.peak_cache_bytes, baseline.stats.peak_cache_bytes,
+            "{threads} threads"
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! A minimal wall-clock micro-benchmark harness: `bench_function`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros. It measures for real —
+//! warmup, then `sample_size` timed samples, reporting min/median/max
+//! nanoseconds per iteration — but does no statistical analysis, HTML
+//! reports, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost; accepted for API
+/// compatibility. This harness sets up each batch individually.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; batch many per setup pass.
+    SmallInput,
+    /// Large inputs; fewer per batch.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+    /// Explicit number of batches.
+    NumBatches(u64),
+    /// Explicit number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warmup: Duration,
+    target_sample: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warmup: Duration::from_millis(200),
+            target_sample: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warmup duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Sets the target duration of one timed sample.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        // Criterion's measurement_time covers all samples; split it.
+        self.target_sample = d / self.sample_size.max(1) as u32;
+        self
+    }
+
+    /// Runs `f` (which should call a `Bencher` method exactly once) and
+    /// prints a one-line summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warmup: self.warmup,
+            target_sample: self.target_sample,
+            per_iter_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+}
+
+/// Timing context handed to the benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    warmup: Duration,
+    target_sample: Duration,
+    per_iter_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine`, timing batches of calls.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warmup, and estimate the per-iteration cost while at it.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.warmup {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+        let iters_per_sample =
+            ((self.target_sample.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        self.per_iter_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.per_iter_ns.push(ns);
+        }
+    }
+
+    /// Benchmarks `routine` over inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warmup + estimate.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        let mut spent = Duration::ZERO;
+        while warmup_start.elapsed() < self.warmup {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            spent += start.elapsed();
+            warmup_iters += 1;
+        }
+        let per_iter = spent.as_secs_f64() / warmup_iters.max(1) as f64;
+        let iters_per_sample =
+            ((self.target_sample.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 4096);
+
+        self.per_iter_ns.clear();
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters_per_sample).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.per_iter_ns.push(ns);
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.per_iter_ns.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        self.per_iter_ns
+            .sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+        let min = self.per_iter_ns[0];
+        let med = self.per_iter_ns[self.per_iter_ns.len() / 2];
+        let max = *self.per_iter_ns.last().expect("non-empty");
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(med),
+            fmt_ns(max)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a custom
+/// [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5));
+        c.measurement_time(Duration::from_millis(6))
+            .bench_function("noop_sum", |b| {
+                b.iter(|| (0..100u64).sum::<u64>());
+            });
+    }
+
+    #[test]
+    fn iter_batched_times_only_routine() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.3), "12.30 ns");
+        assert_eq!(fmt_ns(1234.0), "1.23 µs");
+        assert_eq!(fmt_ns(12_345_678.0), "12.35 ms");
+    }
+}

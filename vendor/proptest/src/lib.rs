@@ -1,0 +1,474 @@
+//! Offline stand-in for `proptest` 1.x.
+//!
+//! A miniature property-testing framework implementing the subset of the
+//! proptest API this workspace uses: the [`proptest!`] macro (with
+//! `#![proptest_config(...)]`), [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, [`collection::vec`],
+//! [`bool::ANY`], [`prelude::any`], and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case reports its index and message; rerun
+//!   with the same build to reproduce (generation is fully deterministic).
+//! - **Deterministic seeds.** Case `i` of every test draws from an RNG
+//!   seeded by a fixed function of `i`, so CI runs are reproducible.
+
+use rand::rngs::StdRng;
+
+pub mod test_runner {
+    //! Test-case driving: configuration, per-case RNGs, failure type.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// Run configuration; only `cases` is honored.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    /// A failed property-test case (carries the assertion message).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// The deterministic RNG for case number `case`.
+    pub fn case_rng(case: u32) -> StdRng {
+        StdRng::seed_from_u64(0xDB7F_0000_5EED ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::StdRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of type `Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<F, T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generates a value, then samples from the strategy `f` builds
+        /// from it (dependent generation).
+        fn prop_flat_map<F, S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> S,
+            S: Strategy,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Erases the strategy's concrete type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Box::new(self),
+            }
+        }
+    }
+
+    /// A type-erased strategy, as returned by [`Strategy::boxed`].
+    pub struct BoxedStrategy<T> {
+        inner: Box<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.inner.sample(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, F, T> Strategy for Map<S, F>
+    where
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, F, S2: Strategy> Strategy for FlatMap<S, F>
+    where
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.source.sample(rng)).sample(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        Range<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rand::SampleRange::sample_from(self.clone(), rng)
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        RangeInclusive<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rand::SampleRange::sample_from(self.clone(), rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, G);
+
+    /// Strategy for [`any`](crate::arbitrary::any).
+    pub struct AnyStrategy<T> {
+        pub(crate) _marker: PhantomData<T>,
+    }
+
+    impl<T: rand::Standard> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rand::Rng::gen(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use crate::strategy::AnyStrategy;
+    use std::marker::PhantomData;
+
+    /// A strategy yielding uniformly distributed values of `T`.
+    pub fn any<T: rand::Standard>() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive range of collection sizes; built from a plain count,
+    /// a `Range<usize>`, or a `RangeInclusive<usize>`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    /// The type of [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolAny;
+
+    /// Yields `true` or `false` with equal probability.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rand::Rng::gen(rng)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a proptest-based test usually imports.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Hook for internal use by [`proptest!`]: returns the deterministic RNG
+/// for a case index.
+pub fn __case_rng(case: u32) -> StdRng {
+    test_runner::case_rng(case)
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// runs `body` over generated inputs. As in this workspace's usage of real
+/// proptest, the `#[test]` attribute is written explicitly on each function
+/// and passed through (the macro does not add one).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@config ($config) $($rest)*);
+    };
+    (
+        @config ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for __case in 0..config.cases {
+                    let mut __rng = $crate::test_runner::case_rng(__case);
+                    $(
+                        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(err) = __outcome {
+                        panic!("proptest case {} failed: {}", __case, err);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, usize)> {
+        (1..=8usize).prop_flat_map(|n| (Just(n), 0..n))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((n, i) in pair(), flag in crate::bool::ANY, seed in any::<u64>()) {
+            prop_assert!(i < n, "i={i} n={n}");
+            let _ = (flag, seed);
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0..100u32, 3..=7)) {
+            prop_assert!((3..=7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0..10usize) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(x + 1, 1 + x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn inner(x in 0..10usize) {
+                prop_assert!(x > 100, "x={x}");
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,39 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace derives `Serialize`/`Deserialize` for API-documentation
+//! purposes but never drives them through a data format, so the traits are
+//! empty markers. The `derive` feature exists for manifest compatibility;
+//! the derives are always re-exported.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+mod impls {
+    use super::{Deserialize, Serialize};
+
+    macro_rules! impl_marker {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*};
+    }
+    impl_marker!(
+        u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char,
+        String
+    );
+
+    impl<T: Serialize> Serialize for Vec<T> {}
+    impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+    impl<T: Serialize> Serialize for Option<T> {}
+    impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+    impl<T: Serialize> Serialize for Box<T> {}
+    impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+    impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+    impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+    impl Serialize for &str {}
+}

@@ -1,0 +1,50 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on plain data types but
+//! never serializes through a data format (no `serde_json` etc.), so the
+//! stub traits in the accompanying `serde` stand-in are empty markers and
+//! these derives emit empty impls. `#[serde(...)]` field attributes are
+//! accepted and ignored, exactly like inert helper attributes.
+//!
+//! Written against `proc_macro` directly (no `syn`/`quote`) so it builds
+//! with no network access.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the first `struct` or `enum` keyword at
+/// the top level of the item.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_kind = false;
+    for tt in input {
+        // Anything other than an ident (attribute bodies, doc comments,
+        // punctuation) is skipped.
+        if let TokenTree::Ident(ident) = tt {
+            let s = ident.to_string();
+            if saw_kind {
+                return s;
+            }
+            if s == "struct" || s == "enum" {
+                saw_kind = true;
+            }
+        }
+    }
+    panic!("serde stub derive: expected a struct or enum item");
+}
+
+/// Derives an (empty) `serde::Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("serde stub: generated impl must parse")
+}
+
+/// Derives an (empty) `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde stub: generated impl must parse")
+}
