@@ -4,6 +4,10 @@
 //! dbtf factorize   --input X.txt --rank 10 [--workers 16] [--iters 10]
 //!                  [--sets 1] [--seed 0] [--partitions N] [--v 15]
 //!                  [--compute-threads T] [--output PREFIX]
+//!                  [--checkpoint FILE] [--checkpoint-every K] [--resume]
+//!                  [--fault-crash S:W,…] [--fault-task-failure-rate F]
+//!                  [--fault-slow-rate F] [--fault-slow-factor M]
+//!                  [--fault-seed N] [--no-speculation]
 //! dbtf tucker      --input X.txt --ranks 4,4,4 [--iters 10] [--sets 1]
 //!                  [--seed 0] [--output PREFIX]
 //! dbtf select-rank --input X.txt --candidates 2,4,6,8 [--sets 4]
@@ -27,7 +31,7 @@ use args::{ArgError, ParsedArgs};
 use dbtf::model_selection::select_rank;
 use dbtf::tucker::{tucker_factorize, TuckerConfig};
 use dbtf::{factorize, DbtfConfig};
-use dbtf_cluster::{Cluster, ClusterConfig};
+use dbtf_cluster::{Cluster, ClusterConfig, FaultPlan};
 use dbtf_datagen::proxies::{generate_proxy, proxy_specs};
 use dbtf_datagen::{uniform_random, NoiseSpec, PlantedConfig, PlantedTensor};
 use dbtf_tensor::{io as tio, matrix_io, BoolTensor};
@@ -80,6 +84,17 @@ common options:
 
 factorize: --rank R [--workers 16] [--iters 10] [--sets 1]
            [--partitions N] [--v 15] [--compute-threads T] [--output PREFIX]
+  checkpointing:
+           [--checkpoint FILE]    write factors to FILE every K iterations
+           [--checkpoint-every K] (default 1 when --checkpoint is given)
+           [--resume]             continue from FILE if it exists
+  fault injection (deterministic; results stay bit-identical):
+           [--fault-crash S:W,…]          kill worker W at superstep S
+           [--fault-task-failure-rate F]  transient task-launch failures
+           [--fault-slow-rate F]          slow-task (hang) probability
+           [--fault-slow-factor M]        slowdown multiplier (default 4)
+           [--fault-seed N]               fault-decision seed (default 0)
+           [--no-speculation]             disable speculative re-execution
 tucker:    --ranks R1,R2,R3 [--iters 10] [--sets 1] [--workers M]\n           [--output PREFIX]   (--workers runs the distributed driver)
 select-rank: --candidates R1,R2,… [--sets 4]
 generate random:  --dims I,J,K --density D --output FILE
@@ -129,6 +144,7 @@ fn cmd_factorize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> 
         ),
         None => None,
     };
+    let checkpoint_path = parsed.get_str("checkpoint").map(str::to_string);
     let config = DbtfConfig {
         rank: parsed.require("rank")?,
         max_iters: parsed.get("iters", 10)?,
@@ -136,11 +152,19 @@ fn cmd_factorize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> 
         partitions: parsed.get_str("partitions").map(str::parse).transpose()?,
         cache_group_limit: parsed.get("v", 15)?,
         seed: parsed.get("seed", 0)?,
+        checkpoint_every: checkpoint_path
+            .is_some()
+            .then(|| parsed.get("checkpoint-every", 1))
+            .transpose()?,
+        checkpoint_path,
+        resume: parsed.has_flag("resume"),
         ..DbtfConfig::default()
     };
+    let fault_plan = parse_fault_plan(parsed)?;
     let cluster = Cluster::new(ClusterConfig {
         workers,
         compute_threads,
+        fault_plan: fault_plan.clone(),
         ..ClusterConfig::paper_cluster()
     });
     let result = factorize(&cluster, &x, &config)?;
@@ -161,6 +185,21 @@ fn cmd_factorize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> 
         result.stats.comm.bytes_broadcast,
         result.stats.comm.bytes_collected
     );
+    if fault_plan.is_some() {
+        let m = cluster.metrics();
+        println!(
+            "recovery: {} respawns, {} partitions recomputed, {} B re-shipped, \
+             {} task retries, {} speculative ({} won), {:.3} virtual s of {:.3} total",
+            m.worker_respawns,
+            m.partitions_recomputed,
+            m.bytes_reshipped,
+            m.task_retries,
+            m.speculative_tasks,
+            m.speculative_wins,
+            m.recovery_time.as_secs_f64(),
+            m.virtual_time.as_secs_f64(),
+        );
+    }
     if let Some(prefix) = parsed.get_str("output") {
         for (name, m) in [
             ("A", &result.factors.a),
@@ -173,6 +212,40 @@ fn cmd_factorize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> 
         }
     }
     Ok(())
+}
+
+/// Builds a [`FaultPlan`] from the `--fault-*` options, or `None` if no
+/// fault option was given.
+fn parse_fault_plan(parsed: &ParsedArgs) -> Result<Option<FaultPlan>, Box<dyn std::error::Error>> {
+    let crashes: Vec<(u64, usize)> = match parsed.get_str("fault-crash") {
+        Some(spec) => spec
+            .split(',')
+            .map(|pair| {
+                let (step, worker) = pair.split_once(':').ok_or_else(|| {
+                    ArgError(format!(
+                        "--fault-crash entries are SUPERSTEP:WORKER, got {pair:?}"
+                    ))
+                })?;
+                Ok((
+                    step.parse()
+                        .map_err(|_| ArgError(format!("bad superstep in {pair:?}")))?,
+                    worker
+                        .parse()
+                        .map_err(|_| ArgError(format!("bad worker in {pair:?}")))?,
+                ))
+            })
+            .collect::<Result<_, ArgError>>()?,
+        None => Vec::new(),
+    };
+    let plan = FaultPlan {
+        worker_crashes: crashes,
+        task_failure_rate: parsed.get("fault-task-failure-rate", 0.0)?,
+        slow_task_rate: parsed.get("fault-slow-rate", 0.0)?,
+        slow_task_factor: parsed.get("fault-slow-factor", 4.0)?,
+        speculation: !parsed.has_flag("no-speculation"),
+        ..FaultPlan::with_seed(parsed.get("fault-seed", 0)?)
+    };
+    Ok(plan.is_active().then_some(plan))
 }
 
 fn cmd_tucker(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {

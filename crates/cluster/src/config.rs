@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultPlan;
+
 /// A simple latency + bandwidth network cost model.
 ///
 /// A transfer of `b` bytes is charged `latency_secs + b / bandwidth_bytes_per_sec`
@@ -52,7 +54,7 @@ impl Default for NetworkModel {
 }
 
 /// Configuration of a simulated cluster.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
     /// Number of worker machines (the paper's experiments use 4–16).
     pub workers: usize,
@@ -90,6 +92,12 @@ pub struct ClusterConfig {
     /// Throughput multiplier for straggler workers (1.0 = no effect;
     /// 0.5 = half speed).
     pub straggler_slowdown: f64,
+    /// Deterministic fault-injection schedule (`None` = no faults). See
+    /// [`FaultPlan`]: worker crashes, transient task failures with retry,
+    /// and slow tasks with speculative re-execution — all recovered by the
+    /// engine such that results stay bit-identical to a fault-free run.
+    #[serde(default)]
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl ClusterConfig {
@@ -119,16 +127,37 @@ impl ClusterConfig {
     /// tasks on: [`ClusterConfig::compute_threads`] if set, else the
     /// `DBTF_COMPUTE_THREADS` environment variable, else
     /// [`ClusterConfig::cores_per_worker`].
+    ///
+    /// A malformed `DBTF_COMPUTE_THREADS` value is ignored with a one-time
+    /// warning on stderr naming the bad value and the fallback used.
     pub fn resolved_compute_threads(&self) -> usize {
         if let Some(n) = self.compute_threads {
             return n.max(1);
         }
-        if let Ok(raw) = std::env::var("DBTF_COMPUTE_THREADS") {
-            if let Ok(n) = raw.trim().parse::<usize>() {
-                return n.max(1);
+        match resolve_env_compute_threads(std::env::var("DBTF_COMPUTE_THREADS").ok().as_deref()) {
+            Ok(Some(n)) => n,
+            Ok(None) => self.cores_per_worker,
+            Err(raw) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                let fallback = self.cores_per_worker;
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "dbtf-cluster: ignoring malformed DBTF_COMPUTE_THREADS={raw:?} \
+                         (not a positive integer); falling back to cores_per_worker = {fallback}"
+                    );
+                });
+                fallback
             }
         }
-        self.cores_per_worker
+    }
+
+    /// A cluster with the given fault plan and default everything else.
+    pub fn with_fault_plan(workers: usize, plan: FaultPlan) -> Self {
+        ClusterConfig {
+            workers,
+            fault_plan: Some(plan),
+            ..ClusterConfig::default()
+        }
     }
 
     /// Per-core ops/second of worker `worker_id`.
@@ -151,7 +180,22 @@ impl Default for ClusterConfig {
             network: NetworkModel::default(),
             stragglers: 0,
             straggler_slowdown: 1.0,
+            fault_plan: None,
         }
+    }
+}
+
+/// Interprets an optional `DBTF_COMPUTE_THREADS` value: `Ok(Some(n))` for a
+/// well-formed positive count (0 clamps to 1), `Ok(None)` when unset, and
+/// `Err(raw)` for a malformed value (pure, so directly unit-testable —
+/// [`ClusterConfig::resolved_compute_threads`] adds the one-time warning).
+fn resolve_env_compute_threads(raw: Option<&str>) -> Result<Option<usize>, String> {
+    match raw {
+        None => Ok(None),
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) => Ok(Some(n.max(1))),
+            Err(_) => Err(raw.to_string()),
+        },
     }
 }
 
@@ -196,7 +240,7 @@ mod tests {
         }
         let pinned = ClusterConfig {
             compute_threads: Some(2),
-            ..cfg
+            ..cfg.clone()
         };
         assert_eq!(pinned.resolved_compute_threads(), 2);
         let floor = ClusterConfig {
@@ -204,6 +248,25 @@ mod tests {
             ..cfg
         };
         assert_eq!(floor.resolved_compute_threads(), 1);
+    }
+
+    #[test]
+    fn env_compute_threads_parsing() {
+        assert_eq!(resolve_env_compute_threads(None), Ok(None));
+        assert_eq!(resolve_env_compute_threads(Some("6")), Ok(Some(6)));
+        assert_eq!(resolve_env_compute_threads(Some(" 3 ")), Ok(Some(3)));
+        // Zero clamps to one thread rather than erroring.
+        assert_eq!(resolve_env_compute_threads(Some("0")), Ok(Some(1)));
+        // Malformed values surface the raw string for the warning.
+        assert_eq!(
+            resolve_env_compute_threads(Some("lots")),
+            Err("lots".to_string())
+        );
+        assert_eq!(resolve_env_compute_threads(Some("")), Err(String::new()));
+        assert_eq!(
+            resolve_env_compute_threads(Some("-2")),
+            Err("-2".to_string())
+        );
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Deterministic fault injection for the cluster engine.
+//!
+//! The paper runs DBTF on Spark and inherits its fault tolerance (lineage
+//! recovery, task retries, speculative execution) for free. This module is
+//! the injection half of our hand-rolled equivalent: a [`FaultPlan`]
+//! describes *which* faults occur, keyed entirely off a seed and the
+//! virtual execution structure (superstep index, partition index, attempt
+//! number) — never wall-clock randomness — so every faulty run is exactly
+//! reproducible and every recovery path is testable against the fault-free
+//! run bit for bit.
+//!
+//! Three fault classes are modelled (see `DESIGN.md` §1.2.2):
+//!
+//! - **transient task failures** — an attempt to launch a task fails with
+//!   probability [`FaultPlan::task_failure_rate`]; the engine retries with
+//!   exponential backoff charged to the virtual clock. A failed attempt
+//!   never runs the task closure, so cached partition state is never left
+//!   half-mutated (launch/allocation failures, not mid-task crashes).
+//! - **worker crashes** — worker `w` dies at the start of superstep `n`
+//!   for every `(n, w)` in [`FaultPlan::worker_crashes`]; all partitions in
+//!   its memory are lost and the engine rebuilds them from lineage.
+//! - **slow tasks** — a task's virtual duration is multiplied by
+//!   [`FaultPlan::slow_task_factor`] with probability
+//!   [`FaultPlan::slow_task_rate`], simulating hangs/stragglers; the
+//!   engine's speculative re-execution bounds the damage.
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic, seed-driven fault schedule for one cluster.
+///
+/// Attach to [`crate::ClusterConfig::fault_plan`]. Every decision is a pure
+/// function of `(seed, superstep, partition, attempt)`, so the same plan on
+/// the same workload injects the same faults in every run, independent of
+/// thread scheduling, worker count, or host speed.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for all probabilistic fault decisions.
+    pub seed: u64,
+    /// `(superstep, worker)` pairs: worker `worker` is killed at the start
+    /// of superstep `superstep` (0-based, counting every
+    /// [`crate::Cluster::map_partitions`] call). Each pair fires at most
+    /// once.
+    pub worker_crashes: Vec<(u64, usize)>,
+    /// Probability in `[0, 1]` that one launch attempt of a task fails
+    /// transiently.
+    pub task_failure_rate: f64,
+    /// Maximum launch attempts per task (≥ 1). If every attempt fails the
+    /// task surfaces as a clean per-partition error, like a task panic.
+    pub max_task_attempts: u32,
+    /// Base retry backoff in virtual seconds; attempt `k` waits
+    /// `base × 2^k`, so `r` retries cost `base × (2^r − 1)` total.
+    pub retry_backoff_secs: f64,
+    /// Probability in `[0, 1]` that a task is slowed (simulated hang).
+    pub slow_task_rate: f64,
+    /// Virtual-duration multiplier for slowed tasks (≥ 1).
+    pub slow_task_factor: f64,
+    /// Enables speculative re-execution of straggler tasks.
+    pub speculation: bool,
+    /// A task whose completion would exceed
+    /// `speculation_threshold × fault-free superstep makespan` gets a
+    /// speculative copy on the fastest other worker (≥ 1).
+    pub speculation_threshold: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            worker_crashes: Vec::new(),
+            task_failure_rate: 0.0,
+            max_task_attempts: 5,
+            retry_backoff_secs: 0.05,
+            slow_task_rate: 0.0,
+            slow_task_factor: 4.0,
+            speculation: true,
+            speculation_threshold: 1.5,
+        }
+    }
+}
+
+/// SplitMix64 — a tiny, high-quality mixer; the standard choice for
+/// turning structured integers into uniform bits.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults enabled (a convenient
+    /// starting point for struct-update syntax).
+    pub fn with_seed(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Uniform value in `[0, 1)` for one fault decision, derived from the
+    /// seed, a decision-class salt, and the decision coordinates.
+    fn unit(&self, salt: u64, superstep: u64, partition: u64, attempt: u64) -> f64 {
+        let mut h = splitmix64(self.seed ^ salt);
+        h = splitmix64(h ^ superstep);
+        h = splitmix64(h ^ partition);
+        h = splitmix64(h ^ attempt);
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Whether launch attempt `attempt` of the task for `partition` in
+    /// `superstep` fails transiently.
+    pub fn task_fails(&self, superstep: u64, partition: usize, attempt: u32) -> bool {
+        self.task_failure_rate > 0.0
+            && self.unit(0x7461_736b, superstep, partition as u64, attempt as u64)
+                < self.task_failure_rate
+    }
+
+    /// The virtual-duration multiplier for the task of `partition` in
+    /// `superstep` (1.0 = not slowed).
+    pub fn task_slowdown(&self, superstep: u64, partition: usize) -> f64 {
+        if self.slow_task_rate > 0.0
+            && self.unit(0x736c_6f77, superstep, partition as u64, 0) < self.slow_task_rate
+        {
+            self.slow_task_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Total virtual backoff seconds charged for `retries` failed attempts
+    /// (exponential: `base × (2^retries − 1)`).
+    pub fn backoff_secs(&self, retries: u32) -> f64 {
+        if retries == 0 {
+            0.0
+        } else {
+            self.retry_backoff_secs * ((1u64 << retries.min(63)) - 1) as f64
+        }
+    }
+
+    /// Whether the plan injects any fault at all.
+    pub fn is_active(&self) -> bool {
+        !self.worker_crashes.is_empty() || self.task_failure_rate > 0.0 || self.slow_task_rate > 0.0
+    }
+
+    /// Checks the plan against a cluster of `workers` machines.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range rates, a crash target beyond the worker
+    /// count, `max_task_attempts == 0`, or sub-1 slowdown/speculation
+    /// factors — all misconfigurations, caught at cluster boot.
+    pub fn validate(&self, workers: usize) {
+        assert!(
+            (0.0..=1.0).contains(&self.task_failure_rate),
+            "task_failure_rate must be in [0, 1], got {}",
+            self.task_failure_rate
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.slow_task_rate),
+            "slow_task_rate must be in [0, 1], got {}",
+            self.slow_task_rate
+        );
+        assert!(
+            self.max_task_attempts >= 1,
+            "max_task_attempts must be at least 1"
+        );
+        assert!(
+            self.retry_backoff_secs >= 0.0 && self.retry_backoff_secs.is_finite(),
+            "retry_backoff_secs must be finite and non-negative"
+        );
+        assert!(
+            self.slow_task_factor >= 1.0,
+            "slow_task_factor must be at least 1 (got {})",
+            self.slow_task_factor
+        );
+        assert!(
+            self.speculation_threshold >= 1.0,
+            "speculation_threshold must be at least 1 (got {})",
+            self.speculation_threshold
+        );
+        for &(step, w) in &self.worker_crashes {
+            assert!(
+                w < workers,
+                "fault plan kills worker {w} at superstep {step}, but the cluster has \
+                 only {workers} workers"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = FaultPlan {
+            task_failure_rate: 0.3,
+            slow_task_rate: 0.2,
+            ..FaultPlan::with_seed(42)
+        };
+        for step in 0..4u64 {
+            for part in 0..16usize {
+                assert_eq!(
+                    plan.task_fails(step, part, 0),
+                    plan.task_fails(step, part, 0)
+                );
+                assert_eq!(
+                    plan.task_slowdown(step, part),
+                    plan.task_slowdown(step, part)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failure_rate_is_roughly_honoured() {
+        let plan = FaultPlan {
+            task_failure_rate: 0.25,
+            ..FaultPlan::with_seed(7)
+        };
+        let n = 4000;
+        let fails = (0..n).filter(|&p| plan.task_fails(0, p, 0)).count() as f64;
+        let rate = fails / n as f64;
+        assert!((rate - 0.25).abs() < 0.03, "observed rate {rate}");
+    }
+
+    #[test]
+    fn zero_rate_never_fails_or_slows() {
+        let plan = FaultPlan::with_seed(3);
+        for p in 0..100 {
+            assert!(!plan.task_fails(0, p, 0));
+            assert_eq!(plan.task_slowdown(0, p), 1.0);
+        }
+        assert!(!plan.is_active());
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let a = FaultPlan {
+            task_failure_rate: 0.5,
+            ..FaultPlan::with_seed(1)
+        };
+        let b = FaultPlan {
+            task_failure_rate: 0.5,
+            ..FaultPlan::with_seed(2)
+        };
+        let differing = (0..256)
+            .filter(|&p| a.task_fails(0, p, 0) != b.task_fails(0, p, 0))
+            .count();
+        assert!(
+            differing > 64,
+            "seeds too correlated: {differing}/256 differ"
+        );
+    }
+
+    #[test]
+    fn backoff_is_exponential() {
+        let plan = FaultPlan {
+            retry_backoff_secs: 0.1,
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.backoff_secs(0), 0.0);
+        assert!((plan.backoff_secs(1) - 0.1).abs() < 1e-12);
+        assert!((plan.backoff_secs(2) - 0.3).abs() < 1e-12);
+        assert!((plan.backoff_secs(3) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "only 2 workers")]
+    fn validate_rejects_out_of_range_crash() {
+        let plan = FaultPlan {
+            worker_crashes: vec![(0, 5)],
+            ..FaultPlan::default()
+        };
+        plan.validate(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "task_failure_rate")]
+    fn validate_rejects_bad_rate() {
+        let plan = FaultPlan {
+            task_failure_rate: 1.5,
+            ..FaultPlan::default()
+        };
+        plan.validate(2);
+    }
+}

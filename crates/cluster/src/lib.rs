@@ -32,6 +32,20 @@
 //! [`CommMetrics`] counters (bytes shuffled, bytes broadcast, bytes
 //! collected) directly validate the paper's Lemmas 6 and 7.
 //!
+//! # Fault tolerance
+//!
+//! Spark gives the paper's implementation lineage-based recovery for free;
+//! this engine reproduces that slice too. A deterministic, seed-driven
+//! [`FaultPlan`] on [`ClusterConfig::fault_plan`] injects worker crashes,
+//! transient task failures, and slow tasks; the engine recovers via
+//! driver-side lineage ([`Cluster::distribute_with_lineage`] /
+//! [`Cluster::distribute_replicated`] plus per-dataset task-log replay),
+//! worker respawn, bounded retries with exponential backoff, and
+//! speculative re-execution of stragglers — all charged to the virtual
+//! clock and itemised in [`MetricsSnapshot`]'s recovery counters, while
+//! results, errors, and op counts stay bit-identical to a fault-free run.
+//! See `DESIGN.md` §1.2.2.
+//!
 //! # Example
 //!
 //! ```
@@ -54,10 +68,12 @@
 
 mod config;
 mod engine;
+mod fault;
 mod metrics;
 mod task;
 
 pub use config::{ClusterConfig, NetworkModel};
 pub use engine::{Broadcast, Cluster, DistVec};
+pub use fault::FaultPlan;
 pub use metrics::{CommMetrics, MetricsSnapshot, VirtualDuration};
 pub use task::TaskContext;

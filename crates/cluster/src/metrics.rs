@@ -60,7 +60,15 @@ pub struct CommMetrics {
     pub(crate) total_ops: AtomicU64,
     pub(crate) supersteps: AtomicU64,
     pub(crate) stored_bytes: AtomicU64,
+    pub(crate) task_retries: AtomicU64,
+    pub(crate) worker_respawns: AtomicU64,
+    pub(crate) partitions_recomputed: AtomicU64,
+    pub(crate) bytes_reshipped: AtomicU64,
+    pub(crate) recovery_ops: AtomicU64,
+    pub(crate) speculative_tasks: AtomicU64,
+    pub(crate) speculative_wins: AtomicU64,
     pub(crate) clock_secs: Mutex<f64>,
+    pub(crate) recovery_secs: Mutex<f64>,
     /// Virtual busy-seconds accumulated per worker (index = worker id).
     pub(crate) worker_busy_secs: Mutex<Vec<f64>>,
 }
@@ -100,6 +108,27 @@ impl CommMetrics {
         *self.clock_secs.lock() += secs;
     }
 
+    pub(crate) fn add_reshipped(&self, bytes: u64) {
+        self.bytes_reshipped.fetch_add(bytes, Ordering::Relaxed);
+        self.messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Charges `secs` of fault-handling overhead: advances the virtual
+    /// clock *and* attributes the span to recovery, so the cost of failure
+    /// stays separately measurable.
+    pub(crate) fn charge_recovery(&self, secs: f64) {
+        self.advance_clock(secs);
+        self.note_recovery(secs);
+    }
+
+    /// Attributes `secs` of already-charged virtual time to recovery
+    /// without advancing the clock again (used when the clock moves by the
+    /// superstep's effective makespan and only the stretch beyond the
+    /// fault-free schedule is recovery overhead).
+    pub(crate) fn note_recovery(&self, secs: f64) {
+        *self.recovery_secs.lock() += secs;
+    }
+
     /// Takes a consistent snapshot of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -111,6 +140,14 @@ impl CommMetrics {
             total_ops: self.total_ops.load(Ordering::Relaxed),
             supersteps: self.supersteps.load(Ordering::Relaxed),
             stored_bytes: self.stored_bytes.load(Ordering::Relaxed),
+            task_retries: self.task_retries.load(Ordering::Relaxed),
+            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
+            partitions_recomputed: self.partitions_recomputed.load(Ordering::Relaxed),
+            bytes_reshipped: self.bytes_reshipped.load(Ordering::Relaxed),
+            recovery_ops: self.recovery_ops.load(Ordering::Relaxed),
+            speculative_tasks: self.speculative_tasks.load(Ordering::Relaxed),
+            speculative_wins: self.speculative_wins.load(Ordering::Relaxed),
+            recovery_time: VirtualDuration::from_secs_f64(*self.recovery_secs.lock()),
             virtual_time: VirtualDuration::from_secs_f64(*self.clock_secs.lock()),
             worker_busy_secs: self.worker_busy_secs.lock().clone(),
         }
@@ -140,6 +177,30 @@ pub struct MetricsSnapshot {
     /// Bytes currently persisted in worker memory across all datasets
     /// (the cached partitioned unfoldings — Lemma 5's `O(|X|)` term).
     pub stored_bytes: u64,
+    /// Transient task-launch failures that were retried (fault injection).
+    pub task_retries: u64,
+    /// Worker threads killed by the fault plan and respawned by the engine.
+    pub worker_respawns: u64,
+    /// Partitions rebuilt from lineage after a worker crash.
+    pub partitions_recomputed: u64,
+    /// Bytes re-sent over the network for recovery: re-installed partitions
+    /// after a crash plus inputs of speculative task copies. Kept separate
+    /// from the shuffle/broadcast/collect counters so the Lemma 6/7 bounds
+    /// stay exact on the fault-free traffic.
+    pub bytes_reshipped: u64,
+    /// Abstract ops spent replaying lineage logs after a crash (charged to
+    /// the clock but not to `total_ops`, which stays bit-identical to the
+    /// fault-free run).
+    pub recovery_ops: u64,
+    /// Straggler tasks that got a speculative copy launched.
+    pub speculative_tasks: u64,
+    /// Speculative copies that finished before the slowed original.
+    pub speculative_wins: u64,
+    /// Virtual time attributable to fault handling: retry backoffs,
+    /// slowdown-induced makespan stretch (net of speculative wins),
+    /// partition re-shipping, and lineage replay. Always ≤ `virtual_time`;
+    /// zero in a fault-free run.
+    pub recovery_time: VirtualDuration,
     /// The virtual clock.
     pub virtual_time: VirtualDuration,
     /// Per-worker virtual busy time; the spread measures load balance.
@@ -158,6 +219,14 @@ impl MetricsSnapshot {
             total_ops: self.total_ops - earlier.total_ops,
             supersteps: self.supersteps - earlier.supersteps,
             stored_bytes: self.stored_bytes,
+            task_retries: self.task_retries - earlier.task_retries,
+            worker_respawns: self.worker_respawns - earlier.worker_respawns,
+            partitions_recomputed: self.partitions_recomputed - earlier.partitions_recomputed,
+            bytes_reshipped: self.bytes_reshipped - earlier.bytes_reshipped,
+            recovery_ops: self.recovery_ops - earlier.recovery_ops,
+            speculative_tasks: self.speculative_tasks - earlier.speculative_tasks,
+            speculative_wins: self.speculative_wins - earlier.speculative_wins,
+            recovery_time: self.recovery_time - earlier.recovery_time,
             virtual_time: self.virtual_time - earlier.virtual_time,
             worker_busy_secs: self
                 .worker_busy_secs
@@ -210,6 +279,40 @@ mod tests {
         assert_eq!(s.virtual_time.as_secs_f64(), 1.25);
         m.sub_stored(40);
         assert_eq!(m.snapshot().stored_bytes, 60);
+    }
+
+    #[test]
+    fn recovery_counters_snapshot_and_since() {
+        let m = CommMetrics::new(2);
+        m.task_retries.fetch_add(3, Ordering::Relaxed);
+        m.worker_respawns.fetch_add(1, Ordering::Relaxed);
+        m.partitions_recomputed.fetch_add(4, Ordering::Relaxed);
+        m.add_reshipped(256);
+        m.recovery_ops.fetch_add(99, Ordering::Relaxed);
+        m.speculative_tasks.fetch_add(2, Ordering::Relaxed);
+        m.speculative_wins.fetch_add(1, Ordering::Relaxed);
+        m.charge_recovery(0.5);
+        let s = m.snapshot();
+        assert_eq!(s.task_retries, 3);
+        assert_eq!(s.worker_respawns, 1);
+        assert_eq!(s.partitions_recomputed, 4);
+        assert_eq!(s.bytes_reshipped, 256);
+        assert_eq!(s.recovery_ops, 99);
+        assert_eq!(s.speculative_tasks, 2);
+        assert_eq!(s.speculative_wins, 1);
+        assert_eq!(s.recovery_time.as_secs_f64(), 0.5);
+        // charge_recovery advances the main clock too.
+        assert_eq!(s.virtual_time.as_secs_f64(), 0.5);
+
+        let later = {
+            m.task_retries.fetch_add(2, Ordering::Relaxed);
+            m.charge_recovery(0.25);
+            m.snapshot()
+        };
+        let delta = later.since(&s);
+        assert_eq!(delta.task_retries, 2);
+        assert_eq!(delta.worker_respawns, 0);
+        assert_eq!(delta.recovery_time.as_secs_f64(), 0.25);
     }
 
     #[test]

@@ -12,15 +12,17 @@
 pub struct TaskContext {
     worker_id: usize,
     partition_index: usize,
+    attempt: u32,
     ops: u64,
     result_bytes: u64,
 }
 
 impl TaskContext {
-    pub(crate) fn new(worker_id: usize, partition_index: usize) -> Self {
+    pub(crate) fn new(worker_id: usize, partition_index: usize, attempt: u32) -> Self {
         TaskContext {
             worker_id,
             partition_index,
+            attempt,
             ops: 0,
             result_bytes: 0,
         }
@@ -29,6 +31,15 @@ impl TaskContext {
     /// The id of the worker machine executing this task.
     pub fn worker_id(&self) -> usize {
         self.worker_id
+    }
+
+    /// Which launch attempt this is (0 = first). Non-zero only when a fault
+    /// plan injected transient launch failures that the engine retried; the
+    /// executing attempt is always the first one that actually runs, so
+    /// tasks need not (and must not) branch on this for correctness —
+    /// it exists for logging and tests.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
     }
 
     /// The global index of the partition this task is processing.
@@ -66,13 +77,20 @@ mod tests {
 
     #[test]
     fn charges_accumulate() {
-        let mut ctx = TaskContext::new(3, 7);
+        let mut ctx = TaskContext::new(3, 7, 0);
         assert_eq!(ctx.worker_id(), 3);
         assert_eq!(ctx.partition_index(), 7);
+        assert_eq!(ctx.attempt(), 0);
         ctx.charge(10);
         ctx.charge(5);
         assert_eq!(ctx.ops(), 15);
         ctx.set_result_bytes(64);
         assert_eq!(ctx.result_bytes(), 64);
+    }
+
+    #[test]
+    fn attempt_number_is_visible() {
+        let ctx = TaskContext::new(0, 0, 3);
+        assert_eq!(ctx.attempt(), 3);
     }
 }

@@ -1,0 +1,294 @@
+//! Factor-matrix checkpointing for crash-resumable runs.
+//!
+//! The paper's Spark implementation can lean on lineage for everything; a
+//! long-running driver process, however, survives *driver* restarts only by
+//! persisting the iteration state. [`factorize`](crate::factorize) writes a
+//! [`Checkpoint`] every [`DbtfConfig::checkpoint_every`](crate::DbtfConfig)
+//! completed iterations and can resume from it: because the RNG is consumed
+//! only by initialization, iterations ≥ 2 are pure functions of the factor
+//! state, so a resumed run reproduces the uninterrupted run bit for bit.
+//!
+//! # File format
+//!
+//! A small self-describing text file (`DBTFCKPT v1`), written atomically
+//! (temp file + rename) so a crash mid-write never corrupts the previous
+//! checkpoint:
+//!
+//! ```text
+//! DBTFCKPT v1
+//! iteration 4
+//! error 123
+//! iteration_errors 400 200 150 123
+//! matrix a 6 2
+//! 10
+//! 01
+//! ...            (one 0/1 row per line; then matrices b and c)
+//! ```
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use dbtf_tensor::BitMatrix;
+
+use crate::config::DbtfError;
+use crate::factors::FactorSet;
+
+const MAGIC: &str = "DBTFCKPT v1";
+
+/// The resumable state of a [`crate::factorize`] run after a completed
+/// iteration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Number of completed iterations (1-based; the first, multi-set
+    /// iteration counts as 1).
+    pub iteration: usize,
+    /// Reconstruction error after that iteration.
+    pub error: u64,
+    /// Error after each completed iteration (`len() == iteration`).
+    pub iteration_errors: Vec<u64>,
+    /// The factor matrices after that iteration.
+    pub factors: FactorSet,
+}
+
+fn ck_err(path: &Path, msg: impl std::fmt::Display) -> DbtfError {
+    DbtfError::Checkpoint(format!("{}: {msg}", path.display()))
+}
+
+fn write_matrix<W: Write>(out: &mut W, name: &str, m: &BitMatrix) -> std::io::Result<()> {
+    writeln!(out, "matrix {name} {} {}", m.rows(), m.cols())?;
+    let mut row = String::with_capacity(m.cols());
+    for r in 0..m.rows() {
+        row.clear();
+        for c in 0..m.cols() {
+            row.push(if m.get(r, c) { '1' } else { '0' });
+        }
+        writeln!(out, "{row}")?;
+    }
+    Ok(())
+}
+
+impl Checkpoint {
+    /// Writes the checkpoint to `path`, replacing any previous file
+    /// atomically: the bytes go to `<path>.tmp` first and the rename only
+    /// happens after a successful flush, so readers always see either the
+    /// old complete checkpoint or the new one.
+    pub fn write(&self, path: &Path) -> Result<(), DbtfError> {
+        let tmp = path.with_extension("tmp");
+        let write_all = || -> std::io::Result<()> {
+            let file = std::fs::File::create(&tmp)?;
+            let mut out = BufWriter::new(file);
+            writeln!(out, "{MAGIC}")?;
+            writeln!(out, "iteration {}", self.iteration)?;
+            writeln!(out, "error {}", self.error)?;
+            write!(out, "iteration_errors")?;
+            for e in &self.iteration_errors {
+                write!(out, " {e}")?;
+            }
+            writeln!(out)?;
+            write_matrix(&mut out, "a", &self.factors.a)?;
+            write_matrix(&mut out, "b", &self.factors.b)?;
+            write_matrix(&mut out, "c", &self.factors.c)?;
+            out.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+            std::fs::rename(&tmp, path)
+        };
+        write_all().map_err(|e| ck_err(path, format!("write failed: {e}")))
+    }
+
+    /// Reads a checkpoint back from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`DbtfError::Checkpoint`] if the file cannot be read or does not
+    /// parse as a complete `DBTFCKPT v1` checkpoint. (Callers handle a
+    /// *missing* file separately — see [`Checkpoint::read_if_exists`].)
+    pub fn read(path: &Path) -> Result<Checkpoint, DbtfError> {
+        let file = std::fs::File::open(path).map_err(|e| ck_err(path, e))?;
+        let mut lines = BufReader::new(file).lines();
+        let mut next = |what: &str| -> Result<String, DbtfError> {
+            match lines.next() {
+                Some(Ok(line)) => Ok(line),
+                Some(Err(e)) => Err(ck_err(path, e)),
+                None => Err(ck_err(path, format!("truncated: missing {what}"))),
+            }
+        };
+        if next("magic header")? != MAGIC {
+            return Err(ck_err(path, "not a DBTFCKPT v1 file"));
+        }
+        let field = |line: String, key: &str| -> Result<String, DbtfError> {
+            line.strip_prefix(key)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .map(str::to_string)
+                .ok_or_else(|| ck_err(path, format!("expected `{key} …`, got {line:?}")))
+        };
+        let iteration: usize = field(next("iteration")?, "iteration")?
+            .parse()
+            .map_err(|e| ck_err(path, format!("bad iteration: {e}")))?;
+        let error: u64 = field(next("error")?, "error")?
+            .parse()
+            .map_err(|e| ck_err(path, format!("bad error: {e}")))?;
+        let errs_line = next("iteration_errors")?;
+        let errs_line = errs_line
+            .strip_prefix("iteration_errors")
+            .ok_or_else(|| ck_err(path, "expected `iteration_errors …`"))?;
+        let iteration_errors: Vec<u64> = errs_line
+            .split_whitespace()
+            .map(|tok| {
+                tok.parse()
+                    .map_err(|e| ck_err(path, format!("bad iteration_errors entry {tok:?}: {e}")))
+            })
+            .collect::<Result<_, _>>()?;
+        if iteration_errors.len() != iteration {
+            return Err(ck_err(
+                path,
+                format!(
+                    "iteration_errors has {} entries but iteration is {iteration}",
+                    iteration_errors.len()
+                ),
+            ));
+        }
+        if iteration_errors.last() != Some(&error) {
+            return Err(ck_err(path, "last iteration_errors entry must equal error"));
+        }
+
+        let mut read_matrix = |name: &str| -> Result<BitMatrix, DbtfError> {
+            let header = next(&format!("matrix {name} header"))?;
+            let mut toks = header.split_whitespace();
+            if toks.next() != Some("matrix") || toks.next() != Some(name) {
+                return Err(ck_err(path, format!("expected `matrix {name} R C`")));
+            }
+            let parse_dim = |tok: Option<&str>| -> Result<usize, DbtfError> {
+                tok.and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ck_err(path, format!("bad dimensions for matrix {name}")))
+            };
+            let rows = parse_dim(toks.next())?;
+            let cols = parse_dim(toks.next())?;
+            let mut m = BitMatrix::zeros(rows, cols);
+            for r in 0..rows {
+                let line = next(&format!("row {r} of matrix {name}"))?;
+                if line.len() != cols {
+                    return Err(ck_err(
+                        path,
+                        format!(
+                            "matrix {name} row {r}: expected {cols} bits, got {}",
+                            line.len()
+                        ),
+                    ));
+                }
+                for (c, ch) in line.chars().enumerate() {
+                    match ch {
+                        '0' => {}
+                        '1' => m.set(r, c, true),
+                        other => {
+                            return Err(ck_err(
+                                path,
+                                format!("matrix {name} row {r}: invalid bit {other:?}"),
+                            ))
+                        }
+                    }
+                }
+            }
+            Ok(m)
+        };
+        let a = read_matrix("a")?;
+        let b = read_matrix("b")?;
+        let c = read_matrix("c")?;
+        Ok(Checkpoint {
+            iteration,
+            error,
+            iteration_errors,
+            factors: FactorSet { a, b, c },
+        })
+    }
+
+    /// [`Checkpoint::read`], but a missing file yields `Ok(None)` (the
+    /// resume-from-nothing case) while a present-but-invalid file is still
+    /// an error — silently restarting over a corrupt checkpoint would mask
+    /// data loss.
+    pub fn read_if_exists(path: &Path) -> Result<Option<Checkpoint>, DbtfError> {
+        if path.exists() {
+            Checkpoint::read(path).map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut a = BitMatrix::zeros(4, 3);
+        a.set(0, 0, true);
+        a.set(3, 2, true);
+        let mut b = BitMatrix::zeros(2, 3);
+        b.set(1, 1, true);
+        let c = BitMatrix::zeros(5, 3);
+        Checkpoint {
+            iteration: 3,
+            error: 17,
+            iteration_errors: vec![40, 21, 17],
+            factors: FactorSet { a, b, c },
+        }
+    }
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("dbtf-checkpoint-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = tmp_path("roundtrip");
+        let ck = sample();
+        ck.write(&path).unwrap();
+        assert_eq!(Checkpoint::read(&path).unwrap(), ck);
+        // Overwrite with different content and read again.
+        let mut ck2 = sample();
+        ck2.iteration = 4;
+        ck2.error = 5;
+        ck2.iteration_errors.push(5);
+        ck2.write(&path).unwrap();
+        assert_eq!(Checkpoint::read(&path).unwrap(), ck2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_none_not_error() {
+        let path = tmp_path("never-written");
+        assert_eq!(Checkpoint::read_if_exists(&path).unwrap(), None);
+        assert!(Checkpoint::read(&path).is_err());
+    }
+
+    #[test]
+    fn corrupt_files_error_cleanly() {
+        let path = tmp_path("corrupt");
+        for bad in [
+            "",
+            "BOGUS v9\n",
+            "DBTFCKPT v1\niteration 2\nerror 5\niteration_errors 9 5\nmatrix a 2 2\n10\n", // truncated
+            "DBTFCKPT v1\niteration 2\nerror 5\niteration_errors 9\nmatrix a 0 0\nmatrix b 0 0\nmatrix c 0 0\n", // count mismatch
+            "DBTFCKPT v1\niteration 1\nerror 5\niteration_errors 9\nmatrix a 0 0\nmatrix b 0 0\nmatrix c 0 0\n", // last ≠ error
+            "DBTFCKPT v1\niteration 1\nerror 5\niteration_errors 5\nmatrix a 1 2\n1x\nmatrix b 0 2\nmatrix c 0 2\n", // bad bit
+        ] {
+            std::fs::write(&path, bad).unwrap();
+            let err = Checkpoint::read(&path).expect_err(bad);
+            assert!(matches!(err, DbtfError::Checkpoint(_)), "input: {bad:?}");
+            assert!(
+                Checkpoint::read_if_exists(&path).is_err(),
+                "corrupt must not read as None: {bad:?}"
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn write_is_atomic_no_tmp_left_behind() {
+        let path = tmp_path("atomic");
+        sample().write(&path).unwrap();
+        assert!(path.exists());
+        assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -10,6 +10,11 @@ pub enum DbtfError {
     InvalidConfig(String),
     /// The input tensor has a zero-sized mode.
     EmptyTensor,
+    /// Writing or reading a factor checkpoint failed; the message carries
+    /// the path and the underlying cause. A *missing* checkpoint on resume
+    /// is not an error (the run starts fresh); a corrupt or mismatched one
+    /// is.
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for DbtfError {
@@ -17,6 +22,7 @@ impl std::fmt::Display for DbtfError {
         match self {
             DbtfError::InvalidConfig(msg) => write!(f, "invalid DBTF configuration: {msg}"),
             DbtfError::EmptyTensor => write!(f, "input tensor has a zero-sized mode"),
+            DbtfError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }
@@ -80,6 +86,21 @@ pub struct DbtfConfig {
     pub init_density: Option<f64>,
     /// RNG seed for the random initialization (runs are deterministic).
     pub seed: u64,
+    /// Write a factor checkpoint every `K` completed iterations (`None`
+    /// disables checkpointing). The file at [`DbtfConfig::checkpoint_path`]
+    /// is replaced atomically, so a crash mid-write never corrupts the
+    /// previous checkpoint.
+    pub checkpoint_every: Option<usize>,
+    /// Path of the checkpoint file (required when `checkpoint_every` or
+    /// `resume` is set).
+    pub checkpoint_path: Option<String>,
+    /// Resume from [`DbtfConfig::checkpoint_path`] if the file exists:
+    /// initialization and the already-completed iterations are skipped and
+    /// the run continues from the checkpointed factors. Because the RNG is
+    /// only consumed by initialization, a resumed run converges to exactly
+    /// the factors an uninterrupted run produces. A missing file falls back
+    /// to a fresh run; a corrupt file is an error.
+    pub resume: bool,
 }
 
 impl Default for DbtfConfig {
@@ -94,6 +115,9 @@ impl Default for DbtfConfig {
             init: InitStrategy::default(),
             init_density: None,
             seed: 0,
+            checkpoint_every: None,
+            checkpoint_path: None,
+            resume: false,
         }
     }
 }
@@ -148,6 +172,16 @@ impl DbtfConfig {
                 "convergence_threshold must be finite".into(),
             ));
         }
+        if self.checkpoint_every == Some(0) {
+            return Err(DbtfError::InvalidConfig(
+                "checkpoint_every must be at least 1".into(),
+            ));
+        }
+        if (self.checkpoint_every.is_some() || self.resume) && self.checkpoint_path.is_none() {
+            return Err(DbtfError::InvalidConfig(
+                "checkpoint_every/resume require checkpoint_path".into(),
+            ));
+        }
         Ok(())
     }
 
@@ -195,6 +229,33 @@ mod tests {
             ..Default::default()
         };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_checkpoint_config() {
+        let no_path = DbtfConfig {
+            checkpoint_every: Some(2),
+            ..Default::default()
+        };
+        assert!(no_path.validate().is_err());
+        let resume_no_path = DbtfConfig {
+            resume: true,
+            ..Default::default()
+        };
+        assert!(resume_no_path.validate().is_err());
+        let zero = DbtfConfig {
+            checkpoint_every: Some(0),
+            checkpoint_path: Some("ckpt".into()),
+            ..Default::default()
+        };
+        assert!(zero.validate().is_err());
+        let ok = DbtfConfig {
+            checkpoint_every: Some(3),
+            checkpoint_path: Some("ckpt".into()),
+            resume: true,
+            ..Default::default()
+        };
+        assert!(ok.validate().is_ok());
     }
 
     #[test]

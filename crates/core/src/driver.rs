@@ -15,11 +15,13 @@
 //!    first-iteration selection among the `L` initial sets); drop the
 //!    caches.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use dbtf_cluster::{Broadcast, Cluster, DistVec};
 use dbtf_tensor::{BitMatrix, BitVec, BoolTensor, Mode, Unfolding};
 
+use crate::checkpoint::Checkpoint;
 use crate::config::{DbtfConfig, DbtfError};
 use crate::factors::{initial_factor_sets, FactorSet};
 use crate::partition::partition_unfolding;
@@ -84,29 +86,99 @@ pub fn factorize(
     // ---- Partition the three unfolded tensors (Algorithm 2 lines 1–3). --
     let ([px1, px2, px3], partition_bytes) = distribute_unfoldings(cluster, x, n_partitions);
 
-    // ---- Initialize L factor sets (Algorithm 2 line 6). ----------------
-    let sets = initial_factor_sets(x, config);
-    cluster.charge_driver(
-        sets.len() as u64 * (dims[0] + dims[1] + dims[2]) as u64 * config.rank as u64,
-    );
-
-    // ---- Iteration 1: update every set, keep the best (lines 7–8). -----
-    let mut peak_cache_bytes = 0u64;
-    let mut best: Option<(FactorSet, u64)> = None;
-    for set in sets {
-        let (factors, error, cache) = update_round(cluster, &px1, &px2, &px3, set, config);
-        peak_cache_bytes = peak_cache_bytes.max(cache);
-        if best.as_ref().is_none_or(|(_, be)| error < *be) {
-            best = Some((factors, error));
-        }
-    }
-    let (mut factors, mut error) = best.expect("initial_sets ≥ 1");
-    let mut iteration_errors = vec![error];
-    let mut converged = error == 0;
-
-    // ---- Iterations 2..T (lines 9–12). ----------------------------------
     let threshold = config.convergence_threshold * x.nnz().max(1) as f64;
-    for _t in 2..=config.max_iters {
+    let ckpt_path = config.checkpoint_path.as_deref().map(std::path::Path::new);
+    let save_if_due =
+        |completed: usize, factors: &FactorSet, errors: &[u64]| -> Result<(), DbtfError> {
+            if let (Some(k), Some(path)) = (config.checkpoint_every, ckpt_path) {
+                if completed.is_multiple_of(k) {
+                    Checkpoint {
+                        iteration: completed,
+                        error: *errors.last().expect("at least one iteration"),
+                        iteration_errors: errors.to_vec(),
+                        factors: factors.clone(),
+                    }
+                    .write(path)?;
+                }
+            }
+            Ok(())
+        };
+
+    // ---- Resume from a checkpoint, or initialize L factor sets ---------
+    // (Algorithm 2 line 6). The RNG is consumed only here, so iterations
+    // ≥ 2 are pure functions of the factor state and a resumed run
+    // reproduces the uninterrupted one bit for bit.
+    let resumed = if config.resume {
+        let path = ckpt_path.expect("validate() requires checkpoint_path with resume");
+        let ck = Checkpoint::read_if_exists(path)?;
+        if let Some(ck) = &ck {
+            let f = &ck.factors;
+            let shape_ok = f.a.rows() == dims[0]
+                && f.b.rows() == dims[1]
+                && f.c.rows() == dims[2]
+                && f.a.cols() == config.rank
+                && f.b.cols() == config.rank
+                && f.c.cols() == config.rank;
+            if !shape_ok || ck.iteration == 0 {
+                return Err(DbtfError::Checkpoint(format!(
+                    "{}: checkpoint factors are {}×{}/{}×{}/{}×{} but this run needs \
+                     {}×{r}/{}×{r}/{}×{r}",
+                    path.display(),
+                    f.a.rows(),
+                    f.a.cols(),
+                    f.b.rows(),
+                    f.b.cols(),
+                    f.c.rows(),
+                    f.c.cols(),
+                    dims[0],
+                    dims[1],
+                    dims[2],
+                    r = config.rank,
+                )));
+            }
+        }
+        ck
+    } else {
+        None
+    };
+
+    let mut peak_cache_bytes = 0u64;
+    let (mut factors, mut error, mut iteration_errors, mut converged) = match resumed {
+        Some(ck) => {
+            // Re-derive the convergence flag from the error history, so a
+            // checkpoint taken after convergence does not iterate further.
+            let n = ck.iteration_errors.len();
+            let converged = ck.error == 0
+                || (n >= 2
+                    && ck.iteration_errors[n - 2].abs_diff(ck.iteration_errors[n - 1]) as f64
+                        <= threshold);
+            (ck.factors, ck.error, ck.iteration_errors, converged)
+        }
+        None => {
+            let sets = initial_factor_sets(x, config);
+            cluster.charge_driver(
+                sets.len() as u64 * (dims[0] + dims[1] + dims[2]) as u64 * config.rank as u64,
+            );
+
+            // Iteration 1: update every set, keep the best (lines 7–8).
+            let mut best: Option<(FactorSet, u64)> = None;
+            for set in sets {
+                let (factors, error, cache) = update_round(cluster, &px1, &px2, &px3, set, config);
+                peak_cache_bytes = peak_cache_bytes.max(cache);
+                if best.as_ref().is_none_or(|(_, be)| error < *be) {
+                    best = Some((factors, error));
+                }
+            }
+            let (factors, error) = best.expect("initial_sets ≥ 1");
+            let iteration_errors = vec![error];
+            save_if_due(1, &factors, &iteration_errors)?;
+            (factors, error, iteration_errors, error == 0)
+        }
+    };
+
+    // ---- Iterations 2..T (lines 9–12); a resumed run continues where ----
+    // the checkpoint left off.
+    for _t in (iteration_errors.len() + 1)..=config.max_iters {
         if converged {
             break;
         }
@@ -119,6 +191,7 @@ pub fn factorize(
         if delta <= threshold || error == 0 {
             converged = true;
         }
+        save_if_due(iteration_errors.len(), &factors, &iteration_errors)?;
     }
 
     let comm = cluster.metrics().since(&metrics_start);
@@ -161,6 +234,11 @@ pub(crate) fn distribute_unfoldings(
     x: &BoolTensor,
     n_partitions: usize,
 ) -> ([DistVec<PartitionSlot>; 3], u64) {
+    // The driver keeps the source tensor; it is the root of every
+    // partition's lineage — a lost partition is re-derived by re-unfolding
+    // and re-partitioning (deterministic), exactly Spark's
+    // recompute-from-source contract.
+    let source = Arc::new(x.clone());
     let mut partition_bytes = 0u64;
     let mut datasets = Vec::with_capacity(3);
     for mode in Mode::ALL {
@@ -176,12 +254,19 @@ pub(crate) fn distribute_unfoldings(
             })
             .collect();
         partition_bytes += elems.iter().map(|e| e.1).sum::<u64>();
-        let data = cluster.distribute(elems);
+        let rebuild_src = Arc::clone(&source);
+        let data = cluster.distribute_with_lineage(elems, move |idx| {
+            let unfolding = Unfolding::new(&rebuild_src, mode);
+            let mut parts = partition_unfolding(&unfolding, n_partitions);
+            PartitionSlot::new(parts.swap_remove(idx))
+        });
         // Distributed block organization (Algorithm 3 line 4): each worker
         // walks its share of the non-zeros once.
         cluster.map_partitions(&data, |_idx, slot: &mut PartitionSlot, ctx| {
             ctx.charge(slot.part.nnz() as u64);
         });
+        // Read-only superstep: partitions still equal their rebuilt form.
+        cluster.reset_lineage(&data);
         datasets.push(data);
     }
     let px3 = datasets.pop().expect("three modes");
@@ -310,6 +395,11 @@ fn update_factor(
             err
         }
     });
+    // The partitions are back to their distribute-time state (`part` is
+    // never mutated, `work` is None again), so a crash from here on only
+    // needs the rebuild closure — truncating the lineage log keeps replay
+    // cost bounded by one UpdateFactor instead of the whole run.
+    cluster.reset_lineage(data);
     UpdateOutcome {
         a: master,
         error: compute_error.then(|| errors.iter().sum()),

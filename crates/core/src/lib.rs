@@ -56,6 +56,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cache;
+pub mod checkpoint;
 mod config;
 mod driver;
 mod factors;
@@ -67,6 +68,7 @@ pub mod tucker;
 pub mod tucker_distributed;
 pub mod update;
 
+pub use checkpoint::Checkpoint;
 pub use config::{DbtfConfig, DbtfError, InitStrategy};
 pub use driver::{factorize, DbtfResult};
 pub use factors::{initial_factor_sets, random_factor_sets, FactorSet};

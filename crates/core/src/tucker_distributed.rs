@@ -370,6 +370,10 @@ fn update_factor_distributed(
         ctx.charge(values.len() as u64);
         slot.tucker = None;
     });
+    // Every partition is back to its distribute-time state (`part` is never
+    // mutated, `tucker` is None again), so crash recovery no longer needs
+    // to replay this update's supersteps.
+    cluster.reset_lineage(data);
     master
 }
 

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Chaos sweep: fault injection × worker counts with bit-identical
+# verification, emitting a JSON recovery-overhead report.
+#
+# Usage: scripts/chaos.sh [output.json] [extra chaos args...]
+#   scripts/chaos.sh                       # report to target/chaos.json
+#   scripts/chaos.sh /tmp/r.json --exp 10  # bigger tensor, custom path
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-target/chaos.json}"
+shift || true
+mkdir -p "$(dirname "$out")"
+
+cargo run --release -p dbtf-bench --bin chaos -- --json "$out" "$@"
+echo "chaos report: $out"
