@@ -5,7 +5,7 @@
 //! BCP_ALS instantiates the ALS projection framework (DBTF paper
 //! Algorithm 1):
 //!
-//! 1. **Initialization** by running [`crate::asso`] on each mode-n
+//! 1. **Initialization** by running [`crate::asso()`] on each mode-n
 //!    matricization; the usage matrices become the initial factors. The
 //!    association structures are quadratic in the matricization's column
 //!    count (`J·K` etc.), which is why BCP_ALS runs out of memory on the
@@ -54,7 +54,7 @@ impl Default for BcpAlsConfig {
     }
 }
 
-/// Outcome of a [`bcp_als`] run.
+/// Outcome of a [`bcp_als()`] run.
 #[derive(Clone, Debug)]
 pub struct BcpAlsResult {
     /// Factors `(A, B, C)`.

@@ -1,17 +1,17 @@
 //! Baselines the DBTF paper evaluates against (Section IV-A2).
 //!
-//! - [`asso`]: the ASSO Boolean *matrix* factorization of Miettinen et al.
+//! - [`mod@asso`]: the ASSO Boolean *matrix* factorization of Miettinen et al.
 //!   (*The Discrete Basis Problem*, 2008). Not a tensor method itself, but
 //!   BCP_ALS initializes its factors with ASSO runs on the unfolded tensor
 //!   — and ASSO's `O(cols²)` association matrix is exactly the "high space
 //!   and time requirement … proportional to the squares of the number of
 //!   columns of each unfolded tensor" that makes BCP_ALS fail on large
 //!   tensors (paper Section II-B2).
-//! - [`bcp_als`]: Miettinen's BCP_ALS (*Boolean Tensor Factorizations*,
+//! - [`mod@bcp_als`]: Miettinen's BCP_ALS (*Boolean Tensor Factorizations*,
 //!   ICDM 2011): the single-machine ALS projection heuristic of
 //!   Algorithm 1, with ASSO initialization and a materialized Khatri-Rao
 //!   product.
-//! - [`walk_n_merge`]: Erdős & Miettinen's Walk'n'Merge (2013): random
+//! - [`mod@walk_n_merge`]: Erdős & Miettinen's Walk'n'Merge (2013): random
 //!   walks over the graph of non-zeros find dense blocks, which are then
 //!   greedily merged; blocks become rank-1 factors.
 //!

@@ -96,7 +96,7 @@ impl WnmBlock {
     }
 }
 
-/// Outcome of a [`walk_n_merge`] run.
+/// Outcome of a [`walk_n_merge()`] run.
 #[derive(Clone, Debug)]
 pub struct WnmResult {
     /// The merged dense blocks, largest (by ones) first.

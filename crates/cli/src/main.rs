@@ -3,7 +3,8 @@
 //! ```text
 //! dbtf factorize   --input X.txt --rank 10 [--workers 16] [--iters 10]
 //!                  [--sets 1] [--seed 0] [--partitions N] [--v 15]
-//!                  [--compute-threads T] [--output PREFIX]
+//!                  [--compute-threads T] [--backend cluster|local]
+//!                  [--output PREFIX]
 //!                  [--checkpoint FILE] [--checkpoint-every K] [--resume]
 //!                  [--fault-crash S:W,…] [--fault-task-failure-rate F]
 //!                  [--fault-slow-rate F] [--fault-slow-factor M]
@@ -30,8 +31,8 @@ use std::process::ExitCode;
 use args::{ArgError, ParsedArgs};
 use dbtf::model_selection::select_rank;
 use dbtf::tucker::{tucker_factorize, TuckerConfig};
-use dbtf::{factorize, DbtfConfig};
-use dbtf_cluster::{Cluster, ClusterConfig, FaultPlan};
+use dbtf::{factorize, BackendKind, DbtfConfig};
+use dbtf_cluster::{Cluster, ClusterConfig, FaultPlan, LocalBackend};
 use dbtf_datagen::proxies::{generate_proxy, proxy_specs};
 use dbtf_datagen::{uniform_random, NoiseSpec, PlantedConfig, PlantedTensor};
 use dbtf_tensor::{io as tio, matrix_io, BoolTensor};
@@ -84,6 +85,12 @@ common options:
 
 factorize: --rank R [--workers 16] [--iters 10] [--sets 1]
            [--partitions N] [--v 15] [--compute-threads T] [--output PREFIX]
+           [--backend cluster|local]
+                 cluster (default): simulated multi-worker engine with
+                 network-model costing and optional fault injection;
+                 local: same plan inline in one process — identical
+                 factors/errors/byte counters, but virtual time excludes
+                 all network costs and --fault-* options are rejected
   checkpointing:
            [--checkpoint FILE]    write factors to FILE every K iterations
            [--checkpoint-every K] (default 1 when --checkpoint is given)
@@ -158,16 +165,38 @@ fn cmd_factorize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> 
             .transpose()?,
         checkpoint_path,
         resume: parsed.has_flag("resume"),
+        backend: parsed.get("backend", BackendKind::default())?,
         ..DbtfConfig::default()
     };
     let fault_plan = parse_fault_plan(parsed)?;
-    let cluster = Cluster::new(ClusterConfig {
+    let cluster_config = ClusterConfig {
         workers,
         compute_threads,
         fault_plan: fault_plan.clone(),
         ..ClusterConfig::paper_cluster()
-    });
-    let result = factorize(&cluster, &x, &config)?;
+    };
+    // Factors/errors/byte counters are identical on both backends; the
+    // local one skips the network model (virtual time is compute-only)
+    // and cannot inject faults.
+    let (result, recovery) = match config.backend {
+        BackendKind::Cluster => {
+            let cluster = Cluster::new(cluster_config);
+            let result = factorize(&cluster, &x, &config)?;
+            let recovery = fault_plan.is_some().then(|| cluster.metrics());
+            (result, recovery)
+        }
+        BackendKind::Local => {
+            if fault_plan.is_some() {
+                return Err(Box::new(ArgError(
+                    "--fault-* options need --backend cluster \
+                     (the local backend injects no faults)"
+                        .into(),
+                )));
+            }
+            let backend = LocalBackend::from_cluster_config(&cluster_config);
+            (factorize(&backend, &x, &config)?, None)
+        }
+    };
     println!(
         "factorized {:?} at rank {}: |X ⊕ X̃| = {} ({:.2}% of |X|), {} iterations{}",
         x,
@@ -178,15 +207,15 @@ fn cmd_factorize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> 
         if result.converged { " (converged)" } else { "" }
     );
     println!(
-        "cluster: {:.3} virtual s on {} workers; shuffled {} B, broadcast {} B, collected {} B",
+        "{}: {:.3} virtual s on {} workers; shuffled {} B, broadcast {} B, collected {} B",
+        config.backend,
         result.stats.virtual_secs,
         workers,
         result.stats.comm.bytes_shuffled,
         result.stats.comm.bytes_broadcast,
         result.stats.comm.bytes_collected
     );
-    if fault_plan.is_some() {
-        let m = cluster.metrics();
+    if let Some(m) = recovery {
         println!(
             "recovery: {} respawns, {} partitions recomputed, {} B re-shipped, \
              {} task retries, {} speculative ({} won), {:.3} virtual s of {:.3} total",
@@ -257,16 +286,26 @@ fn cmd_tucker(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
         seed: parsed.get("seed", 0)?,
         ..TuckerConfig::default()
     };
-    // With --workers, run the distributed driver (identical results).
+    // With --workers, run the distributed driver (identical results);
+    // --backend local runs the same plan without the network model.
     let result = match parsed.get_str("workers") {
         Some(w) => {
-            let cluster = Cluster::new(ClusterConfig {
+            let cluster_config = ClusterConfig {
                 workers: w
                     .parse()
                     .map_err(|_| ArgError(format!("invalid --workers {w:?}")))?,
                 ..ClusterConfig::paper_cluster()
-            });
-            dbtf::tucker_distributed::tucker_factorize_distributed(&cluster, &x, &config)?
+            };
+            match parsed.get("backend", BackendKind::default())? {
+                BackendKind::Cluster => {
+                    let cluster = Cluster::new(cluster_config);
+                    dbtf::tucker_distributed::tucker_factorize_distributed(&cluster, &x, &config)?
+                }
+                BackendKind::Local => {
+                    let backend = LocalBackend::from_cluster_config(&cluster_config);
+                    dbtf::tucker_distributed::tucker_factorize_distributed(&backend, &x, &config)?
+                }
+            }
         }
         None => tucker_factorize(&x, &config)?,
     };

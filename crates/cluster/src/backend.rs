@@ -1,0 +1,132 @@
+//! The [`ExecutionBackend`] trait: the physical-execution seam under the
+//! dataflow-operator IR. Drivers are generic over a backend and emit
+//! operators through [`crate::Scheduler`]; the backend decides *where*
+//! each operator runs ([`crate::Cluster`]: simulated multi-worker
+//! machines with fault injection and network costing;
+//! [`crate::LocalBackend`]: inline in the driver process with no network
+//! model).
+
+use crate::metrics::MetricsSnapshot;
+use crate::storage::{Broadcast, DistVec};
+use crate::task::TaskContext;
+use crate::Cluster;
+
+/// A physical execution engine for dataflow plans.
+///
+/// Implementations must be *metering-equivalent*: for the same operator
+/// sequence they produce bit-identical task results, op counts, and
+/// Lemma 6/7 byte counters. They may differ in virtual-time costing (the
+/// local backend skips the network model) and in fault handling (only the
+/// cluster injects and recovers from faults).
+pub trait ExecutionBackend {
+    /// Handle to a distributed dataset of partitions of type `P`.
+    type Dataset<P: Send + 'static>;
+
+    /// Short backend name for logs and CLI output (`"cluster"`/`"local"`).
+    fn name(&self) -> &'static str;
+
+    /// Number of (possibly logical) worker machines.
+    fn workers(&self) -> usize;
+
+    /// The default partition count for this backend: one partition per
+    /// core across the cluster, matching the paper's task granularity.
+    fn suggested_partitions(&self) -> usize;
+
+    /// Snapshot of the communication and compute counters.
+    fn metrics(&self) -> MetricsSnapshot;
+
+    /// Charges driver-side compute to the virtual clock.
+    fn charge_driver(&self, ops: u64);
+
+    /// Partitions `parts` (payload, metered bytes) across workers with
+    /// `rebuild` as the dataset's lineage (see
+    /// [`Cluster::distribute_with_lineage`] for the recovery contract;
+    /// backends without faults may never call `rebuild`).
+    fn distribute_with_lineage<P, F>(&self, parts: Vec<(P, u64)>, rebuild: F) -> Self::Dataset<P>
+    where
+        P: Send + 'static,
+        F: Fn(usize) -> P + Send + Sync + 'static;
+
+    /// Ships `value` to every worker, metering `bytes` per receiver.
+    fn broadcast<T: Send + Sync + 'static>(&self, value: T, bytes: u64) -> Broadcast<T>;
+
+    /// Runs `f` once per partition (one superstep) and returns the results
+    /// in partition order. Partition mutation persists across supersteps.
+    fn map_partitions<P, T, F>(&self, data: &Self::Dataset<P>, f: F) -> Vec<T>
+    where
+        P: Send + 'static,
+        T: Send + 'static,
+        F: Fn(usize, &mut P, &mut TaskContext) -> T + Send + Sync + 'static;
+
+    /// Clones every partition back to the driver, metered like a collect.
+    fn gather<P>(&self, data: &Self::Dataset<P>) -> Vec<P>
+    where
+        P: Clone + Send + 'static;
+
+    /// Truncates the dataset's lineage log (no-op on backends without
+    /// crash recovery).
+    fn reset_lineage<P: Send + 'static>(&self, data: &Self::Dataset<P>);
+
+    /// Number of partitions in `data`.
+    fn dataset_partitions<P: Send + 'static>(&self, data: &Self::Dataset<P>) -> usize;
+}
+
+impl ExecutionBackend for Cluster {
+    type Dataset<P: Send + 'static> = DistVec<P>;
+
+    fn name(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn workers(&self) -> usize {
+        self.num_workers()
+    }
+
+    fn suggested_partitions(&self) -> usize {
+        self.config().workers * self.config().cores_per_worker
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        Cluster::metrics(self)
+    }
+
+    fn charge_driver(&self, ops: u64) {
+        Cluster::charge_driver(self, ops)
+    }
+
+    fn distribute_with_lineage<P, F>(&self, parts: Vec<(P, u64)>, rebuild: F) -> DistVec<P>
+    where
+        P: Send + 'static,
+        F: Fn(usize) -> P + Send + Sync + 'static,
+    {
+        Cluster::distribute_with_lineage(self, parts, rebuild)
+    }
+
+    fn broadcast<T: Send + Sync + 'static>(&self, value: T, bytes: u64) -> Broadcast<T> {
+        Cluster::broadcast(self, value, bytes)
+    }
+
+    fn map_partitions<P, T, F>(&self, data: &DistVec<P>, f: F) -> Vec<T>
+    where
+        P: Send + 'static,
+        T: Send + 'static,
+        F: Fn(usize, &mut P, &mut TaskContext) -> T + Send + Sync + 'static,
+    {
+        Cluster::map_partitions(self, data, f)
+    }
+
+    fn gather<P>(&self, data: &DistVec<P>) -> Vec<P>
+    where
+        P: Clone + Send + 'static,
+    {
+        Cluster::gather(self, data)
+    }
+
+    fn reset_lineage<P: Send + 'static>(&self, data: &DistVec<P>) {
+        Cluster::reset_lineage(self, data)
+    }
+
+    fn dataset_partitions<P: Send + 'static>(&self, data: &DistVec<P>) -> usize {
+        data.num_partitions()
+    }
+}

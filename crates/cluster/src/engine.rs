@@ -1,5 +1,8 @@
-//! The cluster engine: worker threads, distributed datasets, broadcast,
-//! superstep execution, and fault recovery.
+//! The cluster handle: construction, shared driver-side state, and the
+//! top-level accessors. The heavy lifting lives in the sibling modules —
+//! [`crate::scheduler`] (superstep execution), [`crate::executor`] (worker
+//! threads), [`crate::storage`] (dataset registry) and [`crate::lineage`]
+//! (crash recovery).
 //!
 //! # Fault tolerance
 //!
@@ -23,109 +26,55 @@
 //! virtual time), so the cost of failure is measurable while factors,
 //! errors, and op counts stay bit-identical to a fault-free run.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::any::Any;
 use std::collections::HashMap;
-use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use crossbeam::channel::Sender;
+
 use crate::config::ClusterConfig;
+use crate::executor::{spawn_worker, WorkerMsg};
 use crate::fault::FaultPlan;
 use crate::metrics::{CommMetrics, MetricsSnapshot, VirtualDuration};
-use crate::task::TaskContext;
+use crate::storage::DatasetState;
 
-type AnyPart = Box<dyn Any + Send>;
-type TaskFn = dyn Fn(usize, &mut (dyn Any + Send), &mut TaskContext) -> AnyPart + Send + Sync;
-type RebuildFn = dyn Fn(usize) -> AnyPart + Send + Sync;
+/// A type-erased partition payload as it travels to and from workers.
+pub(crate) type AnyPart = Box<dyn Any + Send>;
+/// A type-erased partition task (global index, partition, context → result).
+pub(crate) type TaskFn =
+    dyn Fn(usize, &mut (dyn Any + Send), &mut crate::task::TaskContext) -> AnyPart + Send + Sync;
+/// Recomputes a partition's distribute-time payload from its global index.
+pub(crate) type RebuildFn = dyn Fn(usize) -> AnyPart + Send + Sync;
 
 /// Fault context shipped with a superstep: the plan plus the superstep
 /// index, enough for a worker to make deterministic per-attempt decisions.
-type TaskFaults = (Arc<FaultPlan>, u64);
+pub(crate) type TaskFaults = (Arc<FaultPlan>, u64);
 
-enum WorkerMsg {
-    /// Install partitions (global index, payload) of a dataset.
-    Store {
-        dataset: u64,
-        parts: Vec<(usize, AnyPart)>,
-        ack: Sender<()>,
-    },
-    /// Run a task over every locally stored partition of a dataset.
-    Run {
-        dataset: u64,
-        task: Arc<TaskFn>,
-        /// `Some` when transient task faults are being injected; `None` for
-        /// fault-free supersteps and for lineage replay.
-        fault: Option<TaskFaults>,
-        reply: Sender<BatchResult>,
-    },
-    /// Report how many partitions of a dataset this worker holds.
-    Count { dataset: u64, reply: Sender<usize> },
-    /// Evict a dataset from this worker's memory.
-    DropDataset { dataset: u64 },
-    /// Terminate the worker thread.
-    Shutdown,
-}
-
-/// Per-task cost record inside a [`BatchResult`], sorted by partition
-/// index; the driver needs per-task granularity to model slow tasks,
-/// retries, and speculative re-execution.
-struct TaskStat {
-    idx: usize,
-    ops: u64,
-    retries: u32,
-}
-
-struct BatchResult {
-    worker: usize,
-    /// (global partition index, boxed task result) pairs, sorted by
-    /// partition index regardless of which compute thread ran the task.
-    results: Vec<(usize, AnyPart)>,
-    /// Tasks that panicked or exhausted their launch attempts:
-    /// (global partition index, message), sorted by partition index.
-    panics: Vec<(usize, String)>,
-    /// Per-task cost records, sorted by partition index (covers every
-    /// task, successful or not).
-    stats: Vec<TaskStat>,
-    total_ops: u64,
-    max_task_ops: u64,
-    result_bytes: u64,
-}
-
-/// Driver-side lineage record of one distributed dataset.
-struct DatasetState {
-    placement: Vec<usize>,
-    part_bytes: Vec<u64>,
-    /// Recomputes partition `idx`'s distribute-time payload (`None` for
-    /// datasets created by plain [`Cluster::distribute`]).
-    rebuild: Option<Arc<RebuildFn>>,
-    /// Tasks applied since distribution (or the last
-    /// [`Cluster::reset_lineage`]), in superstep order — replayed onto
-    /// rebuilt partitions after a worker crash.
-    log: Vec<Arc<TaskFn>>,
-}
-
-struct Inner {
-    config: ClusterConfig,
-    compute_threads: usize,
-    senders: parking_lot::Mutex<Vec<Sender<WorkerMsg>>>,
-    handles: parking_lot::Mutex<Vec<Option<JoinHandle<()>>>>,
-    metrics: CommMetrics,
-    next_dataset: AtomicU64,
-    registry: parking_lot::Mutex<HashMap<u64, DatasetState>>,
-    fault: Option<Arc<FaultPlan>>,
+/// Shared driver-side state of a [`Cluster`].
+pub(crate) struct Inner {
+    pub(crate) config: ClusterConfig,
+    pub(crate) compute_threads: usize,
+    pub(crate) senders: parking_lot::Mutex<Vec<Sender<WorkerMsg>>>,
+    pub(crate) handles: parking_lot::Mutex<Vec<Option<JoinHandle<()>>>>,
+    pub(crate) metrics: CommMetrics,
+    pub(crate) next_dataset: AtomicU64,
+    pub(crate) registry: parking_lot::Mutex<HashMap<u64, DatasetState>>,
+    pub(crate) fault: Option<Arc<FaultPlan>>,
     /// `(superstep, worker)` crash entries already fired (each at most once).
-    crashes_done: parking_lot::Mutex<Vec<(u64, usize)>>,
+    pub(crate) crashes_done: parking_lot::Mutex<Vec<(u64, usize)>>,
 }
 
 /// A simulated cluster: one driver (the calling thread) plus
 /// `config.workers` worker threads with shared-nothing partition storage.
 ///
 /// See the crate docs for the execution and virtual-time model. Dropping the
-/// `Cluster` shuts the workers down.
+/// `Cluster` shuts the workers down. `Cluster` is the multi-worker
+/// implementation of [`crate::ExecutionBackend`]; drivers that want a
+/// zero-overhead single-process run use [`crate::LocalBackend`] instead.
 pub struct Cluster {
-    inner: Arc<Inner>,
+    pub(crate) inner: Arc<Inner>,
 }
 
 impl Cluster {
@@ -148,7 +97,7 @@ impl Cluster {
         let mut senders = Vec::with_capacity(config.workers);
         let mut handles = Vec::with_capacity(config.workers);
         for worker_id in 0..config.workers {
-            let (tx, rx) = unbounded::<WorkerMsg>();
+            let (tx, rx) = crossbeam::channel::unbounded::<WorkerMsg>();
             senders.push(tx);
             handles.push(Some(spawn_worker(worker_id, rx, compute_threads)));
         }
@@ -195,587 +144,6 @@ impl Cluster {
             .metrics
             .advance_clock(ops as f64 / self.inner.config.core_throughput_ops_per_sec);
     }
-
-    /// Shuffles `parts` across the workers round-robin and persists them in
-    /// worker memory, returning a handle to the distributed dataset.
-    ///
-    /// Each element is `(partition_payload, payload_bytes)`; the byte sizes
-    /// meter the shuffle (Lemma 6: `O(|X|)` for the unfolded tensors) and
-    /// the per-worker memory footprint. Partition `p` lands on worker
-    /// `p mod workers`, which for DBTF's equal-width vertical partitions
-    /// balances load like the paper's Spark partitioner.
-    ///
-    /// Datasets created this way carry **no lineage**: if a fault plan
-    /// crashes a worker holding one of their partitions, the run fails with
-    /// a clean error. Use [`Cluster::distribute_with_lineage`] or
-    /// [`Cluster::distribute_replicated`] for crash-recoverable datasets.
-    pub fn distribute<P: Send + 'static>(&self, parts: Vec<(P, u64)>) -> DistVec<P> {
-        self.distribute_inner(parts, None)
-    }
-
-    /// Like [`Cluster::distribute`], but records `rebuild` as the dataset's
-    /// lineage: after a worker crash, the engine calls `rebuild(idx)` to
-    /// recompute each lost partition's distribute-time payload, re-ships it
-    /// to the respawned worker, and replays every task applied since
-    /// distribution (or since the last [`Cluster::reset_lineage`]) to
-    /// restore bit-identical partition state.
-    ///
-    /// `rebuild(idx)` must reproduce the exact payload passed for partition
-    /// `idx` — the engine's RDD-style "recompute from source" contract.
-    pub fn distribute_with_lineage<P, F>(&self, parts: Vec<(P, u64)>, rebuild: F) -> DistVec<P>
-    where
-        P: Send + 'static,
-        F: Fn(usize) -> P + Send + Sync + 'static,
-    {
-        self.distribute_inner(
-            parts,
-            Some(Arc::new(move |idx| Box::new(rebuild(idx)) as AnyPart)),
-        )
-    }
-
-    /// Like [`Cluster::distribute_with_lineage`] with the lineage closure
-    /// built from a driver-retained replica: payloads are cloned once at
-    /// distribute time and lost partitions are re-shipped from the replica
-    /// after a crash. Convenient when `P: Clone` and no cheap recompute
-    /// exists.
-    pub fn distribute_replicated<P>(&self, parts: Vec<(P, u64)>) -> DistVec<P>
-    where
-        P: Clone + Send + Sync + 'static,
-    {
-        let replica: Arc<Vec<P>> = Arc::new(parts.iter().map(|(p, _)| p.clone()).collect());
-        self.distribute_with_lineage(parts, move |idx| replica[idx].clone())
-    }
-
-    fn distribute_inner<P: Send + 'static>(
-        &self,
-        parts: Vec<(P, u64)>,
-        rebuild: Option<Arc<RebuildFn>>,
-    ) -> DistVec<P> {
-        let nparts = parts.len();
-        let id = self.inner.next_dataset.fetch_add(1, Ordering::Relaxed);
-        let workers = self.num_workers();
-        let mut per_worker: Vec<Vec<(usize, AnyPart)>> = (0..workers).map(|_| Vec::new()).collect();
-        let mut placement = Vec::with_capacity(nparts);
-        let mut part_bytes = Vec::with_capacity(nparts);
-        let mut worker_bytes = vec![0u64; workers];
-        for (idx, (payload, bytes)) in parts.into_iter().enumerate() {
-            let w = idx % workers;
-            placement.push(w);
-            part_bytes.push(bytes);
-            worker_bytes[w] += bytes;
-            per_worker[w].push((idx, Box::new(payload)));
-        }
-        // Meter the shuffle: the whole dataset crosses the network once;
-        // workers receive in parallel, so the step costs the slowest link.
-        let total_bytes: u64 = worker_bytes.iter().sum();
-        self.inner.metrics.add_shuffled(total_bytes);
-        self.inner.metrics.add_stored(total_bytes);
-        let net = &self.inner.config.network;
-        let step = worker_bytes
-            .iter()
-            .map(|&b| net.transfer_secs(b))
-            .fold(0.0, f64::max);
-        self.inner.metrics.advance_clock(step);
-
-        self.inner.registry.lock().insert(
-            id,
-            DatasetState {
-                placement: placement.clone(),
-                part_bytes: part_bytes.clone(),
-                rebuild,
-                log: Vec::new(),
-            },
-        );
-
-        let senders = self.inner.senders.lock().clone();
-        let (ack_tx, ack_rx) = unbounded();
-        let mut expected = 0;
-        for (w, batch) in per_worker.into_iter().enumerate() {
-            if batch.is_empty() {
-                continue;
-            }
-            expected += 1;
-            senders[w]
-                .send(WorkerMsg::Store {
-                    dataset: id,
-                    parts: batch,
-                    ack: ack_tx.clone(),
-                })
-                .expect("worker hung up");
-        }
-        for _ in 0..expected {
-            ack_rx.recv().expect("worker hung up");
-        }
-        DistVec {
-            id,
-            nparts,
-            placement,
-            part_bytes,
-            inner: Arc::clone(&self.inner),
-            _marker: PhantomData,
-        }
-    }
-
-    /// Broadcasts `value` to every worker, metering `bytes` per receiver.
-    ///
-    /// DBTF broadcasts the three factor matrices each iteration
-    /// (Lemma 7's `O(M·I·R)` term). Locally this is a zero-copy `Arc`;
-    /// the accounting treats it as `workers` transfers serialised through
-    /// the driver's uplink, priced by [`crate::NetworkModel::transfer_secs`]
-    /// — the single costing path every transfer in the engine goes through.
-    pub fn broadcast<T: Send + Sync + 'static>(&self, value: T, bytes: u64) -> Broadcast<T> {
-        let workers = self.num_workers() as u64;
-        self.inner.metrics.add_broadcast(bytes * workers);
-        let secs = self.inner.config.network.transfer_secs(bytes * workers);
-        self.inner.metrics.advance_clock(secs);
-        Broadcast {
-            value: Arc::new(value),
-        }
-    }
-
-    /// Runs `f` once per partition of `data`, on the worker holding the
-    /// partition, and returns the results in partition order.
-    ///
-    /// This is one *superstep*: the driver blocks until every worker
-    /// finishes, the virtual clock advances by the worker makespan plus the
-    /// result-collection network time, and the metrics record the charged
-    /// ops and collected bytes.
-    ///
-    /// `f` receives the global partition index, exclusive access to the
-    /// partition (mutation persists — the dataset is cached), and the
-    /// [`TaskContext`] for cost accounting.
-    ///
-    /// Each worker fans its local partitions out across
-    /// [`ClusterConfig::resolved_compute_threads`] compute threads
-    /// (`cores_per_worker` by default), so a multi-partition superstep uses
-    /// real intra-worker parallelism. Results are merged back in partition
-    /// order and the ops/bytes accounting is reduced in a fixed order, so
-    /// outputs and all virtual-time metrics are bit-identical for every
-    /// thread count.
-    ///
-    /// With a [`FaultPlan`] active, scheduled worker crashes are injected
-    /// (and recovered from) at the superstep boundary, transient task
-    /// failures are retried with backoff, and slow tasks may be
-    /// speculatively re-executed — all deterministic, leaving results and
-    /// op counts identical to a fault-free run (only the virtual clock and
-    /// the recovery counters differ).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `data` belongs to a different cluster, if a worker thread
-    /// has died outside the fault plan, if a crash hits a partition of a
-    /// dataset without lineage, or — with a clean per-partition message —
-    /// if a task panicked or exhausted its launch attempts. A task panic is
-    /// caught on the worker (the worker itself survives and later
-    /// supersteps still run), but the partition the task was mutating is
-    /// left in an unspecified state.
-    pub fn map_partitions<P, T, F>(&self, data: &DistVec<P>, f: F) -> Vec<T>
-    where
-        P: Send + 'static,
-        T: Send + 'static,
-        F: Fn(usize, &mut P, &mut TaskContext) -> T + Send + Sync + 'static,
-    {
-        assert!(
-            Arc::ptr_eq(&self.inner, &data.inner),
-            "dataset belongs to a different cluster"
-        );
-        let step = self.inner.metrics.supersteps.load(Ordering::Relaxed);
-        self.inject_crashes(step);
-
-        let task: Arc<TaskFn> = Arc::new(move |idx, part, ctx| {
-            let part = part
-                .downcast_mut::<P>()
-                .expect("partition type mismatch: DistVec used with wrong element type");
-            Box::new(f(idx, part, ctx)) as AnyPart
-        });
-        // Record the task in the dataset's lineage log (replayed after a
-        // crash) before it runs anywhere.
-        if let Some(ds) = self.inner.registry.lock().get_mut(&data.id) {
-            if ds.rebuild.is_some() {
-                ds.log.push(Arc::clone(&task));
-            }
-        }
-
-        let task_faults: Option<TaskFaults> = self
-            .inner
-            .fault
-            .as_ref()
-            .filter(|plan| plan.task_failure_rate > 0.0)
-            .map(|plan| (Arc::clone(plan), step));
-
-        let (reply_tx, reply_rx): (Sender<BatchResult>, Receiver<BatchResult>) = unbounded();
-        let senders = self.inner.senders.lock().clone();
-        for sender in &senders {
-            sender
-                .send(WorkerMsg::Run {
-                    dataset: data.id,
-                    task: Arc::clone(&task),
-                    fault: task_faults.clone(),
-                    reply: reply_tx.clone(),
-                })
-                .expect("worker hung up");
-        }
-        drop(reply_tx);
-
-        let mut batches: Vec<BatchResult> = (0..self.num_workers())
-            .map(|_| reply_rx.recv().expect("worker hung up"))
-            .collect();
-        // Fixed reduction order regardless of reply arrival.
-        batches.sort_by_key(|b| b.worker);
-
-        let times = self.superstep_times(step, &batches, &data.part_bytes);
-        let mut slots: Vec<Option<T>> = (0..data.nparts).map(|_| None).collect();
-        let mut makespan = 0.0f64;
-        let mut collect_secs = 0.0f64;
-        let mut task_panics: Vec<(usize, usize, String)> = Vec::new();
-        {
-            let mut busy = self.inner.metrics.worker_busy_secs.lock();
-            for (batch, &time) in batches.into_iter().zip(&times) {
-                for (idx, msg) in &batch.panics {
-                    task_panics.push((*idx, batch.worker, msg.clone()));
-                }
-                busy[batch.worker] += time;
-                makespan = makespan.max(time);
-                collect_secs =
-                    collect_secs.max(self.inner.config.network.transfer_secs(batch.result_bytes));
-                self.inner.metrics.add_collected(batch.result_bytes);
-                self.inner
-                    .metrics
-                    .total_ops
-                    .fetch_add(batch.total_ops, Ordering::Relaxed);
-                self.inner
-                    .metrics
-                    .tasks_run
-                    .fetch_add(batch.results.len() as u64, Ordering::Relaxed);
-                for (idx, boxed) in batch.results {
-                    let value = *boxed
-                        .downcast::<T>()
-                        .expect("task result type mismatch (engine bug)");
-                    assert!(slots[idx].is_none(), "duplicate partition index {idx}");
-                    slots[idx] = Some(value);
-                }
-            }
-        }
-        if !task_panics.is_empty() {
-            task_panics.sort_by_key(|(idx, ..)| *idx);
-            let lines: Vec<String> = task_panics
-                .iter()
-                .map(|(idx, w, msg)| format!("partition {idx} on worker {w}: {msg}"))
-                .collect();
-            panic!(
-                "{} task(s) panicked during superstep — {}",
-                task_panics.len(),
-                lines.join("; ")
-            );
-        }
-        self.inner.metrics.advance_clock(makespan + collect_secs);
-        self.inner
-            .metrics
-            .supersteps
-            .fetch_add(1, Ordering::Relaxed);
-        slots
-            .into_iter()
-            .enumerate()
-            .map(|(idx, s)| s.unwrap_or_else(|| panic!("partition {idx} produced no result")))
-            .collect()
-    }
-
-    /// Virtual completion time of each batch (same order as `batches`),
-    /// applying the fault plan's slow tasks, retry backoffs, and
-    /// speculative re-execution. Fault-free (or with an all-zero plan) this
-    /// reduces exactly to PR 1's formula: worker time is perfect
-    /// parallelism over its cores, floored by its single largest task.
-    fn superstep_times(&self, step: u64, batches: &[BatchResult], part_bytes: &[u64]) -> Vec<f64> {
-        let cfg = &self.inner.config;
-        let nominal: Vec<f64> = batches
-            .iter()
-            .map(|b| {
-                (b.total_ops as f64 / cfg.worker_throughput(b.worker))
-                    .max(b.max_task_ops as f64 / cfg.core_throughput(b.worker))
-            })
-            .collect();
-        let Some(plan) = self
-            .inner
-            .fault
-            .as_ref()
-            .filter(|p| p.task_failure_rate > 0.0 || p.slow_task_rate > 0.0)
-        else {
-            return nominal;
-        };
-
-        let nominal_makespan = nominal.iter().fold(0.0, |a: f64, &b| a.max(b));
-        let deadline = plan.speculation_threshold * nominal_makespan;
-        let metrics = &self.inner.metrics;
-        let mut retries_total = 0u64;
-        let mut effective = Vec::with_capacity(batches.len());
-        for (b, &base) in batches.iter().zip(&nominal) {
-            let agg = b.total_ops as f64 / cfg.worker_throughput(b.worker);
-            let mut longest = 0.0f64;
-            for stat in &b.stats {
-                retries_total += stat.retries as u64;
-                let mut t = (stat.ops as f64 / cfg.core_throughput(b.worker))
-                    * plan.task_slowdown(step, stat.idx)
-                    + plan.backoff_secs(stat.retries);
-                if plan.speculation && t > deadline {
-                    if let Some(target) = self.speculation_target(b.worker) {
-                        metrics.speculative_tasks.fetch_add(1, Ordering::Relaxed);
-                        metrics.recovery_ops.fetch_add(stat.ops, Ordering::Relaxed);
-                        let copy = deadline
-                            + cfg.network.transfer_secs(part_bytes[stat.idx])
-                            + stat.ops as f64 / cfg.core_throughput(target);
-                        if copy < t {
-                            metrics.speculative_wins.fetch_add(1, Ordering::Relaxed);
-                            metrics.add_reshipped(part_bytes[stat.idx]);
-                            t = copy;
-                        }
-                    }
-                }
-                longest = longest.max(t);
-            }
-            let _ = base;
-            effective.push(agg.max(longest));
-        }
-        if retries_total > 0 {
-            metrics
-                .task_retries
-                .fetch_add(retries_total, Ordering::Relaxed);
-        }
-        // The makespan stretch beyond the fault-free schedule is the
-        // superstep's recovery overhead (the clock itself advances by the
-        // effective makespan in the caller).
-        let eff_makespan = effective.iter().fold(0.0, |a: f64, &b| a.max(b));
-        let overhead = (eff_makespan - nominal_makespan).max(0.0);
-        if overhead > 0.0 {
-            metrics.note_recovery(overhead);
-        }
-        effective
-    }
-
-    /// The worker a speculative task copy runs on: the fastest worker other
-    /// than `not`, preferring the lowest id on ties (deterministic); `None`
-    /// on a single-worker cluster.
-    fn speculation_target(&self, not: usize) -> Option<usize> {
-        let cfg = &self.inner.config;
-        let mut best: Option<(usize, f64)> = None;
-        for w in 0..cfg.workers {
-            if w == not {
-                continue;
-            }
-            let thr = cfg.core_throughput(w);
-            if best.is_none_or(|(_, b)| thr > b) {
-                best = Some((w, thr));
-            }
-        }
-        best.map(|(w, _)| w)
-    }
-
-    /// Fires every `(superstep, worker)` crash the fault plan schedules for
-    /// `step`, each at most once, and runs full recovery.
-    fn inject_crashes(&self, step: u64) {
-        let Some(plan) = &self.inner.fault else {
-            return;
-        };
-        if plan.worker_crashes.is_empty() {
-            return;
-        }
-        let pending: Vec<(u64, usize)> = {
-            let mut done = self.inner.crashes_done.lock();
-            let mut pending = Vec::new();
-            for &(s, w) in &plan.worker_crashes {
-                if s == step && !done.contains(&(s, w)) {
-                    done.push((s, w));
-                    pending.push((s, w));
-                }
-            }
-            pending
-        };
-        for (_, w) in pending {
-            self.crash_and_recover(step, w);
-        }
-    }
-
-    /// Kills worker `w` (its thread exits and every partition in its memory
-    /// is lost), respawns it, re-installs the lost partitions of every
-    /// lineage-backed dataset from their rebuild closures, and replays the
-    /// datasets' task logs — charging re-ship bytes and replay compute to
-    /// the recovery counters and the virtual clock.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a lost partition belongs to a dataset without lineage.
-    fn crash_and_recover(&self, step: u64, w: usize) {
-        // Kill: swap in a fresh channel; the old thread drains to Shutdown
-        // and exits, dropping its partition storage (the "lost memory").
-        let (tx, rx) = unbounded::<WorkerMsg>();
-        let old_sender = std::mem::replace(&mut self.inner.senders.lock()[w], tx);
-        let _ = old_sender.send(WorkerMsg::Shutdown);
-        drop(old_sender);
-        let fresh = spawn_worker(w, rx, self.inner.compute_threads);
-        if let Some(old) = self.inner.handles.lock()[w].replace(fresh) {
-            let _ = old.join();
-        }
-        self.inner
-            .metrics
-            .worker_respawns
-            .fetch_add(1, Ordering::Relaxed);
-
-        let cfg = &self.inner.config;
-        let sender = self.inner.senders.lock()[w].clone();
-        let mut registry = self.inner.registry.lock();
-        let mut ids: Vec<u64> = registry.keys().copied().collect();
-        ids.sort_unstable(); // deterministic recovery order
-        for id in ids {
-            let ds = registry.get_mut(&id).expect("registered dataset");
-            let lost: Vec<usize> = ds
-                .placement
-                .iter()
-                .enumerate()
-                .filter(|&(_, &p)| p == w)
-                .map(|(idx, _)| idx)
-                .collect();
-            if lost.is_empty() {
-                continue;
-            }
-            let Some(rebuild) = ds.rebuild.clone() else {
-                panic!(
-                    "worker {w} crashed at superstep {step}: dataset {id} lost {} partition(s) \
-                     and has no lineage (distribute it with distribute_with_lineage or \
-                     distribute_replicated to make it crash-recoverable)",
-                    lost.len()
-                );
-            };
-            // Re-install the distribute-time payloads.
-            let bytes: u64 = lost.iter().map(|&i| ds.part_bytes[i]).sum();
-            let parts: Vec<(usize, AnyPart)> = lost.iter().map(|&i| (i, rebuild(i))).collect();
-            self.inner
-                .metrics
-                .partitions_recomputed
-                .fetch_add(lost.len() as u64, Ordering::Relaxed);
-            self.inner.metrics.add_reshipped(bytes);
-            self.inner
-                .metrics
-                .charge_recovery(cfg.network.transfer_secs(bytes));
-            let (ack_tx, ack_rx) = unbounded();
-            sender
-                .send(WorkerMsg::Store {
-                    dataset: id,
-                    parts,
-                    ack: ack_tx,
-                })
-                .expect("respawned worker hung up");
-            ack_rx.recv().expect("respawned worker hung up");
-            // Replay the lineage log to roll the partitions forward to the
-            // present. Replay is fault-free and its results are discarded —
-            // the driver consumed them long ago; only the rebuilt state
-            // matters. Ops are charged to recovery, not to `total_ops`.
-            for task in &ds.log {
-                let (reply_tx, reply_rx) = unbounded();
-                sender
-                    .send(WorkerMsg::Run {
-                        dataset: id,
-                        task: Arc::clone(task),
-                        fault: None,
-                        reply: reply_tx,
-                    })
-                    .expect("respawned worker hung up");
-                let batch = reply_rx.recv().expect("respawned worker hung up");
-                assert!(
-                    batch.panics.is_empty(),
-                    "lineage replay of dataset {id} on worker {w} panicked: {}",
-                    batch
-                        .panics
-                        .iter()
-                        .map(|(idx, msg)| format!("partition {idx}: {msg}"))
-                        .collect::<Vec<_>>()
-                        .join("; ")
-                );
-                self.inner
-                    .metrics
-                    .recovery_ops
-                    .fetch_add(batch.total_ops, Ordering::Relaxed);
-                let time = (batch.total_ops as f64 / cfg.worker_throughput(w))
-                    .max(batch.max_task_ops as f64 / cfg.core_throughput(w));
-                self.inner.metrics.charge_recovery(time);
-            }
-        }
-    }
-
-    /// Truncates the lineage log of `data`.
-    ///
-    /// Call when the caller can guarantee that every partition's current
-    /// state is exactly what the dataset's rebuild closure produces (e.g.
-    /// DBTF's partitions after an `UpdateFactor` finishes: the immutable
-    /// unfolding with all transient work state dropped). Crash recovery
-    /// after the reset only re-installs the rebuilt payload — it does not
-    /// replay pre-reset tasks — which bounds replay cost the way Spark
-    /// checkpointing truncates an RDD's lineage chain.
-    pub fn reset_lineage<P>(&self, data: &DistVec<P>) {
-        assert!(
-            Arc::ptr_eq(&self.inner, &data.inner),
-            "dataset belongs to a different cluster"
-        );
-        if let Some(ds) = self.inner.registry.lock().get_mut(&data.id) {
-            ds.log.clear();
-        }
-    }
-
-    /// How many partitions of `data` are currently resident in worker
-    /// memory (polls every worker; an evicted or crashed-and-unrecovered
-    /// dataset reports fewer than [`DistVec::num_partitions`]).
-    pub fn stored_partition_count<P>(&self, data: &DistVec<P>) -> usize {
-        assert!(
-            Arc::ptr_eq(&self.inner, &data.inner),
-            "dataset belongs to a different cluster"
-        );
-        self.stored_partition_count_by_id(data.id)
-    }
-
-    /// [`Cluster::stored_partition_count`] by raw dataset id — usable after
-    /// the `DistVec` handle was dropped (see [`DistVec::id`]), e.g. to
-    /// verify that dropping the handle actually evicted worker memory.
-    pub fn stored_partition_count_by_id(&self, dataset: u64) -> usize {
-        let senders = self.inner.senders.lock().clone();
-        let (tx, rx) = unbounded();
-        for sender in &senders {
-            sender
-                .send(WorkerMsg::Count {
-                    dataset,
-                    reply: tx.clone(),
-                })
-                .expect("worker hung up");
-        }
-        drop(tx);
-        let mut total = 0;
-        while let Ok(count) = rx.recv() {
-            total += count;
-        }
-        total
-    }
-
-    /// Clones every partition back to the driver, in partition order.
-    ///
-    /// Mostly for tests and small datasets; metered like any other collect.
-    pub fn gather<P>(&self, data: &DistVec<P>) -> Vec<P>
-    where
-        P: Clone + Send + 'static,
-    {
-        let bytes = data.part_bytes.clone();
-        self.map_partitions(data, move |idx, part: &mut P, ctx| {
-            ctx.set_result_bytes(bytes[idx]);
-            part.clone()
-        })
-    }
-}
-
-fn spawn_worker(
-    worker_id: usize,
-    rx: Receiver<WorkerMsg>,
-    compute_threads: usize,
-) -> JoinHandle<()> {
-    std::thread::Builder::new()
-        .name(format!("dbtf-worker-{worker_id}"))
-        .spawn(move || worker_loop(worker_id, rx, compute_threads))
-        .expect("failed to spawn worker thread")
 }
 
 impl Drop for Cluster {
@@ -788,963 +156,5 @@ impl Drop for Cluster {
                 let _ = handle.join();
             }
         }
-    }
-}
-
-/// A distributed dataset: `nparts` partitions of type `P` pinned to worker
-/// machines (the engine's RDD analogue).
-///
-/// Partitions live in worker memory until the handle is dropped. Access is
-/// exclusively through [`Cluster::map_partitions`] / [`Cluster::gather`].
-pub struct DistVec<P> {
-    id: u64,
-    nparts: usize,
-    placement: Vec<usize>,
-    part_bytes: Vec<u64>,
-    inner: Arc<Inner>,
-    _marker: PhantomData<fn() -> P>,
-}
-
-impl<P> DistVec<P> {
-    /// The dataset's engine-wide id (stable for the cluster's lifetime;
-    /// usable with [`Cluster::stored_partition_count_by_id`] even after
-    /// this handle is dropped).
-    pub fn id(&self) -> u64 {
-        self.id
-    }
-
-    /// Number of partitions.
-    pub fn num_partitions(&self) -> usize {
-        self.nparts
-    }
-
-    /// The worker holding partition `idx`.
-    pub fn worker_of(&self, idx: usize) -> usize {
-        self.placement[idx]
-    }
-
-    /// Metered payload bytes of partition `idx`.
-    pub fn partition_bytes(&self, idx: usize) -> u64 {
-        self.part_bytes[idx]
-    }
-
-    /// Total metered bytes stored across workers.
-    pub fn total_bytes(&self) -> u64 {
-        self.part_bytes.iter().sum()
-    }
-}
-
-impl<P> Drop for DistVec<P> {
-    fn drop(&mut self) {
-        self.inner.metrics.sub_stored(self.total_bytes());
-        self.inner.registry.lock().remove(&self.id);
-        for sender in self.inner.senders.lock().iter() {
-            // The cluster may already be shut down; eviction is best-effort.
-            let _ = sender.send(WorkerMsg::DropDataset { dataset: self.id });
-        }
-    }
-}
-
-/// A broadcast variable: one logical value visible to every task.
-///
-/// Cheap to clone (an `Arc`); read with [`Broadcast::get`]. The network cost
-/// was charged when [`Cluster::broadcast`] created it.
-pub struct Broadcast<T> {
-    value: Arc<T>,
-}
-
-impl<T> Broadcast<T> {
-    /// Reads the broadcast value.
-    pub fn get(&self) -> &T {
-        &self.value
-    }
-}
-
-impl<T> Clone for Broadcast<T> {
-    fn clone(&self) -> Self {
-        Broadcast {
-            value: Arc::clone(&self.value),
-        }
-    }
-}
-
-impl<T> std::ops::Deref for Broadcast<T> {
-    type Target = T;
-    fn deref(&self) -> &T {
-        &self.value
-    }
-}
-
-fn worker_loop(worker_id: usize, rx: Receiver<WorkerMsg>, compute_threads: usize) {
-    let mut datasets: HashMap<u64, Vec<(usize, AnyPart)>> = HashMap::new();
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            WorkerMsg::Store {
-                dataset,
-                mut parts,
-                ack,
-            } => {
-                let slot = datasets.entry(dataset).or_default();
-                slot.append(&mut parts);
-                slot.sort_by_key(|(idx, _)| *idx);
-                let _ = ack.send(());
-            }
-            WorkerMsg::Run {
-                dataset,
-                task,
-                fault,
-                reply,
-            } => {
-                let parts = datasets
-                    .get_mut(&dataset)
-                    .map(Vec::as_mut_slice)
-                    .unwrap_or(&mut []);
-                let batch = run_batch(
-                    worker_id,
-                    parts,
-                    task.as_ref(),
-                    fault.as_ref(),
-                    compute_threads,
-                );
-                let _ = reply.send(batch);
-            }
-            WorkerMsg::Count { dataset, reply } => {
-                let _ = reply.send(datasets.get(&dataset).map_or(0, Vec::len));
-            }
-            WorkerMsg::DropDataset { dataset } => {
-                datasets.remove(&dataset);
-            }
-            WorkerMsg::Shutdown => break,
-        }
-    }
-}
-
-/// Outcome of one partition task on a compute thread.
-struct TaskOutcome {
-    idx: usize,
-    result: Result<AnyPart, String>,
-    ops: u64,
-    result_bytes: u64,
-    /// Transiently failed launch attempts before the one that ran.
-    retries: u32,
-}
-
-/// Runs one task under `catch_unwind` so a panicking task takes down
-/// neither the compute thread nor the worker; the panic payload travels to
-/// the driver as a message instead. With transient faults injected, launch
-/// attempts are retried deterministically (the task closure only ever runs
-/// once — a failed launch has no side effects); exhausting
-/// [`FaultPlan::max_task_attempts`] surfaces like a panic.
-fn run_task(
-    worker_id: usize,
-    idx: usize,
-    part: &mut (dyn Any + Send),
-    task: &TaskFn,
-    fault: Option<&TaskFaults>,
-) -> TaskOutcome {
-    let mut retries = 0u32;
-    if let Some((plan, superstep)) = fault {
-        while plan.task_fails(*superstep, idx, retries) {
-            retries += 1;
-            if retries >= plan.max_task_attempts {
-                return TaskOutcome {
-                    idx,
-                    result: Err(format!(
-                        "task exhausted {} launch attempts (injected transient faults)",
-                        plan.max_task_attempts
-                    )),
-                    ops: 0,
-                    result_bytes: 0,
-                    retries,
-                };
-            }
-        }
-    }
-    let mut ctx = TaskContext::new(worker_id, idx, retries);
-    let result =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(idx, part, &mut ctx)))
-            .map_err(|payload| {
-                if let Some(s) = payload.downcast_ref::<&str>() {
-                    (*s).to_string()
-                } else if let Some(s) = payload.downcast_ref::<String>() {
-                    s.clone()
-                } else {
-                    "non-string panic payload".to_string()
-                }
-            });
-    TaskOutcome {
-        idx,
-        result,
-        ops: ctx.ops(),
-        result_bytes: ctx.result_bytes(),
-        retries,
-    }
-}
-
-/// Executes one superstep's share of tasks on this worker, fanning the
-/// locally stored partitions out across `compute_threads` scoped threads
-/// (each pulls the next partition from a shared queue — cheap work
-/// stealing for uneven task costs).
-///
-/// The merge is deterministic: outcomes are sorted by global partition
-/// index and the ops/bytes counters are reduced in that fixed order, so
-/// the reply is bit-identical for every thread count.
-fn run_batch(
-    worker_id: usize,
-    parts: &mut [(usize, AnyPart)],
-    task: &TaskFn,
-    fault: Option<&TaskFaults>,
-    compute_threads: usize,
-) -> BatchResult {
-    let nthreads = compute_threads.min(parts.len()).max(1);
-    let mut outcomes: Vec<TaskOutcome> = if nthreads <= 1 {
-        parts
-            .iter_mut()
-            .map(|(idx, part)| run_task(worker_id, *idx, part.as_mut(), task, fault))
-            .collect()
-    } else {
-        let (job_tx, job_rx) = unbounded::<&mut (usize, AnyPart)>();
-        for item in parts.iter_mut() {
-            job_tx.send(item).expect("job queue closed early");
-        }
-        drop(job_tx);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..nthreads)
-                .map(|_| {
-                    let job_rx = job_rx.clone();
-                    scope.spawn(move || {
-                        let mut out = Vec::new();
-                        while let Ok(item) = job_rx.recv() {
-                            let idx = item.0;
-                            out.push(run_task(worker_id, idx, item.1.as_mut(), task, fault));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("compute thread died"))
-                .collect()
-        })
-    };
-    outcomes.sort_by_key(|o| o.idx);
-
-    let mut results = Vec::with_capacity(outcomes.len());
-    let mut panics = Vec::new();
-    let mut stats = Vec::with_capacity(outcomes.len());
-    let mut total_ops = 0u64;
-    let mut max_task_ops = 0u64;
-    let mut result_bytes = 0u64;
-    for outcome in outcomes {
-        total_ops += outcome.ops;
-        max_task_ops = max_task_ops.max(outcome.ops);
-        result_bytes += outcome.result_bytes;
-        stats.push(TaskStat {
-            idx: outcome.idx,
-            ops: outcome.ops,
-            retries: outcome.retries,
-        });
-        match outcome.result {
-            Ok(out) => results.push((outcome.idx, out)),
-            Err(msg) => panics.push((outcome.idx, msg)),
-        }
-    }
-    BatchResult {
-        worker: worker_id,
-        results,
-        panics,
-        stats,
-        total_ops,
-        max_task_ops,
-        result_bytes,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::NetworkModel;
-
-    fn small_cluster(workers: usize) -> Cluster {
-        Cluster::new(ClusterConfig {
-            workers,
-            cores_per_worker: 2,
-            core_throughput_ops_per_sec: 1e6,
-            network: NetworkModel {
-                latency_secs: 1e-3,
-                bandwidth_bytes_per_sec: 1e6,
-            },
-            ..ClusterConfig::default()
-        })
-    }
-
-    #[test]
-    fn round_robin_placement() {
-        let cluster = small_cluster(3);
-        let data = cluster.distribute((0..7u32).map(|v| (v, 4)).collect());
-        assert_eq!(data.num_partitions(), 7);
-        for idx in 0..7 {
-            assert_eq!(data.worker_of(idx), idx % 3);
-        }
-        assert_eq!(data.total_bytes(), 28);
-    }
-
-    #[test]
-    fn map_partitions_returns_in_order() {
-        let cluster = small_cluster(4);
-        let data = cluster.distribute((0..10u64).map(|v| (v, 8)).collect());
-        let doubled: Vec<u64> = cluster.map_partitions(&data, |_idx, v, ctx| {
-            ctx.charge(1);
-            *v * 2
-        });
-        assert_eq!(doubled, (0..10u64).map(|v| v * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn partitions_are_cached_and_mutable() {
-        let cluster = small_cluster(2);
-        let data = cluster.distribute(vec![(0u32, 4), (0u32, 4), (0u32, 4)]);
-        for _ in 0..3 {
-            cluster.map_partitions(&data, |_idx, v, _ctx| {
-                *v += 1;
-            });
-        }
-        let values = cluster.gather(&data);
-        assert_eq!(values, vec![3, 3, 3]);
-    }
-
-    #[test]
-    fn shuffle_and_store_metering() {
-        let cluster = small_cluster(2);
-        let before = cluster.metrics();
-        assert_eq!(before.bytes_shuffled, 0);
-        let data = cluster.distribute(vec![(1u8, 100), (2u8, 200), (3u8, 300)]);
-        let m = cluster.metrics();
-        assert_eq!(m.bytes_shuffled, 600);
-        assert_eq!(m.stored_bytes, 600);
-        drop(data);
-        // Eviction is asynchronous at the worker but the accounting is
-        // synchronous at the driver.
-        assert_eq!(cluster.metrics().stored_bytes, 0);
-    }
-
-    #[test]
-    fn broadcast_metering_scales_with_workers() {
-        let cluster = small_cluster(4);
-        let b = cluster.broadcast(vec![1u8; 100], 100);
-        assert_eq!(b.get().len(), 100);
-        assert_eq!(cluster.metrics().bytes_broadcast, 400);
-    }
-
-    #[test]
-    fn broadcast_costing_matches_network_model() {
-        // Regression: broadcast must price through NetworkModel::transfer_secs
-        // (one helper for every transfer) rather than a hand-rolled formula
-        // that could drift if the network model changes.
-        let net = NetworkModel {
-            latency_secs: 0.5,
-            bandwidth_bytes_per_sec: 100.0,
-        };
-        let cluster = Cluster::new(ClusterConfig {
-            workers: 3,
-            cores_per_worker: 1,
-            network: net,
-            ..ClusterConfig::default()
-        });
-        let t0 = cluster.virtual_time().as_secs_f64();
-        cluster.broadcast(0u8, 200);
-        let elapsed = cluster.virtual_time().as_secs_f64() - t0;
-        assert_eq!(elapsed, net.transfer_secs(200 * 3));
-        // Zero-byte broadcasts stay free.
-        let t1 = cluster.virtual_time().as_secs_f64();
-        cluster.broadcast(0u8, 0);
-        assert_eq!(cluster.virtual_time().as_secs_f64(), t1);
-    }
-
-    #[test]
-    fn broadcast_visible_in_tasks() {
-        let cluster = small_cluster(2);
-        let b = cluster.broadcast(10u64, 8);
-        let data = cluster.distribute((0..4u64).map(|v| (v, 8)).collect());
-        let shifted: Vec<u64> = {
-            let b = b.clone();
-            cluster.map_partitions(&data, move |_idx, v, _ctx| *v + *b.get())
-        };
-        assert_eq!(shifted, vec![10, 11, 12, 13]);
-    }
-
-    #[test]
-    fn virtual_clock_advances_with_charges() {
-        let cluster = small_cluster(1);
-        let data = cluster.distribute(vec![((), 0), ((), 0)]);
-        let t0 = cluster.virtual_time().as_secs_f64();
-        cluster.map_partitions(&data, |_idx, _v: &mut (), ctx| ctx.charge(2_000_000));
-        let t1 = cluster.virtual_time().as_secs_f64();
-        // 4M ops on one 2-core × 1M ops/s worker = 2 virtual seconds.
-        assert!((t1 - t0 - 2.0).abs() < 1e-9, "elapsed {}", t1 - t0);
-    }
-
-    #[test]
-    fn makespan_is_max_over_workers() {
-        // Two workers, one heavily loaded: clock advances by the slow one.
-        let cluster = small_cluster(2);
-        let data = cluster.distribute(vec![(10u64, 0), (1u64, 0)]);
-        let t0 = cluster.virtual_time().as_secs_f64();
-        cluster.map_partitions(&data, |_idx, v, ctx| ctx.charge(*v * 1_000_000));
-        let elapsed = cluster.virtual_time().as_secs_f64() - t0;
-        // Worker 0 runs the 10M-op task on 2 cores but a single task
-        // occupies one core: 10 s; worker 1: 1 s.
-        assert!((elapsed - 10.0).abs() < 1e-9, "elapsed {elapsed}");
-    }
-
-    #[test]
-    fn more_workers_reduce_virtual_time() {
-        let run = |workers: usize| {
-            let cluster = small_cluster(workers);
-            let data = cluster.distribute((0..16u64).map(|_| (1u64, 0)).collect());
-            let t0 = cluster.virtual_time().as_secs_f64();
-            cluster.map_partitions(&data, |_idx, _v, ctx| ctx.charge(1_000_000));
-            cluster.virtual_time().as_secs_f64() - t0
-        };
-        let t2 = run(2);
-        let t8 = run(8);
-        assert!(
-            t8 < t2 / 2.0,
-            "8 workers ({t8}s) should be well over 2× faster than 2 ({t2}s)"
-        );
-    }
-
-    #[test]
-    fn collect_bytes_metered() {
-        let cluster = small_cluster(2);
-        let data = cluster.distribute(vec![(0u8, 1), (0u8, 1)]);
-        cluster.map_partitions(&data, |_idx, _v, ctx| {
-            ctx.set_result_bytes(50);
-        });
-        assert_eq!(cluster.metrics().bytes_collected, 100);
-    }
-
-    #[test]
-    fn charge_driver_advances_clock() {
-        let cluster = small_cluster(1);
-        let t0 = cluster.virtual_time().as_secs_f64();
-        cluster.charge_driver(1_000_000);
-        assert!((cluster.virtual_time().as_secs_f64() - t0 - 1.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn worker_busy_time_tracks_imbalance() {
-        let cluster = small_cluster(2);
-        let data = cluster.distribute(vec![(4u64, 0), (1u64, 0)]);
-        cluster.map_partitions(&data, |_idx, v, ctx| ctx.charge(*v * 1_000_000));
-        let busy = cluster.metrics().worker_busy_secs;
-        assert!(busy[0] > busy[1]);
-    }
-
-    #[test]
-    fn empty_dataset() {
-        let cluster = small_cluster(3);
-        let data: DistVec<u32> = cluster.distribute(Vec::new());
-        let out: Vec<u32> = cluster.map_partitions(&data, |_idx, v, _ctx| *v);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn many_supersteps_counted() {
-        let cluster = small_cluster(2);
-        let data = cluster.distribute(vec![(0u8, 1)]);
-        for _ in 0..5 {
-            cluster.map_partitions(&data, |_idx, _v, _ctx| {});
-        }
-        assert_eq!(cluster.metrics().supersteps, 5);
-    }
-
-    #[test]
-    fn stragglers_dominate_makespan() {
-        let base = ClusterConfig {
-            workers: 4,
-            cores_per_worker: 1,
-            core_throughput_ops_per_sec: 1e6,
-            network: NetworkModel::free(),
-            ..ClusterConfig::default()
-        };
-        let run = |cfg: ClusterConfig| {
-            let cluster = Cluster::new(cfg);
-            let data = cluster.distribute((0..4u64).map(|_| (1u64, 0)).collect());
-            let t0 = cluster.virtual_time().as_secs_f64();
-            cluster.map_partitions(&data, |_idx, _v, ctx| ctx.charge(1_000_000));
-            cluster.virtual_time().as_secs_f64() - t0
-        };
-        let uniform = run(base.clone());
-        let with_straggler = run(ClusterConfig {
-            stragglers: 1,
-            straggler_slowdown: 0.25,
-            ..base
-        });
-        assert!((uniform - 1.0).abs() < 1e-9, "uniform {uniform}");
-        // Worker 0 at quarter speed takes 4 s: the whole superstep waits.
-        assert!(
-            (with_straggler - 4.0).abs() < 1e-9,
-            "straggler {with_straggler}"
-        );
-    }
-
-    #[test]
-    fn compute_threads_do_not_change_results_or_metrics() {
-        let run = |threads: usize| {
-            let cluster = Cluster::new(ClusterConfig {
-                workers: 2,
-                cores_per_worker: 4,
-                compute_threads: Some(threads),
-                core_throughput_ops_per_sec: 1e6,
-                ..ClusterConfig::default()
-            });
-            let data = cluster.distribute((0..13u64).map(|v| (v, 8)).collect());
-            let mut outs = Vec::new();
-            for round in 0..3u64 {
-                outs.push(cluster.map_partitions(&data, move |idx, v, ctx| {
-                    ctx.charge((idx as u64 + 1) * 1_000 * (round + 1));
-                    ctx.set_result_bytes(idx as u64);
-                    *v = v.wrapping_mul(31).wrapping_add(round);
-                    *v
-                }));
-            }
-            (outs, cluster.gather(&data), cluster.metrics())
-        };
-        let (o1, g1, m1) = run(1);
-        let (o4, g4, m4) = run(4);
-        assert_eq!(o1, o4);
-        assert_eq!(g1, g4);
-        assert_eq!(m1, m4, "virtual-time metrics must not depend on threads");
-    }
-
-    #[test]
-    fn task_panic_surfaces_cleanly_and_worker_survives() {
-        let cluster = Cluster::new(ClusterConfig {
-            workers: 2,
-            cores_per_worker: 4,
-            compute_threads: Some(4),
-            core_throughput_ops_per_sec: 1e6,
-            network: NetworkModel::free(),
-            ..ClusterConfig::default()
-        });
-        let data = cluster.distribute((0..8u32).map(|v| (v, 4)).collect());
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _: Vec<u32> = cluster.map_partitions(&data, |idx, v, _ctx| {
-                if idx == 3 {
-                    panic!("boom in partition {idx}");
-                }
-                *v
-            });
-        }))
-        .expect_err("superstep with a panicking task must fail");
-        let msg = err
-            .downcast_ref::<String>()
-            .cloned()
-            .expect("clean String panic message");
-        assert!(msg.contains("partition 3"), "message was: {msg}");
-        assert!(msg.contains("boom in partition 3"), "message was: {msg}");
-        assert!(msg.contains("worker 1"), "message was: {msg}");
-        // The worker threads caught the panic and must still serve
-        // supersteps (no hang, no "worker hung up").
-        let out: Vec<u32> = cluster.map_partitions(&data, |_idx, v, _ctx| *v);
-        assert_eq!(out, (0..8u32).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn task_panic_surfaces_with_single_compute_thread() {
-        let cluster = Cluster::new(ClusterConfig {
-            workers: 1,
-            cores_per_worker: 2,
-            compute_threads: Some(1),
-            core_throughput_ops_per_sec: 1e6,
-            ..ClusterConfig::default()
-        });
-        let data = cluster.distribute(vec![(0u8, 1), (1u8, 1)]);
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            cluster.map_partitions(&data, |idx, _v, _ctx| {
-                assert!(idx != 1, "failing task");
-            });
-        }))
-        .expect_err("must propagate");
-        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
-        assert!(msg.contains("partition 1"), "message was: {msg}");
-        cluster.map_partitions(&data, |_idx, _v, _ctx| {});
-    }
-
-    #[test]
-    fn non_string_panic_payload_surfaces_cleanly() {
-        // panic_any with a non-string payload must still produce a clean
-        // per-partition error (no propagation of the opaque payload).
-        let cluster = Cluster::new(ClusterConfig {
-            workers: 2,
-            cores_per_worker: 2,
-            compute_threads: Some(2),
-            network: NetworkModel::free(),
-            ..ClusterConfig::default()
-        });
-        let data = cluster.distribute((0..6u32).map(|v| (v, 4)).collect());
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _: Vec<u32> = cluster.map_partitions(&data, |idx, v, _ctx| {
-                if idx == 2 {
-                    std::panic::panic_any(42usize);
-                }
-                if idx == 5 {
-                    std::panic::panic_any(vec![1u8, 2, 3]);
-                }
-                *v
-            });
-        }))
-        .expect_err("superstep must fail");
-        let msg = err
-            .downcast_ref::<String>()
-            .cloned()
-            .expect("clean String panic message");
-        assert!(
-            msg.contains("partition 2 on worker 0: non-string panic payload"),
-            "message was: {msg}"
-        );
-        assert!(
-            msg.contains("partition 5 on worker 1: non-string panic payload"),
-            "message was: {msg}"
-        );
-        // Deterministic ordering: partition 2 reported before partition 5.
-        assert!(
-            msg.find("partition 2").unwrap() < msg.find("partition 5").unwrap(),
-            "panics must be sorted by partition index: {msg}"
-        );
-        // Workers survive the non-string panic.
-        let out: Vec<u32> = cluster.map_partitions(&data, |_idx, v, _ctx| *v);
-        assert_eq!(out, (0..6u32).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn mixed_panic_kinds_keep_deterministic_order() {
-        let run = || {
-            let cluster = Cluster::new(ClusterConfig {
-                workers: 3,
-                cores_per_worker: 4,
-                compute_threads: Some(4),
-                network: NetworkModel::free(),
-                ..ClusterConfig::default()
-            });
-            let data = cluster.distribute((0..9u32).map(|v| (v, 4)).collect());
-            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let _: Vec<u32> = cluster.map_partitions(&data, |idx, v, _ctx| {
-                    match idx {
-                        1 => panic!("string panic"),
-                        4 => std::panic::panic_any(7i32),
-                        7 => panic!("{}", format!("formatted {idx}")),
-                        _ => {}
-                    }
-                    *v
-                });
-            }))
-            .expect_err("superstep must fail");
-            err.downcast_ref::<String>().cloned().unwrap()
-        };
-        let a = run();
-        let b = run();
-        assert_eq!(a, b, "panic report must be deterministic");
-        assert!(a.contains("3 task(s) panicked"), "message was: {a}");
-        let p1 = a.find("partition 1").unwrap();
-        let p4 = a.find("partition 4").unwrap();
-        let p7 = a.find("partition 7").unwrap();
-        assert!(p1 < p4 && p4 < p7, "message was: {a}");
-    }
-
-    #[test]
-    #[should_panic(expected = "different cluster")]
-    fn cross_cluster_dataset_rejected() {
-        let a = small_cluster(1);
-        let b = small_cluster(1);
-        let data = a.distribute(vec![(1u8, 1)]);
-        let _: Vec<u8> = b.map_partitions(&data, |_idx, v, _ctx| *v);
-    }
-
-    #[test]
-    fn stored_partition_count_tracks_eviction() {
-        let cluster = small_cluster(2);
-        let data = cluster.distribute((0..5u32).map(|v| (v, 4)).collect());
-        let id = data.id();
-        assert_eq!(cluster.stored_partition_count(&data), 5);
-        drop(data);
-        // DropDataset is queued on each worker's channel ahead of the Count
-        // probe, so the eviction is observed deterministically.
-        assert_eq!(cluster.stored_partition_count_by_id(id), 0);
-    }
-
-    // ---- fault injection & recovery -----------------------------------
-
-    #[test]
-    fn transient_failures_retry_to_identical_results() {
-        let run = |plan: Option<FaultPlan>| {
-            let cluster = Cluster::new(ClusterConfig {
-                workers: 2,
-                cores_per_worker: 2,
-                core_throughput_ops_per_sec: 1e6,
-                network: NetworkModel::free(),
-                fault_plan: plan,
-                ..ClusterConfig::default()
-            });
-            let data = cluster.distribute((0..12u64).map(|v| (v, 8)).collect());
-            let mut outs = Vec::new();
-            for _ in 0..4 {
-                outs.push(cluster.map_partitions(&data, |idx, v, ctx| {
-                    ctx.charge((idx as u64 + 1) * 1000);
-                    *v = v.wrapping_mul(7).wrapping_add(1);
-                    *v
-                }));
-            }
-            (outs, cluster.gather(&data), cluster.metrics())
-        };
-        let (clean_out, clean_gather, clean_m) = run(None);
-        let plan = FaultPlan {
-            task_failure_rate: 0.3,
-            max_task_attempts: 32,
-            ..FaultPlan::with_seed(11)
-        };
-        let (faulty_out, faulty_gather, faulty_m) = run(Some(plan));
-        assert_eq!(clean_out, faulty_out);
-        assert_eq!(clean_gather, faulty_gather);
-        assert_eq!(clean_m.total_ops, faulty_m.total_ops, "ops must not drift");
-        assert_eq!(clean_m.tasks_run, faulty_m.tasks_run);
-        assert!(faulty_m.task_retries > 0, "30% rate must hit something");
-        assert!(
-            faulty_m.virtual_time > clean_m.virtual_time,
-            "retry backoff must cost virtual time"
-        );
-        assert!(faulty_m.recovery_time.as_secs_f64() > 0.0);
-        assert_eq!(clean_m.task_retries, 0);
-    }
-
-    #[test]
-    fn exhausted_attempts_surface_like_a_panic() {
-        let cluster = Cluster::new(ClusterConfig {
-            workers: 1,
-            cores_per_worker: 1,
-            network: NetworkModel::free(),
-            fault_plan: Some(FaultPlan {
-                task_failure_rate: 1.0, // every launch fails
-                max_task_attempts: 3,
-                ..FaultPlan::with_seed(0)
-            }),
-            ..ClusterConfig::default()
-        });
-        let data = cluster.distribute(vec![(1u8, 1)]);
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _: Vec<u8> = cluster.map_partitions(&data, |_idx, v, _ctx| *v);
-        }))
-        .expect_err("all attempts fail");
-        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
-        assert!(msg.contains("exhausted 3 launch attempts"), "was: {msg}");
-        assert!(msg.contains("partition 0"), "was: {msg}");
-    }
-
-    #[test]
-    fn worker_crash_recovers_from_lineage() {
-        let run = |plan: Option<FaultPlan>| {
-            let cluster = Cluster::new(ClusterConfig {
-                workers: 2,
-                cores_per_worker: 2,
-                core_throughput_ops_per_sec: 1e6,
-                network: NetworkModel {
-                    latency_secs: 1e-3,
-                    bandwidth_bytes_per_sec: 1e6,
-                },
-                fault_plan: plan,
-                ..ClusterConfig::default()
-            });
-            let data = cluster.distribute_replicated((0..6u64).map(|v| (v, 8)).collect());
-            for _ in 0..4 {
-                cluster.map_partitions(&data, |_idx, v, ctx| {
-                    ctx.charge(1000);
-                    *v += 1;
-                });
-            }
-            (cluster.gather(&data), cluster.metrics())
-        };
-        let (clean, clean_m) = run(None);
-        let plan = FaultPlan {
-            worker_crashes: vec![(2, 0)], // kill worker 0 before superstep 2
-            ..FaultPlan::with_seed(5)
-        };
-        let (recovered, faulty_m) = run(Some(plan));
-        assert_eq!(clean, recovered, "lineage replay must restore state");
-        assert_eq!(clean, vec![4, 5, 6, 7, 8, 9]);
-        assert_eq!(faulty_m.worker_respawns, 1);
-        // Worker 0 held partitions 0, 2, 4.
-        assert_eq!(faulty_m.partitions_recomputed, 3);
-        assert!(faulty_m.bytes_reshipped >= 24, "3 partitions × 8 bytes");
-        // Two mutation supersteps were replayed on 3 partitions.
-        assert_eq!(faulty_m.recovery_ops, 2 * 3 * 1000);
-        assert_eq!(
-            clean_m.total_ops, faulty_m.total_ops,
-            "replay ops must not pollute total_ops"
-        );
-        assert!(faulty_m.virtual_time > clean_m.virtual_time);
-        assert!(faulty_m.recovery_time.as_secs_f64() > 0.0);
-        assert_eq!(clean_m.worker_respawns, 0);
-    }
-
-    #[test]
-    fn crash_without_lineage_is_a_clean_error() {
-        let cluster = Cluster::new(ClusterConfig {
-            workers: 2,
-            cores_per_worker: 1,
-            network: NetworkModel::free(),
-            fault_plan: Some(FaultPlan {
-                worker_crashes: vec![(1, 0)],
-                ..FaultPlan::with_seed(0)
-            }),
-            ..ClusterConfig::default()
-        });
-        let data = cluster.distribute((0..4u32).map(|v| (v, 4)).collect());
-        cluster.map_partitions(&data, |_idx, _v, _ctx| {}); // superstep 0: fine
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            cluster.map_partitions(&data, |_idx, _v, _ctx| {});
-        }))
-        .expect_err("crash with no lineage must fail");
-        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
-        assert!(msg.contains("no lineage"), "message was: {msg}");
-        assert!(msg.contains("worker 0 crashed"), "message was: {msg}");
-    }
-
-    #[test]
-    fn reset_lineage_bounds_replay() {
-        let cluster = Cluster::new(ClusterConfig {
-            workers: 2,
-            cores_per_worker: 1,
-            core_throughput_ops_per_sec: 1e6,
-            network: NetworkModel::free(),
-            fault_plan: Some(FaultPlan {
-                worker_crashes: vec![(3, 0)],
-                ..FaultPlan::with_seed(0)
-            }),
-            ..ClusterConfig::default()
-        });
-        let data = cluster.distribute_replicated((0..4u64).map(|v| (v, 8)).collect());
-        // Two read-only supersteps, then truncate the log: current state is
-        // still exactly what the replica rebuilds.
-        for _ in 0..2 {
-            let _: Vec<u64> = cluster.map_partitions(&data, |_idx, v, ctx| {
-                ctx.charge(1000);
-                *v
-            });
-        }
-        cluster.reset_lineage(&data);
-        // One more read-only superstep post-reset, then the crash fires at
-        // superstep 3: only the post-reset task is replayed.
-        let _: Vec<u64> = cluster.map_partitions(&data, |_idx, v, ctx| {
-            ctx.charge(1000);
-            *v
-        });
-        let out: Vec<u64> = cluster.map_partitions(&data, |_idx, v, _ctx| *v);
-        assert_eq!(out, vec![0, 1, 2, 3]);
-        let m = cluster.metrics();
-        assert_eq!(m.worker_respawns, 1);
-        // Worker 0 held 2 partitions; replaying 2 supersteps would charge
-        // 4000 recovery ops, the truncated log charges 2000.
-        assert_eq!(m.recovery_ops, 2 * 1000);
-    }
-
-    #[test]
-    fn slow_tasks_stretch_makespan_and_speculation_recovers() {
-        let run = |slow: bool, speculation: bool| {
-            let plan = slow.then(|| FaultPlan {
-                slow_task_rate: 1.0, // every task hangs…
-                slow_task_factor: 8.0,
-                speculation,
-                speculation_threshold: 1.5,
-                ..FaultPlan::with_seed(1)
-            });
-            let cluster = Cluster::new(ClusterConfig {
-                workers: 4,
-                cores_per_worker: 1,
-                core_throughput_ops_per_sec: 1e6,
-                network: NetworkModel::free(),
-                fault_plan: plan,
-                ..ClusterConfig::default()
-            });
-            let data = cluster.distribute_replicated((0..4u64).map(|v| (v, 8)).collect());
-            let out: Vec<u64> = cluster.map_partitions(&data, |_idx, v, ctx| {
-                ctx.charge(1_000_000);
-                *v
-            });
-            (out, cluster.metrics())
-        };
-        let (base_out, base_m) = run(false, false);
-        let (nospec_out, nospec_m) = run(true, false);
-        let (spec_out, spec_m) = run(true, true);
-        assert_eq!(base_out, nospec_out);
-        assert_eq!(base_out, spec_out);
-        let t_base = base_m.virtual_time.as_secs_f64();
-        let t_nospec = nospec_m.virtual_time.as_secs_f64();
-        let t_spec = spec_m.virtual_time.as_secs_f64();
-        // 8× slowdown on every task with no mitigation: 8 s makespan.
-        assert!(t_nospec > 7.9, "unmitigated stragglers: {t_nospec}");
-        // Speculation restarts the task at 1.5 s on an idle worker: ~2.5 s.
-        assert!(
-            t_spec < t_nospec / 2.0,
-            "speculation must beat unmitigated hangs ({t_spec} vs {t_nospec})"
-        );
-        assert!(t_spec > t_base, "speculation still costs overhead");
-        assert_eq!(spec_m.speculative_tasks, 4);
-        assert_eq!(spec_m.speculative_wins, 4);
-        assert_eq!(nospec_m.speculative_tasks, 0);
-        assert!(spec_m.bytes_reshipped > 0);
-        assert_eq!(base_m.total_ops, spec_m.total_ops);
-        assert!(spec_m.recovery_time.as_secs_f64() > 0.0);
-    }
-
-    #[test]
-    fn crash_entries_fire_at_most_once() {
-        let cluster = Cluster::new(ClusterConfig {
-            workers: 2,
-            cores_per_worker: 1,
-            network: NetworkModel::free(),
-            fault_plan: Some(FaultPlan {
-                // Duplicate entries for the same (superstep, worker).
-                worker_crashes: vec![(1, 0), (1, 0), (1, 1)],
-                ..FaultPlan::with_seed(0)
-            }),
-            ..ClusterConfig::default()
-        });
-        let data = cluster.distribute_replicated((0..4u64).map(|v| (v, 8)).collect());
-        for _ in 0..3 {
-            cluster.map_partitions(&data, |_idx, v, _ctx| {
-                *v += 1;
-            });
-        }
-        assert_eq!(cluster.gather(&data), vec![3, 4, 5, 6]);
-        assert_eq!(cluster.metrics().worker_respawns, 2);
-    }
-
-    #[test]
-    fn distribute_with_lineage_rebuild_closure_is_used() {
-        let cluster = Cluster::new(ClusterConfig {
-            workers: 2,
-            cores_per_worker: 1,
-            network: NetworkModel::free(),
-            fault_plan: Some(FaultPlan {
-                worker_crashes: vec![(1, 1)],
-                ..FaultPlan::with_seed(0)
-            }),
-            ..ClusterConfig::default()
-        });
-        // Rebuild computes the payload from the index (no replica kept).
-        let data = cluster
-            .distribute_with_lineage((0..6usize).map(|i| (i * 10, 8)).collect(), |idx| idx * 10);
-        cluster.map_partitions(&data, |_idx, v: &mut usize, _ctx| {
-            *v += 1;
-        });
-        cluster.map_partitions(&data, |_idx, v: &mut usize, _ctx| {
-            *v += 1;
-        });
-        assert_eq!(cluster.gather(&data), vec![2, 12, 22, 32, 42, 52]);
-        let m = cluster.metrics();
-        assert_eq!(m.worker_respawns, 1);
-        assert_eq!(m.partitions_recomputed, 3);
     }
 }

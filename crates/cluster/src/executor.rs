@@ -1,0 +1,264 @@
+//! Worker-side execution: the worker event loop, per-task fault/retry
+//! handling, and the intra-worker thread-pool fan-out of a superstep's
+//! tasks. Everything in this module runs on worker threads; the driver
+//! talks to it exclusively through [`WorkerMsg`] channels.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::engine::{AnyPart, TaskFaults, TaskFn};
+use crate::task::TaskContext;
+
+/// Messages a worker thread understands.
+pub(crate) enum WorkerMsg {
+    /// Install partitions (global index, payload) of a dataset.
+    Store {
+        dataset: u64,
+        parts: Vec<(usize, AnyPart)>,
+        ack: Sender<()>,
+    },
+    /// Run a task over every locally stored partition of a dataset.
+    Run {
+        dataset: u64,
+        task: Arc<TaskFn>,
+        /// `Some` when transient task faults are being injected; `None` for
+        /// fault-free supersteps and for lineage replay.
+        fault: Option<TaskFaults>,
+        reply: Sender<BatchResult>,
+    },
+    /// Report how many partitions of a dataset this worker holds.
+    Count { dataset: u64, reply: Sender<usize> },
+    /// Evict a dataset from this worker's memory.
+    DropDataset { dataset: u64 },
+    /// Terminate the worker thread.
+    Shutdown,
+}
+
+/// Per-task cost record inside a [`BatchResult`], sorted by partition
+/// index; the driver needs per-task granularity to model slow tasks,
+/// retries, and speculative re-execution.
+pub(crate) struct TaskStat {
+    pub(crate) idx: usize,
+    pub(crate) ops: u64,
+    pub(crate) retries: u32,
+}
+
+/// One worker's reply to a superstep: every local task's result plus the
+/// cost accounting the driver folds into the virtual clock.
+pub(crate) struct BatchResult {
+    pub(crate) worker: usize,
+    /// (global partition index, boxed task result) pairs, sorted by
+    /// partition index regardless of which compute thread ran the task.
+    pub(crate) results: Vec<(usize, AnyPart)>,
+    /// Tasks that panicked or exhausted their launch attempts:
+    /// (global partition index, message), sorted by partition index.
+    pub(crate) panics: Vec<(usize, String)>,
+    /// Per-task cost records, sorted by partition index (covers every
+    /// task, successful or not).
+    pub(crate) stats: Vec<TaskStat>,
+    pub(crate) total_ops: u64,
+    pub(crate) max_task_ops: u64,
+    pub(crate) result_bytes: u64,
+}
+
+/// Spawns the OS thread running [`worker_loop`] for one worker machine.
+pub(crate) fn spawn_worker(
+    worker_id: usize,
+    rx: Receiver<WorkerMsg>,
+    compute_threads: usize,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("dbtf-worker-{worker_id}"))
+        .spawn(move || worker_loop(worker_id, rx, compute_threads))
+        .expect("failed to spawn worker thread")
+}
+
+fn worker_loop(worker_id: usize, rx: Receiver<WorkerMsg>, compute_threads: usize) {
+    let mut datasets: HashMap<u64, Vec<(usize, AnyPart)>> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Store {
+                dataset,
+                mut parts,
+                ack,
+            } => {
+                let slot = datasets.entry(dataset).or_default();
+                slot.append(&mut parts);
+                slot.sort_by_key(|(idx, _)| *idx);
+                let _ = ack.send(());
+            }
+            WorkerMsg::Run {
+                dataset,
+                task,
+                fault,
+                reply,
+            } => {
+                let parts = datasets
+                    .get_mut(&dataset)
+                    .map(Vec::as_mut_slice)
+                    .unwrap_or(&mut []);
+                let batch = run_batch(
+                    worker_id,
+                    parts,
+                    task.as_ref(),
+                    fault.as_ref(),
+                    compute_threads,
+                );
+                let _ = reply.send(batch);
+            }
+            WorkerMsg::Count { dataset, reply } => {
+                let _ = reply.send(datasets.get(&dataset).map_or(0, Vec::len));
+            }
+            WorkerMsg::DropDataset { dataset } => {
+                datasets.remove(&dataset);
+            }
+            WorkerMsg::Shutdown => break,
+        }
+    }
+}
+
+/// Outcome of one partition task on a compute thread.
+struct TaskOutcome {
+    idx: usize,
+    result: Result<AnyPart, String>,
+    ops: u64,
+    result_bytes: u64,
+    /// Transiently failed launch attempts before the one that ran.
+    retries: u32,
+}
+
+/// Runs one task under `catch_unwind` so a panicking task takes down
+/// neither the compute thread nor the worker; the panic payload travels to
+/// the driver as a message instead. With transient faults injected, launch
+/// attempts are retried deterministically (the task closure only ever runs
+/// once — a failed launch has no side effects); exhausting
+/// [`crate::FaultPlan::max_task_attempts`] surfaces like a panic.
+fn run_task(
+    worker_id: usize,
+    idx: usize,
+    part: &mut (dyn Any + Send),
+    task: &TaskFn,
+    fault: Option<&TaskFaults>,
+) -> TaskOutcome {
+    let mut retries = 0u32;
+    if let Some((plan, superstep)) = fault {
+        while plan.task_fails(*superstep, idx, retries) {
+            retries += 1;
+            if retries >= plan.max_task_attempts {
+                return TaskOutcome {
+                    idx,
+                    result: Err(format!(
+                        "task exhausted {} launch attempts (injected transient faults)",
+                        plan.max_task_attempts
+                    )),
+                    ops: 0,
+                    result_bytes: 0,
+                    retries,
+                };
+            }
+        }
+    }
+    let mut ctx = TaskContext::new(worker_id, idx, retries);
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(idx, part, &mut ctx)))
+            .map_err(|payload| {
+                if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                }
+            });
+    TaskOutcome {
+        idx,
+        result,
+        ops: ctx.ops(),
+        result_bytes: ctx.result_bytes(),
+        retries,
+    }
+}
+
+/// Executes one superstep's share of tasks on this worker, fanning the
+/// locally stored partitions out across `compute_threads` scoped threads
+/// (each pulls the next partition from a shared queue — cheap work
+/// stealing for uneven task costs).
+///
+/// The merge is deterministic: outcomes are sorted by global partition
+/// index and the ops/bytes counters are reduced in that fixed order, so
+/// the reply is bit-identical for every thread count.
+fn run_batch(
+    worker_id: usize,
+    parts: &mut [(usize, AnyPart)],
+    task: &TaskFn,
+    fault: Option<&TaskFaults>,
+    compute_threads: usize,
+) -> BatchResult {
+    let nthreads = compute_threads.min(parts.len()).max(1);
+    let mut outcomes: Vec<TaskOutcome> = if nthreads <= 1 {
+        parts
+            .iter_mut()
+            .map(|(idx, part)| run_task(worker_id, *idx, part.as_mut(), task, fault))
+            .collect()
+    } else {
+        let (job_tx, job_rx) = unbounded::<&mut (usize, AnyPart)>();
+        for item in parts.iter_mut() {
+            job_tx.send(item).expect("job queue closed early");
+        }
+        drop(job_tx);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..nthreads)
+                .map(|_| {
+                    let job_rx = job_rx.clone();
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        while let Ok(item) = job_rx.recv() {
+                            let idx = item.0;
+                            out.push(run_task(worker_id, idx, item.1.as_mut(), task, fault));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("compute thread died"))
+                .collect()
+        })
+    };
+    outcomes.sort_by_key(|o| o.idx);
+
+    let mut results = Vec::with_capacity(outcomes.len());
+    let mut panics = Vec::new();
+    let mut stats = Vec::with_capacity(outcomes.len());
+    let mut total_ops = 0u64;
+    let mut max_task_ops = 0u64;
+    let mut result_bytes = 0u64;
+    for outcome in outcomes {
+        total_ops += outcome.ops;
+        max_task_ops = max_task_ops.max(outcome.ops);
+        result_bytes += outcome.result_bytes;
+        stats.push(TaskStat {
+            idx: outcome.idx,
+            ops: outcome.ops,
+            retries: outcome.retries,
+        });
+        match outcome.result {
+            Ok(out) => results.push((outcome.idx, out)),
+            Err(msg) => panics.push((outcome.idx, msg)),
+        }
+    }
+    BatchResult {
+        worker: worker_id,
+        results,
+        panics,
+        stats,
+        total_ops,
+        max_task_ops,
+        result_bytes,
+    }
+}

@@ -32,6 +32,24 @@
 //! [`CommMetrics`] counters (bytes shuffled, bytes broadcast, bytes
 //! collected) directly validate the paper's Lemmas 6 and 7.
 //!
+//! # Operator IR and execution backends
+//!
+//! Drivers do not call [`Cluster`] methods directly: they emit dataflow
+//! operators ([`OpKind`] — distribute, broadcast, map-partitions, gather,
+//! checkpoint, driver-compute) through a [`Scheduler`], which executes
+//! each operator on a pluggable [`ExecutionBackend`] and records it —
+//! with exact byte/op/time annotations ([`OpRecord`]) — into a
+//! [`PlanTrace`]. DBTF's plans are data-dependent (each broadcast carries
+//! a driver decision computed from the previous superstep), so plans
+//! materialize eagerly and the trace is the plan *as executed*. Two
+//! backends implement the trait: [`Cluster`] (simulated multi-worker
+//! engine with network costing and fault injection) and [`LocalBackend`]
+//! (zero-overhead inline execution with identical byte/op metering,
+//! compute-only virtual time, no faults). For a fixed algorithm run, the
+//! trace fingerprint and every algorithmic output are bit-identical
+//! across backends, thread counts, and fault plans. See `DESIGN.md`
+//! §1.2.3.
+//!
 //! # Fault tolerance
 //!
 //! Spark gives the paper's implementation lineage-based recovery for free;
@@ -66,14 +84,26 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod backend;
 mod config;
 mod engine;
+mod executor;
 mod fault;
+mod lineage;
+mod local;
 mod metrics;
+mod plan;
+mod scheduler;
+mod storage;
 mod task;
 
+pub use backend::ExecutionBackend;
 pub use config::{ClusterConfig, NetworkModel};
-pub use engine::{Broadcast, Cluster, DistVec};
+pub use engine::Cluster;
 pub use fault::FaultPlan;
+pub use local::{LocalBackend, LocalDataset};
 pub use metrics::{CommMetrics, MetricsSnapshot, VirtualDuration};
+pub use plan::{OpKind, OpRecord, PlanTrace};
+pub use scheduler::Scheduler;
+pub use storage::{Broadcast, DistVec};
 pub use task::TaskContext;

@@ -75,6 +75,13 @@ impl Checkpoint {
     pub fn write(&self, path: &Path) -> Result<(), DbtfError> {
         let tmp = path.with_extension("tmp");
         let write_all = || -> std::io::Result<()> {
+            // A checkpoint path like `runs/2026-08-06/ck.dbtf` should not
+            // require the user to pre-create the directory tree.
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
             let file = std::fs::File::create(&tmp)?;
             let mut out = BufWriter::new(file);
             writeln!(out, "{MAGIC}")?;
@@ -281,6 +288,21 @@ mod tests {
             );
         }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn write_creates_missing_parent_directories() {
+        let dir = std::env::temp_dir().join(format!(
+            "dbtf-checkpoint-tests-parents-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("deeper").join("nested.ckpt");
+        assert!(!dir.exists());
+        let ck = sample();
+        ck.write(&path).unwrap();
+        assert_eq!(Checkpoint::read(&path).unwrap(), ck);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

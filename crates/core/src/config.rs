@@ -52,6 +52,43 @@ pub enum InitStrategy {
     Random,
 }
 
+/// Which execution backend runs the driver's dataflow plan.
+///
+/// Both backends produce bit-identical factors, errors, op counts, and
+/// Lemma 6/7 byte counters for the same configuration; they differ only
+/// in *physical* execution and costing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum BackendKind {
+    /// The simulated multi-worker cluster: real worker threads, network
+    /// costing under the `NetworkModel`, and optional fault injection.
+    #[default]
+    Cluster,
+    /// Pure-local inline execution: no worker threads, no network-model
+    /// costing (virtual time is compute-only), no fault injection.
+    Local,
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BackendKind::Cluster => "cluster",
+            BackendKind::Local => "local",
+        })
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "cluster" => Ok(BackendKind::Cluster),
+            "local" => Ok(BackendKind::Local),
+            other => Err(format!("unknown backend {other:?} (cluster|local)")),
+        }
+    }
+}
+
 /// Configuration of a DBTF factorization run (the paper's Algorithm 2
 /// inputs plus the initialization knobs the paper leaves open).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -101,6 +138,13 @@ pub struct DbtfConfig {
     /// the factors an uninterrupted run produces. A missing file falls back
     /// to a fresh run; a corrupt file is an error.
     pub resume: bool,
+    /// Which execution backend the caller intends to run the plan on.
+    ///
+    /// Advisory: [`crate::factorize`] is generic over the backend it is
+    /// handed, but entry points that *construct* the backend (the CLI,
+    /// benchmarks) read this field to pick between the simulated cluster
+    /// and the local backend.
+    pub backend: BackendKind,
 }
 
 impl Default for DbtfConfig {
@@ -118,6 +162,7 @@ impl Default for DbtfConfig {
             checkpoint_every: None,
             checkpoint_path: None,
             resume: false,
+            backend: BackendKind::default(),
         }
     }
 }
@@ -256,6 +301,15 @@ mod tests {
             ..Default::default()
         };
         assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn backend_kind_round_trips_through_str() {
+        for kind in [BackendKind::Cluster, BackendKind::Local] {
+            assert_eq!(kind.to_string().parse::<BackendKind>(), Ok(kind));
+        }
+        assert!("spark".parse::<BackendKind>().is_err());
+        assert_eq!(DbtfConfig::default().backend, BackendKind::Cluster);
     }
 
     #[test]

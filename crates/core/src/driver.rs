@@ -1,6 +1,8 @@
 //! The distributed DBTF driver (paper Algorithms 2 and 4).
 //!
-//! The driver (the calling thread) orchestrates the cluster: it partitions
+//! The driver (the calling thread) is generic over an
+//! [`ExecutionBackend`] and emits a dataflow plan through a
+//! [`Scheduler`] — it never talks to the engine directly. It partitions
 //! and distributes the three unfolded tensors once, then iterates factor
 //! updates. One `UpdateFactor` call runs `R + 2` supersteps:
 //!
@@ -9,7 +11,8 @@
 //! 2. **column `c`** (× R) — apply the previously decided column, score
 //!    both candidate values of every row's entry in column `c`, and send
 //!    the per-row error pairs to the driver, which picks the smaller
-//!    (Algorithm 4 lines 10–12) and broadcasts the decided column.
+//!    (Algorithm 4 lines 10–12) and broadcasts the decided column. This
+//!    loop is the shared [`crate::sweep::column_sweep`].
 //! 3. **finish** — apply the last column; optionally compute the exact
 //!    partition-local reconstruction error (for convergence and for the
 //!    first-iteration selection among the `L` initial sets); drop the
@@ -18,14 +21,15 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use dbtf_cluster::{Broadcast, Cluster, DistVec};
-use dbtf_tensor::{BitMatrix, BitVec, BoolTensor, Mode, Unfolding};
+use dbtf_cluster::{ExecutionBackend, PlanTrace, Scheduler};
+use dbtf_tensor::{BitMatrix, BoolTensor, Mode, Unfolding};
 
 use crate::checkpoint::Checkpoint;
 use crate::config::{DbtfConfig, DbtfError};
 use crate::factors::{initial_factor_sets, FactorSet};
 use crate::partition::partition_unfolding;
 use crate::stats::DbtfStats;
+use crate::sweep::{column_sweep, SweepLabels};
 use crate::update::{PartitionSlot, WorkState};
 
 /// The outcome of a [`factorize`] run.
@@ -55,36 +59,61 @@ struct UpdateOutcome {
     cache_bytes: u64,
 }
 
-/// Boolean CP-factorizes `x` at the configured rank on the given cluster
+/// Boolean CP-factorizes `x` at the configured rank on the given backend
 /// (the paper's Algorithm 2).
 ///
-/// Deterministic for a fixed `(config, x)` regardless of worker count or
-/// partitioning — the greedy updates depend only on error sums, which are
-/// invariant under how columns are split across partitions (verified by the
-/// differential tests against [`crate::reference`]).
+/// Deterministic for a fixed `(config, x)` regardless of backend, worker
+/// count, or partitioning — the greedy updates depend only on error sums,
+/// which are invariant under how columns are split across partitions
+/// (verified by the differential tests against [`crate::reference`]).
 ///
 /// # Errors
 ///
 /// Returns [`DbtfError::InvalidConfig`] for bad configurations and
 /// [`DbtfError::EmptyTensor`] if any mode of `x` has size 0.
-pub fn factorize(
-    cluster: &Cluster,
+pub fn factorize<B: ExecutionBackend>(
+    backend: &B,
     x: &BoolTensor,
     config: &DbtfConfig,
 ) -> Result<DbtfResult, DbtfError> {
+    factorize_traced(backend, x, config).map(|(result, _)| result)
+}
+
+/// [`factorize`], additionally returning the executed dataflow plan —
+/// every operator the driver emitted, with its cost/byte annotations.
+/// The trace is the behavior-preservation invariant in testable form:
+/// its [`PlanTrace::fingerprint`] is identical across backends, thread
+/// counts, and fault plans for the same `(config, x)`.
+pub fn factorize_traced<B: ExecutionBackend>(
+    backend: &B,
+    x: &BoolTensor,
+    config: &DbtfConfig,
+) -> Result<(DbtfResult, PlanTrace), DbtfError> {
     config.validate()?;
     let dims = x.dims();
     if dims.contains(&0) {
         return Err(DbtfError::EmptyTensor);
     }
+    let sched = Scheduler::new(backend);
+    let result = run(&sched, x, config)?;
+    Ok((result, sched.into_trace()))
+}
+
+/// The driver body: everything after validation, emitting through `sched`.
+fn run<B: ExecutionBackend>(
+    sched: &Scheduler<'_, B>,
+    x: &BoolTensor,
+    config: &DbtfConfig,
+) -> Result<DbtfResult, DbtfError> {
+    let dims = x.dims();
     let wall_start = Instant::now();
-    let metrics_start = cluster.metrics();
+    let metrics_start = sched.backend().metrics();
     let n_partitions = config
         .partitions
-        .unwrap_or_else(|| cluster.config().workers * cluster.config().cores_per_worker);
+        .unwrap_or_else(|| sched.backend().suggested_partitions());
 
     // ---- Partition the three unfolded tensors (Algorithm 2 lines 1–3). --
-    let ([px1, px2, px3], partition_bytes) = distribute_unfoldings(cluster, x, n_partitions);
+    let ([px1, px2, px3], partition_bytes) = distribute_unfoldings(sched, x, n_partitions);
 
     let threshold = config.convergence_threshold * x.nnz().max(1) as f64;
     let ckpt_path = config.checkpoint_path.as_deref().map(std::path::Path::new);
@@ -92,13 +121,15 @@ pub fn factorize(
         |completed: usize, factors: &FactorSet, errors: &[u64]| -> Result<(), DbtfError> {
             if let (Some(k), Some(path)) = (config.checkpoint_every, ckpt_path) {
                 if completed.is_multiple_of(k) {
-                    Checkpoint {
-                        iteration: completed,
-                        error: *errors.last().expect("at least one iteration"),
-                        iteration_errors: errors.to_vec(),
-                        factors: factors.clone(),
-                    }
-                    .write(path)?;
+                    sched.checkpoint("cp.checkpoint", || {
+                        Checkpoint {
+                            iteration: completed,
+                            error: *errors.last().expect("at least one iteration"),
+                            iteration_errors: errors.to_vec(),
+                            factors: factors.clone(),
+                        }
+                        .write(path)
+                    })?;
                 }
             }
             Ok(())
@@ -156,14 +187,15 @@ pub fn factorize(
         }
         None => {
             let sets = initial_factor_sets(x, config);
-            cluster.charge_driver(
+            sched.charge_driver(
+                "cp.init",
                 sets.len() as u64 * (dims[0] + dims[1] + dims[2]) as u64 * config.rank as u64,
             );
 
             // Iteration 1: update every set, keep the best (lines 7–8).
             let mut best: Option<(FactorSet, u64)> = None;
             for set in sets {
-                let (factors, error, cache) = update_round(cluster, &px1, &px2, &px3, set, config);
+                let (factors, error, cache) = update_round(sched, &px1, &px2, &px3, set, config);
                 peak_cache_bytes = peak_cache_bytes.max(cache);
                 if best.as_ref().is_none_or(|(_, be)| error < *be) {
                     best = Some((factors, error));
@@ -182,7 +214,7 @@ pub fn factorize(
         if converged {
             break;
         }
-        let (next, next_error, cache) = update_round(cluster, &px1, &px2, &px3, factors, config);
+        let (next, next_error, cache) = update_round(sched, &px1, &px2, &px3, factors, config);
         peak_cache_bytes = peak_cache_bytes.max(cache);
         let delta = error.abs_diff(next_error) as f64;
         factors = next;
@@ -194,7 +226,7 @@ pub fn factorize(
         save_if_due(iteration_errors.len(), &factors, &iteration_errors)?;
     }
 
-    let comm = cluster.metrics().since(&metrics_start);
+    let comm = sched.backend().metrics().since(&metrics_start);
     let relative_error = if x.nnz() == 0 {
         if error == 0 {
             0.0
@@ -224,16 +256,16 @@ pub fn factorize(
 
 /// Unfolds `x` along all three modes, partitions each unfolding into
 /// `n_partitions` PVM-blocked vertical partitions (Algorithm 3), and
-/// distributes them across the cluster with full shuffle metering. Returns
+/// distributes them across the backend with full shuffle metering. Returns
 /// the three datasets (mode order) and the total metered bytes.
 ///
 /// Shared by the CP and the distributed-Tucker drivers — both operate on
 /// exactly this layout.
-pub(crate) fn distribute_unfoldings(
-    cluster: &Cluster,
+pub(crate) fn distribute_unfoldings<B: ExecutionBackend>(
+    sched: &Scheduler<'_, B>,
     x: &BoolTensor,
     n_partitions: usize,
-) -> ([DistVec<PartitionSlot>; 3], u64) {
+) -> ([B::Dataset<PartitionSlot>; 3], u64) {
     // The driver keeps the source tensor; it is the root of every
     // partition's lineage — a lost partition is re-derived by re-unfolding
     // and re-partitioning (deterministic), exactly Spark's
@@ -244,7 +276,7 @@ pub(crate) fn distribute_unfoldings(
     for mode in Mode::ALL {
         let unfolding = Unfolding::new(x, mode);
         // The driver-side unfolding map is O(|X|) (Lemma 4 part 1).
-        cluster.charge_driver(x.nnz() as u64);
+        sched.charge_driver("unfold.map", x.nnz() as u64);
         let parts = partition_unfolding(&unfolding, n_partitions);
         let elems: Vec<(PartitionSlot, u64)> = parts
             .into_iter()
@@ -255,18 +287,22 @@ pub(crate) fn distribute_unfoldings(
             .collect();
         partition_bytes += elems.iter().map(|e| e.1).sum::<u64>();
         let rebuild_src = Arc::clone(&source);
-        let data = cluster.distribute_with_lineage(elems, move |idx| {
+        let data = sched.distribute_with_lineage("unfold.distribute", elems, move |idx| {
             let unfolding = Unfolding::new(&rebuild_src, mode);
             let mut parts = partition_unfolding(&unfolding, n_partitions);
             PartitionSlot::new(parts.swap_remove(idx))
         });
         // Distributed block organization (Algorithm 3 line 4): each worker
         // walks its share of the non-zeros once.
-        cluster.map_partitions(&data, |_idx, slot: &mut PartitionSlot, ctx| {
-            ctx.charge(slot.part.nnz() as u64);
-        });
+        sched.map_partitions(
+            "unfold.organize",
+            &data,
+            |_idx, slot: &mut PartitionSlot, ctx| {
+                ctx.charge(slot.part.nnz() as u64);
+            },
+        );
         // Read-only superstep: partitions still equal their rebuilt form.
-        cluster.reset_lineage(&data);
+        sched.reset_lineage(&data);
         datasets.push(data);
     }
     let px3 = datasets.pop().expect("three modes");
@@ -277,23 +313,23 @@ pub(crate) fn distribute_unfoldings(
 
 /// One full `UpdateFactors` round (Algorithm 2 lines 14–18): update A, B, C
 /// in turn, computing the exact reconstruction error on the final mode.
-fn update_round(
-    cluster: &Cluster,
-    px1: &DistVec<PartitionSlot>,
-    px2: &DistVec<PartitionSlot>,
-    px3: &DistVec<PartitionSlot>,
+fn update_round<B: ExecutionBackend>(
+    sched: &Scheduler<'_, B>,
+    px1: &B::Dataset<PartitionSlot>,
+    px2: &B::Dataset<PartitionSlot>,
+    px3: &B::Dataset<PartitionSlot>,
     set: FactorSet,
     config: &DbtfConfig,
 ) -> (FactorSet, u64, u64) {
     let v = config.cache_group_limit;
     // X_(1) ≈ A ∘ (C ⊙ B)ᵀ.
-    let o1 = update_factor(cluster, px1, &set.a, &set.c, &set.b, v, false);
+    let o1 = update_factor(sched, px1, &set.a, &set.c, &set.b, v, false);
     let a = o1.a;
     // X_(2) ≈ B ∘ (C ⊙ A)ᵀ.
-    let o2 = update_factor(cluster, px2, &set.b, &set.c, &a, v, false);
+    let o2 = update_factor(sched, px2, &set.b, &set.c, &a, v, false);
     let b = o2.a;
     // X_(3) ≈ C ∘ (B ⊙ A)ᵀ; |X_(3) ⊕ C ∘ (B ⊙ A)ᵀ| = |X ⊕ X̃|.
-    let o3 = update_factor(cluster, px3, &set.c, &b, &a, v, true);
+    let o3 = update_factor(sched, px3, &set.c, &b, &a, v, true);
     let c = o3.a;
     let error = o3.error.expect("error requested");
     let cache = o1.cache_bytes.max(o2.cache_bytes).max(o3.cache_bytes);
@@ -307,23 +343,24 @@ fn matrix_bytes(m: &BitMatrix) -> u64 {
 /// One `UpdateFactor` call (Algorithm 4): updates the factor `a` of the
 /// mode whose partitioned unfolding is `data`, against the fixed Khatri-Rao
 /// operands `mf` and `ms`.
-fn update_factor(
-    cluster: &Cluster,
-    data: &DistVec<PartitionSlot>,
+fn update_factor<B: ExecutionBackend>(
+    sched: &Scheduler<'_, B>,
+    data: &B::Dataset<PartitionSlot>,
     a: &BitMatrix,
     mf: &BitMatrix,
     ms: &BitMatrix,
     v_limit: usize,
     compute_error: bool,
 ) -> UpdateOutcome {
-    let rank = a.cols();
-    let nrows = a.rows();
-
     // Begin: broadcast the factors, build per-partition caches
     // (Algorithm 4 line 1 / Algorithm 5).
     let bytes = matrix_bytes(a) + matrix_bytes(mf) + matrix_bytes(ms);
-    let factors = cluster.broadcast((a.clone(), mf.clone(), ms.clone()), bytes);
-    let cache_bytes: Vec<u64> = cluster.map_partitions(data, {
+    let factors = sched.broadcast(
+        "cp.update.factors",
+        (a.clone(), mf.clone(), ms.clone()),
+        bytes,
+    );
+    let cache_bytes: Vec<u64> = sched.map_partitions("cp.update.begin", data, {
         let factors = factors.clone();
         move |_idx, slot: &mut PartitionSlot, ctx| {
             let (a, mf, ms) = factors.get();
@@ -339,45 +376,32 @@ fn update_factor(
 
     // Column sweep (Algorithm 4 lines 2–12): one superstep per column.
     let mut master = a.clone();
-    let mut pending: Option<Broadcast<(usize, BitVec)>> = None;
-    for col in 0..rank {
-        let prev = pending.clone();
-        let errs: Vec<Vec<(u64, u64)>> = cluster.map_partitions(data, {
-            move |_idx, slot: &mut PartitionSlot, ctx| {
-                let state = slot.work.as_mut().expect("update_factor not begun");
-                if let Some(decided) = &prev {
-                    let (c, values) = decided.get();
-                    state.apply_column(*c, values);
-                    ctx.charge(values.len() as u64);
-                }
-                let (errs, ops) = state.column_errors(&slot.part, col);
-                ctx.charge(ops);
-                ctx.set_result_bytes(errs.len() as u64 * 16);
-                errs
-            }
-        });
-        // Driver: sum errors across partitions, pick the smaller per row
-        // (ties prefer 0 — the sparser factor).
-        let mut decision = BitVec::zeros(nrows);
-        for r in 0..nrows {
-            let (mut e0, mut e1) = (0u64, 0u64);
-            for per_part in &errs {
-                e0 += per_part[r].0;
-                e1 += per_part[r].1;
-            }
-            if e1 < e0 {
-                decision.set(r, true);
-            }
-            master.set(r, col, e1 < e0);
-        }
-        cluster.charge_driver(nrows as u64 * (errs.len() as u64 + 1));
-        pending = Some(cluster.broadcast((col, decision), (nrows as u64).div_ceil(8) + 8));
-    }
+    let last = column_sweep(
+        sched,
+        SweepLabels {
+            sweep: "cp.update.sweep",
+            reduce: "cp.update.reduce",
+            decision: "cp.update.decision",
+        },
+        data,
+        &mut master,
+        |slot, col, values, ctx| {
+            let state = slot.work.as_mut().expect("update_factor not begun");
+            state.apply_column(col, values);
+            ctx.charge(values.len() as u64);
+        },
+        |slot, col, ctx| {
+            let state = slot.work.as_mut().expect("update_factor not begun");
+            let (errs, ops) = state.column_errors(&slot.part, col);
+            ctx.charge(ops);
+            ctx.set_result_bytes(errs.len() as u64 * 16);
+            errs
+        },
+    );
 
     // Finish: apply the last column; optionally compute the exact error;
     // drop the caches.
-    let last = pending.expect("rank ≥ 1");
-    let errors: Vec<u64> = cluster.map_partitions(data, {
+    let errors: Vec<u64> = sched.map_partitions("cp.update.finish", data, {
         move |_idx, slot: &mut PartitionSlot, ctx| {
             let state = slot.work.as_mut().expect("update_factor not begun");
             let (c, values) = last.get();
@@ -399,7 +423,7 @@ fn update_factor(
     // never mutated, `work` is None again), so a crash from here on only
     // needs the rebuild closure — truncating the lineage log keeps replay
     // cost bounded by one UpdateFactor instead of the whole run.
-    cluster.reset_lineage(data);
+    sched.reset_lineage(data);
     UpdateOutcome {
         a: master,
         error: compute_error.then(|| errors.iter().sum()),

@@ -64,13 +64,14 @@ pub mod model_selection;
 pub mod partition;
 pub mod reference;
 mod stats;
+mod sweep;
 pub mod tucker;
 pub mod tucker_distributed;
 pub mod update;
 
 pub use checkpoint::Checkpoint;
-pub use config::{DbtfConfig, DbtfError, InitStrategy};
-pub use driver::{factorize, DbtfResult};
+pub use config::{BackendKind, DbtfConfig, DbtfError, InitStrategy};
+pub use driver::{factorize, factorize_traced, DbtfResult};
 pub use factors::{initial_factor_sets, random_factor_sets, FactorSet};
 pub use stats::DbtfStats;
 pub use update::{PartitionSlot, WorkState};

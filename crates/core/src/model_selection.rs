@@ -21,7 +21,7 @@
 //! error than they add model. The minimum over a candidate sweep is a
 //! principled rank estimate.
 
-use dbtf_cluster::Cluster;
+use dbtf_cluster::ExecutionBackend;
 use dbtf_tensor::BoolTensor;
 use serde::{Deserialize, Serialize};
 
@@ -73,8 +73,8 @@ pub fn description_length(x: &BoolTensor, factors: &FactorSet) -> f64 {
 /// Each candidate reuses `base` with only the rank replaced, so the sweep
 /// is deterministic and comparable. Candidates must be non-empty and
 /// non-zero.
-pub fn select_rank(
-    cluster: &Cluster,
+pub fn select_rank<B: ExecutionBackend>(
+    backend: &B,
     x: &BoolTensor,
     candidate_ranks: &[usize],
     base: &DbtfConfig,
@@ -91,7 +91,7 @@ pub fn select_rank(
             rank,
             ..base.clone()
         };
-        let result = factorize(cluster, x, &config)?;
+        let result = factorize(backend, x, &config)?;
         let dl = description_length(x, &result.factors);
         candidates.push(RankCandidate {
             rank,
@@ -113,7 +113,7 @@ pub fn select_rank(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dbtf_cluster::ClusterConfig;
+    use dbtf_cluster::{Cluster, ClusterConfig};
     use dbtf_tensor::BitMatrix;
 
     fn block_tensor(nblocks: usize) -> BoolTensor {

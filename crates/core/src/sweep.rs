@@ -1,0 +1,95 @@
+//! The shared greedy column sweep of Algorithm 4 — the superstep loop
+//! both the CP and the distributed-Tucker factor updates are built on.
+//!
+//! One sweep runs `R` supersteps over a partitioned unfolding. In
+//! superstep `c`, every partition first applies the previously decided
+//! column (piggybacked on the broadcast, so apply and score share one
+//! superstep), then scores both candidate values of every row's entry in
+//! column `c` and ships the per-row `(e0, e1)` error pairs to the driver.
+//! The driver sums the pairs across partitions, picks the smaller error
+//! per row (ties prefer `0` — the sparser factor), writes the decision
+//! into the master copy, and broadcasts the decided column for the next
+//! superstep. What differs between CP and Tucker is only *how* a
+//! partition applies and scores a column — callers pass those two steps
+//! as closures over their partition-local work state.
+
+use std::sync::Arc;
+
+use dbtf_cluster::{Broadcast, ExecutionBackend, Scheduler, TaskContext};
+use dbtf_tensor::{BitMatrix, BitVec};
+
+use crate::update::PartitionSlot;
+
+/// Trace labels for the three operators a sweep emits per column.
+pub(crate) struct SweepLabels {
+    /// The apply-and-score `MapPartitions` superstep.
+    pub sweep: &'static str,
+    /// The driver-side per-row error reduce (`DriverCompute`).
+    pub reduce: &'static str,
+    /// The decided-column `Broadcast`.
+    pub decision: &'static str,
+}
+
+/// Runs the column sweep over `data`, mutating `master` (the driver's
+/// copy of the factor being updated) column by column. Returns the last
+/// decided column's broadcast — the caller's finish superstep still has
+/// to apply it on the workers.
+///
+/// `apply(slot, col, values, ctx)` applies a decided column to the
+/// partition's work state; `score(slot, col, ctx)` returns the partition's
+/// per-row `(e0, e1)` error pairs for the column being decided. Both run
+/// inside the same superstep task and share its cost accounting.
+pub(crate) fn column_sweep<B, A, S>(
+    sched: &Scheduler<'_, B>,
+    labels: SweepLabels,
+    data: &B::Dataset<PartitionSlot>,
+    master: &mut BitMatrix,
+    apply: A,
+    score: S,
+) -> Broadcast<(usize, BitVec)>
+where
+    B: ExecutionBackend,
+    A: Fn(&mut PartitionSlot, usize, &BitVec, &mut TaskContext) + Send + Sync + 'static,
+    S: Fn(&mut PartitionSlot, usize, &mut TaskContext) -> Vec<(u64, u64)> + Send + Sync + 'static,
+{
+    let rank = master.cols();
+    let nrows = master.rows();
+    let apply = Arc::new(apply);
+    let score = Arc::new(score);
+    let mut pending: Option<Broadcast<(usize, BitVec)>> = None;
+    for col in 0..rank {
+        let prev = pending.clone();
+        let errs: Vec<Vec<(u64, u64)>> = sched.map_partitions(labels.sweep, data, {
+            let apply = Arc::clone(&apply);
+            let score = Arc::clone(&score);
+            move |_idx, slot: &mut PartitionSlot, ctx| {
+                if let Some(decided) = &prev {
+                    let (c, values) = decided.get();
+                    apply(slot, *c, values, ctx);
+                }
+                score(slot, col, ctx)
+            }
+        });
+        // Driver: sum errors across partitions, pick the smaller per row
+        // (ties prefer 0 — the sparser factor).
+        let mut decision = BitVec::zeros(nrows);
+        for r in 0..nrows {
+            let (mut e0, mut e1) = (0u64, 0u64);
+            for per_part in &errs {
+                e0 += per_part[r].0;
+                e1 += per_part[r].1;
+            }
+            if e1 < e0 {
+                decision.set(r, true);
+            }
+            master.set(r, col, e1 < e0);
+        }
+        sched.charge_driver(labels.reduce, nrows as u64 * (errs.len() as u64 + 1));
+        pending = Some(sched.broadcast(
+            labels.decision,
+            (col, decision),
+            (nrows as u64).div_ceil(8) + 8,
+        ));
+    }
+    pending.expect("rank ≥ 1")
+}

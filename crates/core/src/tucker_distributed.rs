@@ -1,4 +1,4 @@
-//! Distributed Boolean Tucker factorization on the cluster engine.
+//! Distributed Boolean Tucker factorization on the dataflow-plan IR.
 //!
 //! The key observation that lets Tucker reuse DBTF's whole distributed
 //! machinery: in the mode-1 update, the reconstruction of row `i`
@@ -14,7 +14,10 @@
 //! mask — so a *single* fetch from the same [`RowSumCache`] the CP path
 //! caches serves the Tucker update too. The only difference from CP is how
 //! the cache key is assembled: CP ANDs the factor row with the `M_f` row;
-//! Tucker ORs per-column core masks.
+//! Tucker ORs per-column core masks. The column sweep itself — one
+//! superstep per column, driver-side reduce, decision broadcast — is the
+//! shared `crate::sweep::column_sweep` helper, reused verbatim by both
+//! drivers.
 //!
 //! The core update distributes as one superstep per core entry: partitions
 //! count, within their column range, the block cells that are exclusively
@@ -22,8 +25,11 @@
 //! value in `X`; the driver applies the greedy flip and re-broadcasts —
 //! exactly the sequential [`crate::tucker`] greedy, so the two
 //! implementations agree bit-for-bit (enforced by differential tests).
+//!
+//! Like the CP driver, everything here is generic over an
+//! [`ExecutionBackend`] and emits operators through a [`Scheduler`].
 
-use dbtf_cluster::{Cluster, DistVec};
+use dbtf_cluster::{ExecutionBackend, PlanTrace, Scheduler};
 use dbtf_tensor::{BitMatrix, BitVec, BoolTensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,6 +38,7 @@ use crate::cache::{GroupLayout, RowSumCache};
 use crate::config::DbtfError;
 use crate::driver::distribute_unfoldings;
 use crate::partition::ModePartition;
+use crate::sweep::{column_sweep, SweepLabels};
 use crate::tucker::{
     init_set, revive_dead_components, TuckerConfig, TuckerFactorization, TuckerResult,
 };
@@ -167,13 +174,23 @@ impl TuckerWorkState {
 ///
 /// Produces bit-for-bit the same factorization as
 /// [`crate::tucker::tucker_factorize`] for the same configuration, for any
-/// worker or partition count. All core ranks must be ≤ 64 (masks are
-/// single machine words).
-pub fn tucker_factorize_distributed(
-    cluster: &Cluster,
+/// backend, worker count, or partition count. All core ranks must be ≤ 64
+/// (masks are single machine words).
+pub fn tucker_factorize_distributed<B: ExecutionBackend>(
+    backend: &B,
     x: &BoolTensor,
     config: &TuckerConfig,
 ) -> Result<TuckerResult, DbtfError> {
+    tucker_factorize_distributed_traced(backend, x, config).map(|(result, _)| result)
+}
+
+/// [`tucker_factorize_distributed`], additionally returning the executed
+/// dataflow plan (see [`crate::factorize_traced`] for the trace contract).
+pub fn tucker_factorize_distributed_traced<B: ExecutionBackend>(
+    backend: &B,
+    x: &BoolTensor,
+    config: &TuckerConfig,
+) -> Result<(TuckerResult, PlanTrace), DbtfError> {
     config.validate()?;
     if config.ranks.iter().any(|&r| r > 64) {
         return Err(DbtfError::InvalidConfig(
@@ -184,8 +201,19 @@ pub fn tucker_factorize_distributed(
     if dims.contains(&0) {
         return Err(DbtfError::EmptyTensor);
     }
-    let n_partitions = cluster.config().workers * cluster.config().cores_per_worker;
-    let [px1, px2, px3] = distribute_unfoldings(cluster, x, n_partitions).0;
+    let sched = Scheduler::new(backend);
+    let result = run(&sched, x, config);
+    Ok((result, sched.into_trace()))
+}
+
+/// The driver body: everything after validation, emitting through `sched`.
+fn run<B: ExecutionBackend>(
+    sched: &Scheduler<'_, B>,
+    x: &BoolTensor,
+    config: &TuckerConfig,
+) -> TuckerResult {
+    let n_partitions = sched.backend().suggested_partitions();
+    let [px1, px2, px3] = distribute_unfoldings(sched, x, n_partitions).0;
 
     let mut best: Option<(TuckerFactorization, u64)> = None;
     for l in 0..config.initial_sets {
@@ -193,7 +221,7 @@ pub fn tucker_factorize_distributed(
             config.seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(l as u64 + 1),
         );
         let set = init_set(x, config, &mut rng);
-        let (set, error) = distributed_round(cluster, &px1, &px2, &px3, set);
+        let (set, error) = distributed_round(sched, &px1, &px2, &px3, set);
         if best.as_ref().is_none_or(|(_, be)| error < *be) {
             best = Some((set, error));
         }
@@ -208,7 +236,7 @@ pub fn tucker_factorize_distributed(
         }
         let mut rng = StdRng::seed_from_u64(config.seed ^ (t as u64).wrapping_mul(0xc0de));
         let revived = revive_dead_components(x, factorization.clone(), &mut rng);
-        let (next, next_error) = distributed_round(cluster, &px1, &px2, &px3, revived);
+        let (next, next_error) = distributed_round(sched, &px1, &px2, &px3, revived);
         if next_error > error {
             iteration_errors.push(error);
             continue;
@@ -231,35 +259,35 @@ pub fn tucker_factorize_distributed(
     } else {
         error as f64 / x.nnz() as f64
     };
-    Ok(TuckerResult {
+    TuckerResult {
         iterations: iteration_errors.len(),
         converged,
         relative_error,
         error,
         factorization,
         iteration_errors,
-    })
+    }
 }
 
 /// One distributed round, mirroring the sequential `update_round`:
 /// core, A, B, C, core, then the exact error.
-fn distributed_round(
-    cluster: &Cluster,
-    px1: &DistVec<PartitionSlot>,
-    px2: &DistVec<PartitionSlot>,
-    px3: &DistVec<PartitionSlot>,
+fn distributed_round<B: ExecutionBackend>(
+    sched: &Scheduler<'_, B>,
+    px1: &B::Dataset<PartitionSlot>,
+    px2: &B::Dataset<PartitionSlot>,
+    px3: &B::Dataset<PartitionSlot>,
     set: TuckerFactorization,
 ) -> (TuckerFactorization, u64) {
     let TuckerFactorization { core, a, b, c } = set;
-    let core = update_core_distributed(cluster, px1, &core, &a, &b, &c);
+    let core = update_core_distributed(sched, px1, &core, &a, &b, &c);
     // Mode 1: outer C, inner B; core axes (t=p, oc=r, in=q).
-    let a = update_factor_distributed(cluster, px1, &a, &c, &core_masks(&core, 0, 2, 1), &b);
+    let a = update_factor_distributed(sched, px1, &a, &c, &core_masks(&core, 0, 2, 1), &b);
     // Mode 2: outer C, inner A; core axes (t=q, oc=r, in=p).
-    let b = update_factor_distributed(cluster, px2, &b, &c, &core_masks(&core, 1, 2, 0), &a);
+    let b = update_factor_distributed(sched, px2, &b, &c, &core_masks(&core, 1, 2, 0), &a);
     // Mode 3: outer B, inner A; core axes (t=r, oc=q, in=p).
-    let c = update_factor_distributed(cluster, px3, &c, &b, &core_masks(&core, 2, 1, 0), &a);
-    let core = update_core_distributed(cluster, px1, &core, &a, &b, &c);
-    let error = distributed_error(cluster, px1, &a, &c, &core_masks(&core, 0, 2, 1), &b);
+    let c = update_factor_distributed(sched, px3, &c, &b, &core_masks(&core, 2, 1, 0), &a);
+    let core = update_core_distributed(sched, px1, &core, &a, &b, &c);
+    let error = distributed_error(sched, px1, &a, &c, &core_masks(&core, 0, 2, 1), &b);
     (TuckerFactorization { core, a, b, c }, error)
 }
 
@@ -282,27 +310,27 @@ fn matrix_bytes(m: &BitMatrix) -> u64 {
     ((m.rows() * m.cols()) as u64).div_ceil(8)
 }
 
-fn update_factor_distributed(
-    cluster: &Cluster,
-    data: &DistVec<PartitionSlot>,
+fn update_factor_distributed<B: ExecutionBackend>(
+    sched: &Scheduler<'_, B>,
+    data: &B::Dataset<PartitionSlot>,
     factor: &BitMatrix,
     mf: &BitMatrix,
     core_mat: &[Vec<u64>],
     ms: &BitMatrix,
 ) -> BitMatrix {
     let r_t = factor.cols();
-    let nrows = factor.rows();
     let bytes = matrix_bytes(factor)
         + matrix_bytes(mf)
         + matrix_bytes(ms)
         + (core_mat.len() * core_mat.first().map_or(0, Vec::len) * 8) as u64;
-    let payload = cluster.broadcast(
+    let payload = sched.broadcast(
+        "tucker.update.factors",
         (factor.clone(), mf.clone(), core_mat.to_vec(), ms.clone()),
         bytes,
     );
 
     // Begin: build the per-partition state.
-    cluster.map_partitions(data, {
+    sched.map_partitions("tucker.update.begin", data, {
         let payload = payload.clone();
         move |_idx, slot: &mut PartitionSlot, ctx| {
             let (factor, mf, core_mat, ms) = payload.get();
@@ -313,16 +341,22 @@ fn update_factor_distributed(
     });
 
     let mut master = factor.clone();
-    let mut pending: Option<dbtf_cluster::Broadcast<(usize, BitVec)>> = None;
-    for col in 0..r_t {
-        let prev = pending.clone();
-        let errs: Vec<Vec<(u64, u64)>> = cluster.map_partitions(data, move |_idx, slot, ctx| {
+    let last = column_sweep(
+        sched,
+        SweepLabels {
+            sweep: "tucker.update.sweep",
+            reduce: "tucker.update.reduce",
+            decision: "tucker.update.decision",
+        },
+        data,
+        &mut master,
+        |slot, col, values, ctx| {
             let state = slot.tucker.as_mut().expect("tucker update not begun");
-            if let Some(decided) = &prev {
-                let (c, values) = decided.get();
-                state.apply_column(*c, values);
-                ctx.charge(values.len() as u64);
-            }
+            state.apply_column(col, values);
+            ctx.charge(values.len() as u64);
+        },
+        move |slot, col, ctx| {
+            let state = slot.tucker.as_ref().expect("tucker update not begun");
             let part = &slot.part;
             let mut errs = vec![(0u64, 0u64); part.nrows];
             let mut scratch = vec![0u64; part.slab_width.div_ceil(64).max(1)];
@@ -344,26 +378,11 @@ fn update_factor_distributed(
             ctx.charge(ops);
             ctx.set_result_bytes(errs.len() as u64 * 16);
             errs
-        });
-        let mut decision = BitVec::zeros(nrows);
-        for r in 0..nrows {
-            let (mut e0, mut e1) = (0u64, 0u64);
-            for per_part in &errs {
-                e0 += per_part[r].0;
-                e1 += per_part[r].1;
-            }
-            if e1 < e0 {
-                decision.set(r, true);
-            }
-            master.set(r, col, e1 < e0);
-        }
-        cluster.charge_driver(nrows as u64 * (errs.len() as u64 + 1));
-        pending = Some(cluster.broadcast((col, decision), (nrows as u64).div_ceil(8) + 8));
-    }
+        },
+    );
 
     // Finish: apply the last column and drop the state.
-    let last = pending.expect("rank ≥ 1");
-    cluster.map_partitions(data, move |_idx, slot, ctx| {
+    sched.map_partitions("tucker.update.finish", data, move |_idx, slot, ctx| {
         let state = slot.tucker.as_mut().expect("tucker update not begun");
         let (c, values) = last.get();
         state.apply_column(*c, values);
@@ -373,43 +392,46 @@ fn update_factor_distributed(
     // Every partition is back to its distribute-time state (`part` is never
     // mutated, `tucker` is None again), so crash recovery no longer needs
     // to replay this update's supersteps.
-    cluster.reset_lineage(data);
+    sched.reset_lineage(data);
     master
 }
 
 /// The exact reconstruction error under the current model, computed over
 /// the mode-1 partitions.
-fn distributed_error(
-    cluster: &Cluster,
-    data: &DistVec<PartitionSlot>,
+fn distributed_error<B: ExecutionBackend>(
+    sched: &Scheduler<'_, B>,
+    data: &B::Dataset<PartitionSlot>,
     factor: &BitMatrix,
     mf: &BitMatrix,
     core_mat: &[Vec<u64>],
     ms: &BitMatrix,
 ) -> u64 {
-    let payload = cluster.broadcast(
+    let payload = sched.broadcast(
+        "tucker.error.factors",
         (factor.clone(), mf.clone(), core_mat.to_vec(), ms.clone()),
         matrix_bytes(factor) + matrix_bytes(mf) + matrix_bytes(ms),
     );
-    let errors: Vec<u64> = cluster.map_partitions(data, move |_idx, slot, ctx| {
-        let (factor, mf, core_mat, ms) = payload.get();
-        let (state, build_ops) = TuckerWorkState::build(&slot.part, factor, mf, core_mat, ms, 15);
-        let part = &slot.part;
-        let mut scratch = vec![0u64; part.slab_width.div_ceil(64).max(1)];
-        let mut err = 0u64;
-        let mut ops = build_ops;
-        for b in 0..part.blocks.len() {
-            for row in 0..part.nrows {
-                let union = state.union_mask(b, row, None);
-                let (e, o) = state.block_error(part, b, row, union, &mut scratch);
-                err += e;
-                ops += o;
+    let errors: Vec<u64> =
+        sched.map_partitions("tucker.error.map", data, move |_idx, slot, ctx| {
+            let (factor, mf, core_mat, ms) = payload.get();
+            let (state, build_ops) =
+                TuckerWorkState::build(&slot.part, factor, mf, core_mat, ms, 15);
+            let part = &slot.part;
+            let mut scratch = vec![0u64; part.slab_width.div_ceil(64).max(1)];
+            let mut err = 0u64;
+            let mut ops = build_ops;
+            for b in 0..part.blocks.len() {
+                for row in 0..part.nrows {
+                    let union = state.union_mask(b, row, None);
+                    let (e, o) = state.block_error(part, b, row, union, &mut scratch);
+                    err += e;
+                    ops += o;
+                }
             }
-        }
-        ctx.charge(ops);
-        ctx.set_result_bytes(8);
-        err
-    });
+            ctx.charge(ops);
+            ctx.set_result_bytes(8);
+            err
+        });
     errors.iter().sum()
 }
 
@@ -417,16 +439,17 @@ fn distributed_error(
 /// sequential order; for each non-empty block, one superstep collects the
 /// exact flip delta (exclusively-covered / newly-covered cell counts split
 /// by the cell's value in `X`) and the driver applies the greedy decision.
-fn update_core_distributed(
-    cluster: &Cluster,
-    px1: &DistVec<PartitionSlot>,
+fn update_core_distributed<B: ExecutionBackend>(
+    sched: &Scheduler<'_, B>,
+    px1: &B::Dataset<PartitionSlot>,
     core: &BoolTensor,
     a: &BitMatrix,
     b: &BitMatrix,
     c: &BitMatrix,
 ) -> BoolTensor {
     let [r1, r2, r3] = core.dims();
-    let factors = cluster.broadcast(
+    let factors = sched.broadcast(
+        "tucker.core.factors",
         (a.clone(), b.clone(), c.clone()),
         matrix_bytes(a) + matrix_bytes(b) + matrix_bytes(c),
     );
@@ -444,8 +467,12 @@ fn update_core_distributed(
                 {
                     continue;
                 }
-                let current = cluster.broadcast(entries.clone(), entries.len() as u64 * 6 + 16);
-                let counts: Vec<(u64, u64)> = cluster.map_partitions(px1, {
+                let current = sched.broadcast(
+                    "tucker.core.entries",
+                    entries.clone(),
+                    entries.len() as u64 * 6 + 16,
+                );
+                let counts: Vec<(u64, u64)> = sched.map_partitions("tucker.core.count", px1, {
                     let factors = factors.clone();
                     let current = current.clone();
                     move |_idx, slot: &mut PartitionSlot, ctx| {
@@ -459,7 +486,7 @@ fn update_core_distributed(
                 });
                 let ones: u64 = counts.iter().map(|&(o, _)| o).sum();
                 let zeros: u64 = counts.iter().map(|&(_, z)| z).sum();
-                cluster.charge_driver(counts.len() as u64);
+                sched.charge_driver("tucker.core.reduce", counts.len() as u64);
                 if active {
                     // delta = ones − zeros; flip off when delta ≤ 0.
                     if ones <= zeros {

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Guard against the cluster engine re-congealing into a monolith: the
+# dataflow-plan refactor split engine.rs (once ~1,750 lines) into focused
+# modules, and CI fails if any of them creeps past the limit again.
+set -euo pipefail
+
+LIMIT=900
+cd "$(dirname "$0")/.."
+
+status=0
+for f in crates/cluster/src/*.rs; do
+    lines=$(wc -l <"$f")
+    if [ "$lines" -gt "$LIMIT" ]; then
+        echo "FAIL: $f has $lines lines (limit $LIMIT) — split it instead" >&2
+        status=1
+    fi
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "module size check passed: no crates/cluster/src/*.rs file exceeds $LIMIT lines"
+fi
+exit "$status"

@@ -5,8 +5,8 @@
 //! counters may differ. Plus checkpoint/resume round-trips through the
 //! driver.
 
-use dbtf::{factorize, Checkpoint, DbtfConfig, DbtfError, DbtfResult};
-use dbtf_cluster::{Cluster, ClusterConfig, FaultPlan};
+use dbtf::{factorize, factorize_traced, Checkpoint, DbtfConfig, DbtfError, DbtfResult};
+use dbtf_cluster::{Cluster, ClusterConfig, FaultPlan, PlanTrace};
 use dbtf_datagen::{NoiseSpec, PlantedConfig, PlantedTensor};
 use dbtf_tensor::BoolTensor;
 
@@ -25,7 +25,7 @@ fn run(
     x: &BoolTensor,
     workers: usize,
     plan: Option<FaultPlan>,
-) -> (DbtfResult, dbtf_cluster::MetricsSnapshot) {
+) -> (DbtfResult, dbtf_cluster::MetricsSnapshot, PlanTrace) {
     let cluster = Cluster::new(ClusterConfig {
         workers,
         cores_per_worker: 4,
@@ -39,9 +39,9 @@ fn run(
         seed: 7,
         ..DbtfConfig::default()
     };
-    let result = factorize(&cluster, x, &cfg).unwrap();
+    let (result, trace) = factorize_traced(&cluster, x, &cfg).unwrap();
     let metrics = cluster.metrics();
-    (result, metrics)
+    (result, metrics, trace)
 }
 
 /// The headline invariant: a crash + 5% transient failure rate + slow
@@ -51,7 +51,7 @@ fn run(
 fn faulty_run_is_bit_identical_to_fault_free() {
     let x = planted_tensor();
     for workers in [2usize, 4] {
-        let (clean, clean_m) = run(&x, workers, None);
+        let (clean, clean_m, clean_trace) = run(&x, workers, None);
         let plan = FaultPlan {
             // Kill a worker mid-run (superstep 20 is inside the column
             // sweeps) and another one later.
@@ -60,7 +60,7 @@ fn faulty_run_is_bit_identical_to_fault_free() {
             slow_task_rate: 0.02,
             ..FaultPlan::with_seed(99)
         };
-        let (faulty, faulty_m) = run(&x, workers, Some(plan));
+        let (faulty, faulty_m, faulty_trace) = run(&x, workers, Some(plan));
 
         // Bit-identical algorithmic outputs.
         assert_eq!(clean.factors, faulty.factors, "workers={workers}");
@@ -72,6 +72,17 @@ fn faulty_run_is_bit_identical_to_fault_free() {
         assert_eq!(clean_m.total_ops, faulty_m.total_ops, "workers={workers}");
         assert_eq!(clean_m.tasks_run, faulty_m.tasks_run);
         assert_eq!(clean_m.supersteps, faulty_m.supersteps);
+
+        // Bit-identical executed plan: operator for operator, faults must
+        // not change what the driver ran or what it cost in bytes/ops.
+        assert_eq!(
+            faulty_trace.fingerprint(),
+            clean_trace.fingerprint(),
+            "workers={workers}"
+        );
+        // The trace localizes recovery to the operators it happened in.
+        assert_eq!(clean_trace.recovery_events(), 0);
+        assert!(faulty_trace.recovery_events() > 0, "workers={workers}");
 
         // Recovery is visible in the metrics, and only there.
         assert_eq!(faulty_m.worker_respawns, 2, "workers={workers}");
@@ -94,12 +105,12 @@ fn faulty_run_is_bit_identical_to_fault_free() {
 fn serial_crashes_of_every_worker_recover() {
     let x = planted_tensor();
     let workers = 3;
-    let (clean, _) = run(&x, workers, None);
+    let (clean, _, _) = run(&x, workers, None);
     let plan = FaultPlan {
         worker_crashes: (0..workers).map(|w| (10 + 7 * w as u64, w)).collect(),
         ..FaultPlan::with_seed(3)
     };
-    let (faulty, m) = run(&x, workers, Some(plan));
+    let (faulty, m, _) = run(&x, workers, Some(plan));
     assert_eq!(clean.factors, faulty.factors);
     assert_eq!(clean.error, faulty.error);
     assert_eq!(m.worker_respawns, workers as u64);

@@ -1,27 +1,35 @@
 //! Real intra-worker parallelism must be invisible in every output: the
 //! same factorization run with 1, 2 and 4 compute threads per worker has
 //! to produce bit-identical factors, errors and virtual-time metrics
-//! (only host wall-clock may differ).
+//! (only host wall-clock may differ). The trace variant checks the same
+//! invariant one level deeper: the executed dataflow plan — every
+//! operator with its byte/op annotations — is identical too.
 
-use dbtf::{factorize, DbtfConfig, DbtfResult};
-use dbtf_cluster::{Cluster, ClusterConfig};
+use dbtf::{factorize, factorize_traced, DbtfConfig, DbtfResult};
+use dbtf_cluster::{Cluster, ClusterConfig, PlanTrace};
 use dbtf_datagen::uniform_random;
 use dbtf_tensor::BoolTensor;
 
-fn run_with_threads(x: &BoolTensor, threads: usize) -> DbtfResult {
-    let cluster = Cluster::new(ClusterConfig {
-        workers: 3,
-        compute_threads: Some(threads),
-        ..ClusterConfig::default()
-    });
-    let config = DbtfConfig {
+fn config() -> DbtfConfig {
+    DbtfConfig {
         rank: 4,
         max_iters: 3,
         initial_sets: 2,
         seed: 7,
         ..DbtfConfig::default()
-    };
-    factorize(&cluster, x, &config).unwrap()
+    }
+}
+
+fn cluster_with_threads(threads: usize) -> Cluster {
+    Cluster::new(ClusterConfig {
+        workers: 3,
+        compute_threads: Some(threads),
+        ..ClusterConfig::default()
+    })
+}
+
+fn run_with_threads(x: &BoolTensor, threads: usize) -> DbtfResult {
+    factorize(&cluster_with_threads(threads), x, &config()).unwrap()
 }
 
 #[test]
@@ -49,5 +57,27 @@ fn factorization_identical_across_compute_threads() {
             run.stats.peak_cache_bytes, baseline.stats.peak_cache_bytes,
             "{threads} threads"
         );
+    }
+}
+
+#[test]
+fn executed_plan_identical_across_compute_threads() {
+    let x = uniform_random([18, 15, 12], 0.15, 3);
+    let trace_with = |threads: usize| -> PlanTrace {
+        let (_, trace) = factorize_traced(&cluster_with_threads(threads), &x, &config()).unwrap();
+        trace
+    };
+    let baseline = trace_with(1);
+    assert!(!baseline.is_empty());
+    for threads in [2usize, 4] {
+        let trace = trace_with(threads);
+        assert_eq!(trace.len(), baseline.len(), "{threads} threads");
+        assert_eq!(
+            trace.fingerprint(),
+            baseline.fingerprint(),
+            "{threads} threads"
+        );
+        // With no fault plan, threading must never surface as recovery.
+        assert_eq!(trace.recovery_events(), 0, "{threads} threads");
     }
 }
