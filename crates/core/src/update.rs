@@ -259,7 +259,15 @@ impl WorkState {
             for i in 0..in_word {
                 let idx = (row0 + i) * ngroups + gc;
                 // Branchless single-bit patch from the value word.
-                let bit = (word >> i) & 1;
+                #[allow(unused_mut)]
+                let mut bit = (word >> i) & 1;
+                // Seeded kernel bug for the differential harness's teeth
+                // test (crates/oracle/tests/teeth.rs): the decided column
+                // is applied inverted to row 0.
+                #[cfg(feature = "mutation")]
+                if wi == 0 && i == 0 {
+                    bit ^= 1;
+                }
                 self.row_masks[idx] = (self.row_masks[idx] & !col_bit) | (bit * col_bit);
             }
         }

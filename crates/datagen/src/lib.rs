@@ -19,11 +19,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod metamorphic;
 pub mod noise;
 pub mod planted;
 pub mod proxies;
 pub mod random;
 
+pub use metamorphic::{mode_permutations, permute_factors, Family};
 pub use noise::{add_noise, NoiseSpec};
 pub use planted::{PlantedConfig, PlantedTensor};
 pub use proxies::{generate_proxy, proxy_specs, DatasetSpec};

@@ -1,0 +1,249 @@
+//! Seeded tensor families and metamorphic relations for the verification
+//! sweeps (`crates/oracle`).
+//!
+//! A differential sweep needs two things from its input generator:
+//!
+//! - **Families** ([`Family`]): a seeded, deterministic sampler over
+//!   qualitatively different tensors — uniform random clouds, planted
+//!   factorizations with and without noise — so one `u64` seed pins an
+//!   entire test point.
+//! - **Metamorphic relations** ([`mode_permutations`],
+//!   [`permute_factors`]): transformations of a tensor with a *known*
+//!   effect on the ground truth. Permuting the modes of `X` and permuting
+//!   a CP factor triple `(A, B, C)` the same way leaves the reconstruction
+//!   error `|X ⊖ X̂|` invariant — an oracle can check an implementation
+//!   against itself on inputs it has never seen, without knowing the
+//!   correct output for either.
+
+use dbtf_tensor::{BitMatrix, BoolTensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::noise::NoiseSpec;
+use crate::planted::{PlantedConfig, PlantedTensor};
+use crate::random::uniform_random;
+
+/// A seeded tensor family: everything needed to regenerate the input of a
+/// differential test point.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Family {
+    /// i.i.d. Bernoulli cells (no planted structure).
+    Uniform {
+        /// Tensor shape.
+        dims: [usize; 3],
+        /// Cell density.
+        density: f64,
+        /// Generation seed.
+        seed: u64,
+    },
+    /// A planted factorization, optionally noisy — tensors a Boolean CP
+    /// method should fit well, with known ground-truth factors.
+    Planted(PlantedConfig),
+}
+
+impl Family {
+    /// Draws a family from `seed`: shape, density/rank and noise are all
+    /// derived from one `StdRng` stream, so equal seeds give equal
+    /// families. Dimensions stay small (≤ 14 per mode) — sweep points are
+    /// checked against cell-by-cell oracles that walk every `I·J·K` cell.
+    pub fn from_seed(seed: u64) -> Family {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA111E5);
+        let dims = [
+            rng.gen_range(3..=14usize),
+            rng.gen_range(3..=14usize),
+            rng.gen_range(3..=14usize),
+        ];
+        if rng.gen_bool(0.5) {
+            Family::Uniform {
+                dims,
+                density: rng.gen_range(0.05..0.35),
+                seed: seed ^ 0x7E45,
+            }
+        } else {
+            Family::Planted(PlantedConfig {
+                dims,
+                rank: rng.gen_range(2..=4),
+                factor_density: rng.gen_range(0.2..0.5),
+                noise: if rng.gen_bool(0.5) {
+                    NoiseSpec::none()
+                } else {
+                    NoiseSpec::additive(rng.gen_range(0.0..0.15))
+                },
+                seed: seed ^ 0x9A17ED,
+            })
+        }
+    }
+
+    /// Materializes the family's tensor.
+    pub fn generate(&self) -> BoolTensor {
+        match self {
+            Family::Uniform {
+                dims,
+                density,
+                seed,
+            } => uniform_random(*dims, *density, *seed),
+            Family::Planted(cfg) => PlantedTensor::generate(*cfg).tensor,
+        }
+    }
+
+    /// The tensor shape this family generates.
+    pub fn dims(&self) -> [usize; 3] {
+        match self {
+            Family::Uniform { dims, .. } => *dims,
+            Family::Planted(cfg) => cfg.dims,
+        }
+    }
+
+    /// A short human-readable descriptor for reports.
+    pub fn describe(&self) -> String {
+        match self {
+            Family::Uniform {
+                dims,
+                density,
+                seed,
+            } => format!(
+                "uniform {}x{}x{} d={density:.3} seed={seed}",
+                dims[0], dims[1], dims[2]
+            ),
+            Family::Planted(cfg) => format!(
+                "planted {}x{}x{} rank={} fd={:.2} noise=+{:.2}/-{:.2} seed={}",
+                cfg.dims[0],
+                cfg.dims[1],
+                cfg.dims[2],
+                cfg.rank,
+                cfg.factor_density,
+                cfg.noise.additive,
+                cfg.noise.destructive,
+                cfg.seed,
+            ),
+        }
+    }
+}
+
+/// All six mode permutations, identity first. Each entry `perm` is usable
+/// directly with [`BoolTensor::permute_modes`] and [`permute_factors`].
+pub fn mode_permutations() -> [[usize; 3]; 6] {
+    [
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ]
+}
+
+/// Permutes a CP factor triple to match `x.permute_modes(perm)`: mode `m`
+/// of the permuted tensor is mode `perm[m]` of the original, so its factor
+/// is the original triple's `perm[m]`-th matrix. The metamorphic relation:
+///
+/// ```
+/// use dbtf_datagen::metamorphic::permute_factors;
+/// use dbtf_datagen::{PlantedConfig, PlantedTensor};
+/// use dbtf_tensor::reconstruct::reconstruction_error;
+///
+/// let p = PlantedTensor::generate(PlantedConfig {
+///     dims: [6, 5, 4], rank: 2, factor_density: 0.4,
+///     noise: dbtf_datagen::NoiseSpec::additive(0.1), seed: 7,
+/// });
+/// let (a, b, c) = p.factors.clone();
+/// let perm = [2, 0, 1];
+/// let y = p.tensor.permute_modes(perm);
+/// let [pa, pb, pc] = permute_factors([&a, &b, &c], perm);
+/// assert_eq!(
+///     reconstruction_error(&p.tensor, &a, &b, &c),
+///     reconstruction_error(&y, &pa, &pb, &pc),
+/// );
+/// ```
+pub fn permute_factors(factors: [&BitMatrix; 3], perm: [usize; 3]) -> [BitMatrix; 3] {
+    [
+        factors[perm[0]].clone(),
+        factors[perm[1]].clone(),
+        factors[perm[2]].clone(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtf_tensor::reconstruct::{reconstruct, reconstruction_error};
+
+    #[test]
+    fn families_are_deterministic_and_diverse() {
+        let mut uniform = 0;
+        let mut planted = 0;
+        for seed in 0..32 {
+            let f = Family::from_seed(seed);
+            assert_eq!(f, Family::from_seed(seed));
+            assert_eq!(f.generate(), f.generate());
+            assert_eq!(f.generate().dims(), f.dims());
+            match f {
+                Family::Uniform { .. } => uniform += 1,
+                Family::Planted(_) => planted += 1,
+            }
+        }
+        assert!(uniform > 4, "only {uniform}/32 uniform");
+        assert!(planted > 4, "only {planted}/32 planted");
+    }
+
+    #[test]
+    fn descriptors_name_the_family() {
+        for seed in 0..8 {
+            let f = Family::from_seed(seed);
+            let d = f.describe();
+            match f {
+                Family::Uniform { .. } => assert!(d.starts_with("uniform"), "{d}"),
+                Family::Planted(_) => assert!(d.starts_with("planted"), "{d}"),
+            }
+        }
+    }
+
+    /// The headline metamorphic relation: `|X ⊖ X̂|` is invariant under
+    /// simultaneous mode permutation of the tensor and the factors — for
+    /// every permutation, on both planted and arbitrary factors.
+    #[test]
+    fn error_is_invariant_under_mode_permutation() {
+        let p = PlantedTensor::generate(PlantedConfig {
+            dims: [7, 5, 6],
+            rank: 3,
+            factor_density: 0.35,
+            noise: NoiseSpec::additive(0.1),
+            seed: 11,
+        });
+        let (a, b, c) = &p.factors;
+        let base = reconstruction_error(&p.tensor, a, b, c);
+        assert!(base > 0, "noise must make the error non-trivial");
+        for perm in mode_permutations() {
+            let y = p.tensor.permute_modes(perm);
+            let [pa, pb, pc] = permute_factors([a, b, c], perm);
+            assert_eq!(
+                reconstruction_error(&y, &pa, &pb, &pc),
+                base,
+                "perm {perm:?}"
+            );
+        }
+    }
+
+    /// Reconstruction commutes with mode permutation:
+    /// `recon(π(A,B,C)) = π(recon(A,B,C))`.
+    #[test]
+    fn reconstruction_commutes_with_permutation() {
+        let p = PlantedTensor::generate(PlantedConfig {
+            dims: [5, 6, 4],
+            rank: 2,
+            factor_density: 0.4,
+            noise: NoiseSpec::none(),
+            seed: 3,
+        });
+        let (a, b, c) = &p.factors;
+        let x = reconstruct(a, b, c);
+        for perm in mode_permutations() {
+            let [pa, pb, pc] = permute_factors([a, b, c], perm);
+            assert_eq!(
+                reconstruct(&pa, &pb, &pc),
+                x.permute_modes(perm),
+                "{perm:?}"
+            );
+        }
+    }
+}

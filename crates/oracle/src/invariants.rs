@@ -1,0 +1,170 @@
+//! Closed-form communication and scheduling oracles (Lemmas 6 and 7).
+//!
+//! The cluster engine meters every byte it moves. These formulas predict
+//! the meters from first principles — shape, rank, worker count and
+//! partition count alone — so a sweep can detect a driver that silently
+//! ships more (or less) than the paper's cost model allows:
+//!
+//! - **Lemma 6 (shuffle)**: each of the three unfoldings is partitioned
+//!   and shipped exactly once; the bytes are the sum of the partitions'
+//!   wire sizes, `O(|X|)` overall.
+//! - **Lemma 7 (broadcast/collect)**: per `UpdateFactor` the driver
+//!   broadcasts the three factor matrices once and one decided column per
+//!   rank-column (each to every worker), and collects one fixed-size
+//!   result per partition per superstep plus the per-row error pairs of
+//!   every column sweep.
+
+use dbtf::partition::partition_unfolding;
+use dbtf::{DbtfConfig, DbtfResult};
+use dbtf_cluster::MetricsSnapshot;
+use dbtf_tensor::{BoolTensor, Mode, Unfolding};
+
+/// Closed-form predictions for a full CP run on the simulated engine.
+///
+/// `rounds` is the number of `UpdateFactors` rounds the driver executed:
+/// `initial_sets` in the first iteration plus one per later iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct CommOracle {
+    /// Tensor shape.
+    pub dims: [usize; 3],
+    /// CP rank.
+    pub rank: usize,
+    /// Workers on the backend.
+    pub workers: usize,
+    /// Partitions per unfolding.
+    pub partitions: usize,
+    /// Executed `UpdateFactors` rounds.
+    pub rounds: usize,
+}
+
+impl CommOracle {
+    /// Builds the oracle for a finished run: the round count is derived
+    /// from the result's iteration history.
+    pub fn for_run(
+        x: &BoolTensor,
+        config: &DbtfConfig,
+        result: &DbtfResult,
+        workers: usize,
+    ) -> CommOracle {
+        CommOracle {
+            dims: x.dims(),
+            rank: config.rank,
+            workers,
+            partitions: result.stats.n_partitions,
+            rounds: config.initial_sets + (result.iterations - 1),
+        }
+    }
+
+    /// Lemma 6: total shuffled bytes — the wire sizes of all `3N`
+    /// partitions, recomputed by independently re-partitioning the three
+    /// unfoldings. Never more than one shipment of each.
+    pub fn shuffle_bytes(&self, x: &BoolTensor) -> u64 {
+        Mode::ALL
+            .iter()
+            .map(|&mode| {
+                let unf = Unfolding::new(x, mode);
+                partition_unfolding(&unf, self.partitions)
+                    .iter()
+                    .map(|p| p.byte_size())
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Lemma 7, broadcast side. Per round, each of the three
+    /// `UpdateFactor` calls broadcasts the three bit-packed factor
+    /// matrices (`⌈dim·R/8⌉` bytes each) once and `R` decided columns
+    /// (`⌈dim/8⌉ + 8` bytes, the column index rides along); each broadcast
+    /// is delivered to every worker.
+    pub fn broadcast_bytes(&self) -> u64 {
+        let factor_bytes: u64 = self
+            .dims
+            .iter()
+            .map(|&d| ((d * self.rank) as u64).div_ceil(8))
+            .sum();
+        let decision_bytes: u64 = self.dims.iter().map(|&d| (d as u64).div_ceil(8) + 8).sum();
+        (self.rounds * self.workers) as u64 * (3 * factor_bytes + self.rank as u64 * decision_bytes)
+    }
+
+    /// Lemma 7, collect side. Per `UpdateFactor` on the mode with `P`
+    /// rows: `begin` and `finish` return 8 bytes per partition, and each
+    /// of the `R` sweep supersteps returns `P` error pairs of 16 bytes per
+    /// partition (every vertical partition spans all `P` rows).
+    pub fn collected_bytes(&self) -> u64 {
+        let dim_sum: u64 = self.dims.iter().map(|&d| d as u64).sum();
+        (self.rounds * self.partitions) as u64 * 16 * (3 + self.rank as u64 * dim_sum)
+    }
+
+    /// Every `MapPartitions` is one superstep: three unfolding-organize
+    /// supersteps up front, then `R + 2` per `UpdateFactor`.
+    pub fn supersteps(&self) -> u64 {
+        3 + (self.rounds * 3 * (self.rank + 2)) as u64
+    }
+
+    /// One task per partition per superstep (retries are metered
+    /// separately, so this holds under fault injection too).
+    pub fn tasks(&self) -> u64 {
+        self.supersteps() * self.partitions as u64
+    }
+
+    /// Checks a run's metrics against all the formulas; returns the
+    /// violations (empty when the meters match the cost model exactly).
+    pub fn check(&self, x: &BoolTensor, metrics: &MetricsSnapshot) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut expect = |what: &str, predicted: u64, metered: u64| {
+            if predicted != metered {
+                violations.push(format!(
+                    "{what}: cost-model prediction {predicted} != metered {metered} \
+                     ({self:?})"
+                ));
+            }
+        };
+        expect(
+            "lemma6 shuffle bytes",
+            self.shuffle_bytes(x),
+            metrics.bytes_shuffled,
+        );
+        expect(
+            "lemma7 broadcast bytes",
+            self.broadcast_bytes(),
+            metrics.bytes_broadcast,
+        );
+        expect(
+            "lemma7 collected bytes",
+            self.collected_bytes(),
+            metrics.bytes_collected,
+        );
+        expect("supersteps", self.supersteps(), metrics.supersteps);
+        expect("tasks", self.tasks(), metrics.tasks_run);
+        violations
+    }
+}
+
+/// Engine-invariant check: recovery meters must be zero on a fault-free
+/// run and may only be non-zero when a fault plan was injected. Returns
+/// violations.
+pub fn check_recovery_counters(metrics: &MetricsSnapshot, faults_injected: bool) -> Vec<String> {
+    let recovery = [
+        ("task_retries", metrics.task_retries),
+        ("worker_respawns", metrics.worker_respawns),
+        ("partitions_recomputed", metrics.partitions_recomputed),
+        ("bytes_reshipped", metrics.bytes_reshipped),
+        ("recovery_ops", metrics.recovery_ops),
+        ("speculative_tasks", metrics.speculative_tasks),
+    ];
+    let mut violations = Vec::new();
+    if !faults_injected {
+        for (name, value) in recovery {
+            if value != 0 {
+                violations.push(format!("fault-free run has {name} = {value}, expected 0"));
+            }
+        }
+        if metrics.recovery_time.as_secs_f64() != 0.0 {
+            violations.push(format!(
+                "fault-free run charged recovery_time = {:?}",
+                metrics.recovery_time
+            ));
+        }
+    }
+    violations
+}

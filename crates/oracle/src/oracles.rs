@@ -1,0 +1,288 @@
+//! Slow, obviously-correct reference oracles.
+//!
+//! Every function here computes its answer straight from a definition in
+//! the paper — cell-by-cell loops over all `I·J·K` positions, no bit
+//! tricks, no sparsity shortcuts, no shared code with the optimized
+//! kernels in `dbtf-tensor`/`dbtf` beyond element accessors. They are
+//! deliberately `O(I·J·K·R)`: sweep inputs are small, and the value of an
+//! oracle is that a reviewer can check it against the paper in a minute.
+
+use dbtf_tensor::{BitMatrix, BoolTensor, Mode, TensorBuilder, Unfolding};
+
+/// Boolean CP reconstruction from the definition (paper Equation 4):
+/// `x̂_{ijk} = ⋁_r a_{ir} ∧ b_{jr} ∧ c_{kr}`.
+///
+/// ```
+/// use dbtf_oracle::oracles::cp_reconstruct;
+/// use dbtf_tensor::BitMatrix;
+///
+/// // Rank 1: the reconstruction is the outer product of three columns.
+/// let a = BitMatrix::from_rows(2, 1, &[&[0], &[]]);
+/// let b = BitMatrix::from_rows(2, 1, &[&[0], &[0]]);
+/// let c = BitMatrix::from_rows(1, 1, &[&[0]]);
+/// let x = cp_reconstruct(&a, &b, &c);
+/// assert_eq!(x.entries(), &[[0, 0, 0], [0, 1, 0]]);
+/// ```
+pub fn cp_reconstruct(a: &BitMatrix, b: &BitMatrix, c: &BitMatrix) -> BoolTensor {
+    let rank = a.cols();
+    assert_eq!(b.cols(), rank, "factor ranks must agree");
+    assert_eq!(c.cols(), rank, "factor ranks must agree");
+    let mut builder = TensorBuilder::new([a.rows(), b.rows(), c.rows()]);
+    for i in 0..a.rows() {
+        for j in 0..b.rows() {
+            for k in 0..c.rows() {
+                if (0..rank).any(|r| a.get(i, r) && b.get(j, r) && c.get(k, r)) {
+                    builder.insert(i as u32, j as u32, k as u32);
+                }
+            }
+        }
+    }
+    builder.build()
+}
+
+/// `|X ⊖ X̂|` from the definition: count the cells where `x` and the
+/// rank-R Boolean CP reconstruction of `(a, b, c)` disagree.
+///
+/// ```
+/// use dbtf_oracle::oracles::cp_error;
+/// use dbtf_tensor::{BitMatrix, BoolTensor};
+///
+/// let x = BoolTensor::from_entries([2, 2, 1], vec![[0, 0, 0]]);
+/// let zero = BitMatrix::zeros(2, 1);
+/// // All-zero factors reconstruct nothing: the error is |X|.
+/// assert_eq!(cp_error(&x, &zero, &zero, &BitMatrix::zeros(1, 1)), 1);
+/// ```
+pub fn cp_error(x: &BoolTensor, a: &BitMatrix, b: &BitMatrix, c: &BitMatrix) -> u64 {
+    let dims = x.dims();
+    assert_eq!(
+        dims,
+        [a.rows(), b.rows(), c.rows()],
+        "factor row counts must match the tensor shape"
+    );
+    let rank = a.cols();
+    let mut err = 0u64;
+    for i in 0..dims[0] {
+        for j in 0..dims[1] {
+            for k in 0..dims[2] {
+                let x_hat = (0..rank).any(|r| a.get(i, r) && b.get(j, r) && c.get(k, r));
+                if x_hat != x.contains(i as u32, j as u32, k as u32) {
+                    err += 1;
+                }
+            }
+        }
+    }
+    err
+}
+
+/// Boolean Tucker error from the definition (the journal version's
+/// Equation): `x̂_{ijk} = ⋁_{p,q,r} g_{pqr} ∧ a_{ip} ∧ b_{jq} ∧ c_{kr}`,
+/// counted cell by cell against `x`.
+pub fn tucker_error(
+    x: &BoolTensor,
+    core: &BoolTensor,
+    a: &BitMatrix,
+    b: &BitMatrix,
+    c: &BitMatrix,
+) -> u64 {
+    let dims = x.dims();
+    assert_eq!(dims, [a.rows(), b.rows(), c.rows()], "shape mismatch");
+    assert_eq!(core.dims(), [a.cols(), b.cols(), c.cols()], "core mismatch");
+    let core_entries: Vec<[u32; 3]> = core.iter().collect();
+    let mut err = 0u64;
+    for i in 0..dims[0] {
+        for j in 0..dims[1] {
+            for k in 0..dims[2] {
+                let x_hat = core_entries.iter().any(|&[p, q, r]| {
+                    a.get(i, p as usize) && b.get(j, q as usize) && c.get(k, r as usize)
+                });
+                if x_hat != x.contains(i as u32, j as u32, k as u32) {
+                    err += 1;
+                }
+            }
+        }
+    }
+    err
+}
+
+/// Checks [`Unfolding`] against the paper's index maps (Equation 1,
+/// 0-based): `[X_(1)]_{i, j+k·J}`, `[X_(2)]_{j, i+k·I}`,
+/// `[X_(3)]_{k, i+j·I}` — every cell, both directions. Returns the
+/// violations (empty means the unfolding is correct for this tensor).
+///
+/// The formulas are written out literally here rather than calling
+/// [`Mode::matricize`], so a bug in the production index map cannot hide
+/// in its own oracle.
+pub fn check_unfolding(x: &BoolTensor) -> Vec<String> {
+    let [di, dj, _dk] = x.dims();
+    let mut violations = Vec::new();
+    for mode in Mode::ALL {
+        let unf = Unfolding::new(x, mode);
+        for i in 0..x.dims()[0] as u32 {
+            for j in 0..x.dims()[1] as u32 {
+                for k in 0..x.dims()[2] as u32 {
+                    let (row, col) = match mode {
+                        Mode::One => (i, j as u64 + k as u64 * dj as u64),
+                        Mode::Two => (j, i as u64 + k as u64 * di as u64),
+                        Mode::Three => (k, i as u64 + j as u64 * di as u64),
+                    };
+                    let expect = x.contains(i, j, k);
+                    if unf.get(row as usize, col) != expect {
+                        violations.push(format!(
+                            "unfolding {mode:?}: cell ({i},{j},{k}) maps to \
+                             ({row},{col}) but membership disagrees (tensor: {expect})"
+                        ));
+                    }
+                }
+            }
+        }
+        if unf.nnz() != x.nnz() {
+            violations.push(format!(
+                "unfolding {mode:?}: nnz {} != tensor nnz {}",
+                unf.nnz(),
+                x.nnz()
+            ));
+        }
+        if unf.refold() != *x {
+            violations.push(format!("unfolding {mode:?}: refold() is not the inverse"));
+        }
+    }
+    violations
+}
+
+/// The gauge-canonical form of a CP factor triple.
+///
+/// A Boolean CP factorization is unique only up to a simultaneous
+/// permutation of the factor columns (the Boolean gauge freedom — there is
+/// no scaling). Canonicalization sorts the column triples
+/// `(a_{:r}, b_{:r}, c_{:r})` lexicographically by their bit patterns, so
+/// two equivalent factorizations compare equal.
+pub fn gauge_canonical(a: &BitMatrix, b: &BitMatrix, c: &BitMatrix) -> Vec<[Vec<u64>; 3]> {
+    let rank = a.cols();
+    assert_eq!(b.cols(), rank, "factor ranks must agree");
+    assert_eq!(c.cols(), rank, "factor ranks must agree");
+    let column_words = |m: &BitMatrix, r: usize| m.column(r).words().to_vec();
+    let mut triples: Vec<[Vec<u64>; 3]> = (0..rank)
+        .map(|r| [column_words(a, r), column_words(b, r), column_words(c, r)])
+        .collect();
+    triples.sort();
+    triples
+}
+
+/// Whether two factor triples are gauge-equivalent — equal up to a
+/// simultaneous column permutation (and hence identical reconstructions).
+///
+/// ```
+/// use dbtf_oracle::oracles::factors_equivalent;
+/// use dbtf_tensor::BitMatrix;
+///
+/// let a = BitMatrix::from_rows(2, 2, &[&[0], &[1]]);
+/// let b = BitMatrix::from_rows(2, 2, &[&[1], &[0]]);
+/// let c = BitMatrix::from_rows(1, 2, &[&[0, 1]]);
+/// // Swapping both columns of every factor is the same factorization…
+/// let a2 = BitMatrix::from_rows(2, 2, &[&[1], &[0]]);
+/// let b2 = BitMatrix::from_rows(2, 2, &[&[0], &[1]]);
+/// assert!(factors_equivalent((&a, &b, &c), (&a2, &b2, &c)));
+/// // …but swapping only one factor's columns is not.
+/// assert!(!factors_equivalent((&a, &b, &c), (&a2, &b, &c)));
+/// ```
+pub fn factors_equivalent(
+    lhs: (&BitMatrix, &BitMatrix, &BitMatrix),
+    rhs: (&BitMatrix, &BitMatrix, &BitMatrix),
+) -> bool {
+    lhs.0.rows() == rhs.0.rows()
+        && lhs.1.rows() == rhs.1.rows()
+        && lhs.2.rows() == rhs.2.rows()
+        && lhs.0.cols() == rhs.0.cols()
+        && gauge_canonical(lhs.0, lhs.1, lhs.2) == gauge_canonical(rhs.0, rhs.1, rhs.2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtf_tensor::reconstruct::reconstruct;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_factors(dims: [usize; 3], rank: usize, seed: u64) -> [BitMatrix; 3] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        [
+            BitMatrix::random(dims[0], rank, 0.4, &mut rng),
+            BitMatrix::random(dims[1], rank, 0.4, &mut rng),
+            BitMatrix::random(dims[2], rank, 0.4, &mut rng),
+        ]
+    }
+
+    /// The naive reconstruction agrees with the optimized
+    /// `dbtf_tensor::reconstruct` (two independent implementations).
+    #[test]
+    fn cp_reconstruct_matches_optimized() {
+        for seed in 0..10 {
+            let [a, b, c] = random_factors([6, 5, 7], 3, seed);
+            assert_eq!(cp_reconstruct(&a, &b, &c), reconstruct(&a, &b, &c));
+        }
+    }
+
+    #[test]
+    fn cp_error_is_xor_count_of_reconstruction() {
+        for seed in 0..10 {
+            let [a, b, c] = random_factors([5, 6, 4], 3, seed);
+            let x = dbtf_datagen::uniform_random([5, 6, 4], 0.2, seed);
+            assert_eq!(
+                cp_error(&x, &a, &b, &c),
+                x.xor_count(&cp_reconstruct(&a, &b, &c)) as u64
+            );
+        }
+    }
+
+    /// CP is Tucker with a superdiagonal core.
+    #[test]
+    fn tucker_error_generalizes_cp() {
+        for seed in 0..6 {
+            let rank = 3;
+            let [a, b, c] = random_factors([5, 4, 6], rank, seed);
+            let x = dbtf_datagen::uniform_random([5, 4, 6], 0.25, seed ^ 1);
+            let diag: Vec<[u32; 3]> = (0..rank as u32).map(|r| [r, r, r]).collect();
+            let core = BoolTensor::from_entries([rank, rank, rank], diag);
+            assert_eq!(
+                tucker_error(&x, &core, &a, &b, &c),
+                cp_error(&x, &a, &b, &c)
+            );
+        }
+    }
+
+    #[test]
+    fn unfolding_oracle_accepts_production_unfolding() {
+        for seed in 0..6 {
+            let x = dbtf_datagen::uniform_random([7, 5, 6], 0.2, seed);
+            assert_eq!(check_unfolding(&x), Vec::<String>::new());
+        }
+    }
+
+    /// Gauge equivalence holds for every simultaneous column permutation
+    /// and is broken by flipping any single bit.
+    #[test]
+    fn gauge_equivalence_is_column_permutation_invariance() {
+        let [a, b, c] = random_factors([6, 5, 4], 3, 9);
+        let permute = |m: &BitMatrix, perm: &[usize]| {
+            let mut out = BitMatrix::zeros(m.rows(), m.cols());
+            for (to, &from) in perm.iter().enumerate() {
+                for r in 0..m.rows() {
+                    out.set(r, to, m.get(r, from));
+                }
+            }
+            out
+        };
+        for perm in [[0, 1, 2], [1, 2, 0], [2, 1, 0], [0, 2, 1]] {
+            let (pa, pb, pc) = (permute(&a, &perm), permute(&b, &perm), permute(&c, &perm));
+            assert!(
+                factors_equivalent((&a, &b, &c), (&pa, &pb, &pc)),
+                "{perm:?}"
+            );
+            // Equivalent factors reconstruct identically.
+            assert_eq!(cp_reconstruct(&pa, &pb, &pc), cp_reconstruct(&a, &b, &c));
+        }
+        let mut a2 = a.clone();
+        a2.set(0, 0, !a2.get(0, 0));
+        assert!(!factors_equivalent((&a, &b, &c), (&a2, &b, &c)));
+    }
+}

@@ -1,0 +1,31 @@
+//! Proof the differential harness has teeth: with the `mutation` feature
+//! on, `dbtf` compiles a deliberately seeded kernel bug (the row-mask
+//! patch in `WorkState::apply_column` skips row 0), and the sweep must
+//! catch it.
+//!
+//! Run via `cargo test -p dbtf-oracle --features mutation --test teeth`
+//! as a *separate* cargo invocation (feature unification would otherwise
+//! poison the normal test binaries with the buggy kernel). The
+//! `verify_sweep.sh --long` driver does exactly that.
+
+#![cfg(feature = "mutation")]
+
+use dbtf_oracle::{run_point, SamplePoint};
+
+#[test]
+fn seeded_kernel_bug_is_caught() {
+    let mut caught = 0;
+    let mut checked = 0;
+    for seed in 0..8 {
+        let report = run_point(&SamplePoint::from_seed(seed));
+        checked += 1;
+        if !report.passed() {
+            caught += 1;
+        }
+    }
+    assert!(
+        caught >= checked / 2,
+        "harness has no teeth: seeded row-0 kernel bug caught on only \
+         {caught}/{checked} points"
+    );
+}

@@ -202,6 +202,33 @@ impl BoolTensor {
         self.entries[lo..hi].iter().map(|e| e[2]).collect()
     }
 
+    /// Permutes the modes: the result `Y` has `y_{e[perm[0]], e[perm[1]],
+    /// e[perm[2]]} = x_e`, i.e. mode `m` of `Y` is mode `perm[m]` of `X`.
+    ///
+    /// Mode permutations are the gauge freedom of the tensor layout: a CP
+    /// factorization `(A, B, C)` of `X` turns into one of
+    /// `X.permute_modes(perm)` by permuting the factor matrices the same
+    /// way, and `|X ⊖ X̂|` is invariant — the metamorphic relation the
+    /// verification oracles check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `[0, 1, 2]`.
+    pub fn permute_modes(&self, perm: [usize; 3]) -> BoolTensor {
+        let mut seen = [false; 3];
+        for &m in &perm {
+            assert!(m < 3 && !seen[m], "{perm:?} is not a mode permutation");
+            seen[m] = true;
+        }
+        let dims = [self.dims[perm[0]], self.dims[perm[1]], self.dims[perm[2]]];
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| [e[perm[0]], e[perm[1]], e[perm[2]]])
+            .collect();
+        BoolTensor::from_entries(dims, entries)
+    }
+
     /// The number of ones whose coordinates fall inside the given index
     /// ranges (a subtensor popcount, used by Walk'n'Merge's density checks).
     pub fn count_in_box(
@@ -398,6 +425,27 @@ mod tests {
         assert_eq!(t.slice_mode1(0), &[[0, 0, 0], [0, 1, 2]]);
         assert_eq!(t.slice_mode1(1), &[[1, 2, 3]]);
         assert!(BoolTensor::empty([2, 2, 2]).slice_mode1(0).is_empty());
+    }
+
+    #[test]
+    fn permute_modes_relabels_coordinates() {
+        let t = small();
+        let p = t.permute_modes([2, 0, 1]); // y_{k,i,j} = x_{i,j,k}
+        assert_eq!(p.dims(), [4, 2, 3]);
+        assert_eq!(p.nnz(), t.nnz());
+        for [i, j, k] in t.iter() {
+            assert!(p.contains(k, i, j));
+        }
+        // Identity permutation is a no-op; applying a permutation and its
+        // inverse round-trips.
+        assert_eq!(t.permute_modes([0, 1, 2]), t);
+        assert_eq!(p.permute_modes([1, 2, 0]), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a mode permutation")]
+    fn permute_modes_rejects_non_permutation() {
+        small().permute_modes([0, 0, 2]);
     }
 
     #[test]

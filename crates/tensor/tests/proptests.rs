@@ -185,6 +185,68 @@ proptest! {
         }
     }
 
+    /// De Morgan duals on bit-packed vectors: ¬(a ∨ b) = ¬a ∧ ¬b and
+    /// ¬(a ∧ b) = ¬a ∨ ¬b, with complement taken as XOR against the
+    /// all-ones vector (which must also respect the trailing-bit
+    /// invariant past `len`).
+    #[test]
+    fn de_morgan_duals(
+        len in 1usize..200,
+        a_ones in proptest::collection::vec(0usize..200, 0..40),
+        b_ones in proptest::collection::vec(0usize..200, 0..40),
+    ) {
+        let not = |v: &BitVec| {
+            let mut c = BitVec::ones(v.len());
+            c.xor_assign(v);
+            c
+        };
+        let a = BitVec::from_indices(len, &a_ones.iter().copied().filter(|&i| i < len).collect::<Vec<_>>());
+        let b = BitVec::from_indices(len, &b_ones.iter().copied().filter(|&i| i < len).collect::<Vec<_>>());
+        prop_assert_eq!(not(&a.or(&b)), not(&a).and(&not(&b)));
+        prop_assert_eq!(not(&a.and(&b)), not(&a).or(&not(&b)));
+        // Complement is an involution and |v| + |¬v| = len.
+        prop_assert_eq!(not(&not(&a)), a.clone());
+        prop_assert_eq!(a.count_ones() + not(&a).count_ones(), len);
+    }
+
+    /// The word-level popcount intersection (`and_count`) equals the
+    /// naive per-index intersection — on vectors, matrices and tensors.
+    #[test]
+    fn popcount_and_matches_naive_intersection(
+        len in 1usize..200,
+        a_ones in proptest::collection::vec(0usize..200, 0..50),
+        b_ones in proptest::collection::vec(0usize..200, 0..50),
+        t in tensor_strategy(8, 40),
+    ) {
+        let a = BitVec::from_indices(len, &a_ones.iter().copied().filter(|&i| i < len).collect::<Vec<_>>());
+        let b = BitVec::from_indices(len, &b_ones.iter().copied().filter(|&i| i < len).collect::<Vec<_>>());
+        let naive = (0..len).filter(|&i| a.get(i) && b.get(i)).count();
+        prop_assert_eq!(a.and_count(&b), naive);
+        prop_assert_eq!(a.and(&b).count_ones(), naive);
+
+        // Tensor counterpart, against a set intersection of entry lists.
+        let u_entries: Vec<[u32;3]> = t.iter().step_by(2).collect();
+        let u = BoolTensor::from_entries(t.dims(), u_entries);
+        let t_set: std::collections::HashSet<[u32;3]> = t.iter().collect();
+        let naive_t = u.iter().filter(|e| t_set.contains(e)).count();
+        prop_assert_eq!(t.and_count(&u), naive_t);
+    }
+
+    /// Mode permutation is a bijection on cells: nnz is preserved, the
+    /// inverse permutation undoes it, and composition matches.
+    #[test]
+    fn permute_modes_is_a_bijection(t in tensor_strategy(8, 50)) {
+        for perm in [[0usize,1,2],[0,2,1],[1,0,2],[1,2,0],[2,0,1],[2,1,0]] {
+            let p = t.permute_modes(perm);
+            prop_assert_eq!(p.nnz(), t.nnz());
+            let mut inverse = [0usize; 3];
+            for (m, &src) in perm.iter().enumerate() {
+                inverse[src] = m;
+            }
+            prop_assert_eq!(p.permute_modes(inverse), t.clone());
+        }
+    }
+
     /// BitVec slice/extract_word agree with per-bit reads.
     #[test]
     fn bitvec_slicing(

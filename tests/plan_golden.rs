@@ -263,6 +263,70 @@ fn tucker_matches_golden_and_backends_agree() {
     assert!(ct.ops.iter().any(|op| op.label == "tucker.update.sweep"));
 }
 
+/// The Tucker driver's plan trace (and its bit-exact outputs) must be
+/// invariant across compute-thread counts and fault plans on the cluster
+/// backend — the same contract `cp_*_invariant` pins for the CP driver.
+#[test]
+fn tucker_trace_invariant_across_threads_and_faults() {
+    let xt = uniform_random([12, 10, 8], 0.2, 11);
+    let tcfg = TuckerConfig {
+        ranks: [3, 3, 3],
+        max_iters: 3,
+        initial_sets: 1,
+        seed: 5,
+        ..TuckerConfig::default()
+    };
+    let run = |compute_threads: Option<usize>, plan: Option<FaultPlan>| {
+        let expect_respawns = plan.as_ref().is_some_and(|p| !p.worker_crashes.is_empty());
+        let expect_retries = plan.as_ref().is_some_and(|p| p.task_failure_rate > 0.0);
+        let cluster = Cluster::new(ClusterConfig {
+            workers: 2,
+            cores_per_worker: 2,
+            compute_threads,
+            fault_plan: plan,
+            ..ClusterConfig::default()
+        });
+        let (result, trace) = tucker_factorize_distributed_traced(&cluster, &xt, &tcfg).unwrap();
+        let m = cluster.metrics();
+        if expect_respawns {
+            assert!(m.worker_respawns > 0, "the injected crash must fire");
+        } else {
+            assert_eq!(m.worker_respawns, 0);
+        }
+        if expect_retries {
+            assert!(m.task_retries > 0, "the transient failures must fire");
+        }
+        (result, trace)
+    };
+
+    let (base_result, base_trace) = run(None, None);
+    assert_eq!(base_result.error, TUCKER_ERROR);
+    let crashy = FaultPlan {
+        worker_crashes: vec![(4, 1)],
+        ..FaultPlan::with_seed(99)
+    };
+    let flaky = FaultPlan {
+        task_failure_rate: 0.1,
+        max_task_attempts: 16,
+        ..FaultPlan::with_seed(3)
+    };
+    for (threads, plan, what) in [
+        (Some(1), None, "serial"),
+        (Some(3), None, "3 threads"),
+        (None, Some(crashy), "worker crash"),
+        (Some(1), Some(flaky), "serial + transient task failures"),
+    ] {
+        let (result, trace) = run(threads, plan);
+        assert_eq!(result.factorization, base_result.factorization, "{what}");
+        assert_eq!(result.error, base_result.error, "{what}");
+        assert_eq!(
+            result.iteration_errors, base_result.iteration_errors,
+            "{what}"
+        );
+        assert_eq!(trace.fingerprint(), base_trace.fingerprint(), "{what}");
+    }
+}
+
 /// A checkpointed run records `Checkpoint` operators in its plan.
 #[test]
 fn checkpoint_writes_appear_in_the_trace() {

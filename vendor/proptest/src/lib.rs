@@ -8,8 +8,11 @@
 //!
 //! Differences from real proptest, deliberately accepted:
 //!
-//! - **No shrinking.** A failing case reports its index and message; rerun
-//!   with the same build to reproduce (generation is fully deterministic).
+//! - **Greedy shrinking.** Integer ranges, `vec`, `bool`, and tuples of
+//!   those shrink a failing case toward the smallest still-failing input
+//!   ([`strategy::Strategy::shrink`]); combinators that lose the original
+//!   input (`prop_map`, `prop_flat_map`) do not shrink through. Real
+//!   proptest shrinks every strategy via its value tree.
 //! - **Deterministic seeds.** Case `i` of every test draws from an RNG
 //!   seeded by a fixed function of `i`, so CI runs are reproducible.
 
@@ -80,6 +83,15 @@ pub mod strategy {
         /// Draws one value.
         fn sample(&self, rng: &mut StdRng) -> Self::Value;
 
+        /// Proposes strictly-simpler variants of a failing `value`, most
+        /// aggressive first. The default is no shrinking; integer ranges,
+        /// `vec`, `bool` and tuples override it. Every candidate must be a
+        /// value this strategy could have generated.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
+
         /// Transforms generated values with `f`.
         fn prop_map<F, T>(self, f: F) -> Map<Self, F>
         where
@@ -120,6 +132,9 @@ pub mod strategy {
         type Value = T;
         fn sample(&self, rng: &mut StdRng) -> T {
             self.inner.sample(rng)
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            self.inner.shrink(value)
         }
     }
 
@@ -166,44 +181,106 @@ pub mod strategy {
         }
     }
 
+    /// Types a range strategy knows how to shrink toward its lower bound.
+    ///
+    /// Integers shrink along a binary ladder (`lo`, then `v − (v−lo)/2`,
+    /// `v − (v−lo)/4`, …, `v − 1`); floats do not shrink (a float range is
+    /// used for ratios where "smaller" is not simpler).
+    pub trait SampleShrink: Sized {
+        /// Candidates strictly between `lo` (inclusive) and `v`
+        /// (exclusive), simplest first. Empty when `v` is already minimal.
+        fn shrink_from(lo: &Self, v: &Self) -> Vec<Self> {
+            let _ = (lo, v);
+            Vec::new()
+        }
+    }
+
+    macro_rules! impl_sample_shrink_int {
+        ($($t:ty),+) => {$(
+            impl SampleShrink for $t {
+                fn shrink_from(lo: &Self, v: &Self) -> Vec<Self> {
+                    let (lo, v) = (*lo, *v);
+                    if v <= lo {
+                        return Vec::new();
+                    }
+                    let mut out = vec![lo];
+                    let mut delta = (v - lo) / 2;
+                    while delta > 0 {
+                        let cand = v - delta;
+                        if out.last() != Some(&cand) {
+                            out.push(cand);
+                        }
+                        delta /= 2;
+                    }
+                    out
+                }
+            }
+        )+};
+    }
+    impl_sample_shrink_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+    impl SampleShrink for f32 {}
+    impl SampleShrink for f64 {}
+
     impl<T> Strategy for Range<T>
     where
         Range<T>: rand::SampleRange<T> + Clone,
+        T: SampleShrink,
     {
         type Value = T;
         fn sample(&self, rng: &mut StdRng) -> T {
             rand::SampleRange::sample_from(self.clone(), rng)
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            T::shrink_from(&self.start, value)
         }
     }
 
     impl<T> Strategy for RangeInclusive<T>
     where
         RangeInclusive<T>: rand::SampleRange<T> + Clone,
+        T: SampleShrink,
     {
         type Value = T;
         fn sample(&self, rng: &mut StdRng) -> T {
             rand::SampleRange::sample_from(self.clone(), rng)
         }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            T::shrink_from(self.start(), value)
+        }
     }
 
     macro_rules! impl_tuple_strategy {
-        ($($name:ident),+) => {
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        ($($idx:tt $name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone,)+
+            {
                 type Value = ($($name::Value,)+);
                 fn sample(&self, rng: &mut StdRng) -> Self::Value {
-                    #[allow(non_snake_case)]
-                    let ($($name,)+) = self;
-                    ($($name.sample(rng),)+)
+                    ($(self.$idx.sample(rng),)+)
+                }
+                // Component-wise: shrink one coordinate, keep the others.
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
                 }
             }
         };
     }
-    impl_tuple_strategy!(A);
-    impl_tuple_strategy!(A, B);
-    impl_tuple_strategy!(A, B, C);
-    impl_tuple_strategy!(A, B, C, D);
-    impl_tuple_strategy!(A, B, C, D, E);
-    impl_tuple_strategy!(A, B, C, D, E, G);
+    impl_tuple_strategy!(0 A);
+    impl_tuple_strategy!(0 A, 1 B);
+    impl_tuple_strategy!(0 A, 1 B, 2 C);
+    impl_tuple_strategy!(0 A, 1 B, 2 C, 3 D);
+    impl_tuple_strategy!(0 A, 1 B, 2 C, 3 D, 4 E);
+    impl_tuple_strategy!(0 A, 1 B, 2 C, 3 D, 4 E, 5 G);
 
     /// Strategy for [`any`](crate::arbitrary::any).
     pub struct AnyStrategy<T> {
@@ -288,11 +365,42 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
             let len = rng.gen_range(self.size.lo..=self.size.hi);
             (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+        // Shorter vectors first (halving, then dropping single elements),
+        // then element-wise shrinks — all respecting the size floor.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let len = value.len();
+            let mut out = Vec::new();
+            if len > self.size.lo {
+                let half = (len / 2).max(self.size.lo);
+                if half < len {
+                    out.push(value[..half].to_vec());
+                }
+                if len - 1 > half {
+                    out.push(value[..len - 1].to_vec());
+                }
+                for i in 0..len.min(4) {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+            for (i, elem) in value.iter().enumerate() {
+                for cand in self.element.shrink(elem) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 }
@@ -315,6 +423,13 @@ pub mod bool {
         fn sample(&self, rng: &mut StdRng) -> bool {
             rand::Rng::gen(rng)
         }
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
     }
 }
 
@@ -333,10 +448,47 @@ pub fn __case_rng(case: u32) -> StdRng {
     test_runner::case_rng(case)
 }
 
+/// Hook for internal use by [`proptest!`]: ties a test-body closure's
+/// argument type to the strategy's value type, so the closure can be
+/// defined before the first sampled value exists.
+pub fn __runner<S, F>(_strat: &S, f: F) -> F
+where
+    S: strategy::Strategy,
+    F: Fn(&S::Value) -> Result<(), test_runner::TestCaseError>,
+{
+    f
+}
+
+/// Hook for internal use by [`proptest!`]: greedily minimizes a failing
+/// value. Repeatedly replaces the value with its first still-failing
+/// shrink candidate until no candidate fails (or a step cap, guarding
+/// against pathological shrink cycles). Returns the minimized value and
+/// the number of successful shrink steps.
+pub fn __shrink_failure<S, F>(strat: &S, mut value: S::Value, run: &F) -> (S::Value, usize)
+where
+    S: strategy::Strategy,
+    F: Fn(&S::Value) -> Result<(), test_runner::TestCaseError>,
+{
+    let mut steps = 0usize;
+    while steps < 512 {
+        let Some(next) = strat
+            .shrink(&value)
+            .into_iter()
+            .find(|cand| run(cand).is_err())
+        else {
+            break;
+        };
+        value = next;
+        steps += 1;
+    }
+    (value, steps)
+}
+
 /// Declares property tests: each `fn name(pat in strategy, ...) { body }`
-/// runs `body` over generated inputs. As in this workspace's usage of real
-/// proptest, the `#[test]` attribute is written explicitly on each function
-/// and passed through (the macro does not add one).
+/// runs `body` over generated inputs; a failing input is greedily shrunk
+/// before reporting (see [`__shrink_failure`]). As in this workspace's
+/// usage of real proptest, the `#[test]` attribute is written explicitly
+/// on each function and passed through (the macro does not add one).
 #[macro_export]
 macro_rules! proptest {
     (
@@ -356,18 +508,28 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $config;
+                let __strat = ($($strat,)+);
+                let __run = $crate::__runner(&__strat, |__value| {
+                    #[allow(unused_parens)]
+                    let ($($pat,)+) = ::std::clone::Clone::clone(__value);
+                    $body
+                    ::std::result::Result::Ok(())
+                });
                 for __case in 0..config.cases {
                     let mut __rng = $crate::test_runner::case_rng(__case);
-                    $(
-                        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
-                    )+
-                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (|| {
-                            $body
-                            ::std::result::Result::Ok(())
-                        })();
-                    if let ::std::result::Result::Err(err) = __outcome {
-                        panic!("proptest case {} failed: {}", __case, err);
+                    let __value =
+                        $crate::strategy::Strategy::sample(&__strat, &mut __rng);
+                    if let ::std::result::Result::Err(__err) = __run(&__value) {
+                        let (__min, __steps) =
+                            $crate::__shrink_failure(&__strat, __value, &__run);
+                        let __msg = match __run(&__min) {
+                            ::std::result::Result::Err(e) => e,
+                            ::std::result::Result::Ok(()) => __err,
+                        };
+                        panic!(
+                            "proptest case {} failed after {} shrink step(s): {}",
+                            __case, __steps, __msg
+                        );
                     }
                 }
             }
@@ -431,6 +593,7 @@ macro_rules! prop_assert_ne {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use crate::test_runner::TestCaseError;
 
     fn pair() -> impl Strategy<Value = (usize, usize)> {
         (1..=8usize).prop_flat_map(|n| (Just(n), 0..n))
@@ -470,5 +633,75 @@ mod tests {
             }
         }
         inner();
+    }
+
+    /// An integer failure minimizes to the boundary of the failing set.
+    #[test]
+    fn shrink_finds_minimal_integer() {
+        let strat = (0usize..10_000,);
+        let run = |v: &(usize,)| -> Result<(), TestCaseError> {
+            if v.0 >= 37 {
+                Err(TestCaseError::fail(format!("{} too big", v.0)))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, steps) = crate::__shrink_failure(&strat, (9_999,), &run);
+        assert_eq!(min.0, 37, "after {steps} steps");
+        assert!(steps > 0);
+    }
+
+    /// A vec failure drops passing elements and shrinks the failing one.
+    #[test]
+    fn shrink_minimizes_vec() {
+        let strat = (crate::collection::vec(0u32..1_000, 0..=20),);
+        let run = |v: &(Vec<u32>,)| -> Result<(), TestCaseError> {
+            if v.0.iter().any(|&x| x >= 500) {
+                Err(TestCaseError::fail("contains a big element"))
+            } else {
+                Ok(())
+            }
+        };
+        let start = vec![3, 900, 14, 700, 2];
+        let (min, _) = crate::__shrink_failure(&strat, (start,), &run);
+        assert_eq!(min.0, vec![500], "minimal witness is one boundary element");
+    }
+
+    /// Tuple shrinking works coordinate-wise and respects range floors.
+    #[test]
+    fn shrink_is_coordinate_wise_and_in_range() {
+        let strat = (5usize..100, 1usize..50);
+        let run = |v: &(usize, usize)| -> Result<(), TestCaseError> {
+            if v.0 + v.1 >= 20 {
+                Err(TestCaseError::fail("sum too big"))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, _) = crate::__shrink_failure(&strat, (80, 40), &run);
+        assert!(min.0 >= 5 && min.1 >= 1, "stayed in range: {min:?}");
+        assert_eq!(min.0 + min.1, 20, "on the failing boundary: {min:?}");
+        assert!(run(&min).is_err());
+    }
+
+    /// The macro path reports the shrunk case, not the original.
+    #[test]
+    #[should_panic(expected = "x=50")]
+    fn macro_reports_minimized_case() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn inner(x in 0usize..1_000_000) {
+                prop_assert!(x < 50, "x={x}");
+            }
+        }
+        inner();
+    }
+
+    /// Booleans shrink toward `false`.
+    #[test]
+    fn bool_shrinks_to_false() {
+        use crate::strategy::Strategy;
+        assert_eq!(crate::bool::ANY.shrink(&true), vec![false]);
+        assert!(crate::bool::ANY.shrink(&false).is_empty());
     }
 }
