@@ -148,9 +148,41 @@ fn bench_superstep(c: &mut Criterion) {
     }
 }
 
+/// End-to-end factor updates through the engine, with and without a
+/// (disabled) tracer threaded through. Telemetry's disabled path is one
+/// branch per kernel charge, so these two must be within noise of each
+/// other — CI's trace smoke job compares them to assert the
+/// zero-overhead-when-disabled contract.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let x = dbtf_datagen::uniform_random([48, 48, 48], 0.05, 11);
+    let config = dbtf::DbtfConfig {
+        rank: 4,
+        max_iters: 2,
+        initial_sets: 1,
+        seed: 9,
+        ..dbtf::DbtfConfig::default()
+    };
+    c.bench_function("update/factorize_local_plain", |bench| {
+        bench.iter(|| {
+            let backend = dbtf_cluster::LocalBackend::new(4, 2);
+            black_box(dbtf::factorize(&backend, &x, &config).expect("factorize"))
+        })
+    });
+    c.bench_function("update/factorize_local_telemetry_disabled", |bench| {
+        bench.iter(|| {
+            let backend = dbtf_cluster::LocalBackend::new(4, 2);
+            let tracer = dbtf_telemetry::Tracer::disabled();
+            black_box(
+                dbtf::factorize_instrumented(&backend, &x, &config, &tracer).expect("factorize"),
+            )
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_column_errors, bench_partition_error, bench_apply_column, bench_superstep
+    targets = bench_column_errors, bench_partition_error, bench_apply_column, bench_superstep,
+        bench_telemetry_overhead
 }
 criterion_main!(benches);

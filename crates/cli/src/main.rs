@@ -8,15 +8,16 @@
 //!                  [--checkpoint FILE] [--checkpoint-every K] [--resume]
 //!                  [--fault-crash S:W,…] [--fault-task-failure-rate F]
 //!                  [--fault-slow-rate F] [--fault-slow-factor M]
-//!                  [--fault-seed N] [--no-speculation]
+//!                  [--fault-seed N] [--no-speculation] [--trace-out FILE]
 //! dbtf tucker      --input X.txt --ranks 4,4,4 [--iters 10] [--sets 1]
-//!                  [--seed 0] [--output PREFIX]
+//!                  [--seed 0] [--output PREFIX] [--trace-out FILE]
 //! dbtf select-rank --input X.txt --candidates 2,4,6,8 [--sets 4]
 //! dbtf generate random  --dims I,J,K --density D --output X.txt
 //! dbtf generate planted --dims I,J,K --rank R --factor-density D
 //!                  [--additive A] [--destructive Dn] --output X.txt
 //! dbtf generate proxy   --name Facebook --scale 0.01 --output X.txt
 //! dbtf stats       --input X.txt
+//! dbtf stats       --trace TRACE.json
 //! ```
 //!
 //! Tensor files use the text format (`i j k` per line, `# dims` header) or
@@ -31,10 +32,12 @@ use std::process::ExitCode;
 use args::{ArgError, ParsedArgs};
 use dbtf::model_selection::select_rank;
 use dbtf::tucker::{tucker_factorize, TuckerConfig};
-use dbtf::{factorize, BackendKind, DbtfConfig};
+use dbtf::tucker_distributed::tucker_factorize_distributed_instrumented;
+use dbtf::{factorize_instrumented, BackendKind, DbtfConfig};
 use dbtf_cluster::{Cluster, ClusterConfig, FaultPlan, LocalBackend};
 use dbtf_datagen::proxies::{generate_proxy, proxy_specs};
 use dbtf_datagen::{uniform_random, NoiseSpec, PlantedConfig, PlantedTensor};
+use dbtf_telemetry::{validate_chrome_trace, write_chrome_trace, Tracer};
 use dbtf_tensor::{io as tio, matrix_io, BoolTensor};
 
 const USAGE: &str = "usage: dbtf <factorize|tucker|select-rank|generate|stats> [options]
@@ -46,8 +49,16 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("dbtf: {e}");
-            eprintln!("{USAGE}");
-            ExitCode::from(2)
+            // The usage banner only helps when the command line itself was
+            // wrong. Runtime failures (I/O, algorithm errors) keep their
+            // message and get a distinct exit code so scripts can tell the
+            // two apart: 2 = bad invocation, 1 = the run itself failed.
+            if e.is::<ArgError>() {
+                eprintln!("{USAGE}");
+                ExitCode::from(2)
+            } else {
+                ExitCode::FAILURE
+            }
         }
     }
 }
@@ -102,8 +113,17 @@ factorize: --rank R [--workers 16] [--iters 10] [--sets 1]
            [--fault-slow-factor M]        slowdown multiplier (default 4)
            [--fault-seed N]               fault-decision seed (default 0)
            [--no-speculation]             disable speculative re-execution
+  tracing:
+           [--trace-out FILE]  record a span trace (driver phases, operator
+                 supersteps, per-task and per-kernel spans on the virtual
+                 clock) and write it as Chrome trace-event JSON — open in
+                 chrome://tracing or Perfetto, or summarize with
+                 `dbtf stats --trace FILE`
 tucker:    --ranks R1,R2,R3 [--iters 10] [--sets 1] [--workers M]\n           [--output PREFIX]   (--workers runs the distributed driver)
 select-rank: --candidates R1,R2,… [--sets 4]
+stats:     --input X.txt | --trace TRACE.json
+                 (--trace validates the trace file and prints a
+                 per-superstep/operator time breakdown)
 generate random:  --dims I,J,K --density D --output FILE
 generate planted: --dims I,J,K --rank R --factor-density D
                   [--additive A] [--destructive D] --output FILE
@@ -156,7 +176,11 @@ fn cmd_factorize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> 
         rank: parsed.require("rank")?,
         max_iters: parsed.get("iters", 10)?,
         initial_sets: parsed.get("sets", 1)?,
-        partitions: parsed.get_str("partitions").map(str::parse).transpose()?,
+        partitions: parsed
+            .get_str("partitions")
+            .map(str::parse)
+            .transpose()
+            .map_err(|_| ArgError("invalid value for --partitions".into()))?,
         cache_group_limit: parsed.get("v", 15)?,
         seed: parsed.get("seed", 0)?,
         checkpoint_every: checkpoint_path
@@ -167,6 +191,12 @@ fn cmd_factorize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> 
         resume: parsed.has_flag("resume"),
         backend: parsed.get("backend", BackendKind::default())?,
         ..DbtfConfig::default()
+    };
+    let trace_out = parsed.get_str("trace-out");
+    let tracer = if trace_out.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
     };
     let fault_plan = parse_fault_plan(parsed)?;
     let cluster_config = ClusterConfig {
@@ -181,7 +211,7 @@ fn cmd_factorize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> 
     let (result, recovery) = match config.backend {
         BackendKind::Cluster => {
             let cluster = Cluster::new(cluster_config);
-            let result = factorize(&cluster, &x, &config)?;
+            let result = factorize_instrumented(&cluster, &x, &config, &tracer)?.0;
             let recovery = fault_plan.is_some().then(|| cluster.metrics());
             (result, recovery)
         }
@@ -194,9 +224,16 @@ fn cmd_factorize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> 
                 )));
             }
             let backend = LocalBackend::from_cluster_config(&cluster_config);
-            (factorize(&backend, &x, &config)?, None)
+            (
+                factorize_instrumented(&backend, &x, &config, &tracer)?.0,
+                None,
+            )
         }
     };
+    if let Some(path) = trace_out {
+        write_trace(&tracer, path)?;
+        println!("wrote {path}");
+    }
     println!(
         "factorized {:?} at rank {}: |X ⊕ X̃| = {} ({:.2}% of |X|), {} iterations{}",
         x,
@@ -286,6 +323,12 @@ fn cmd_tucker(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
         seed: parsed.get("seed", 0)?,
         ..TuckerConfig::default()
     };
+    let trace_out = parsed.get_str("trace-out");
+    let tracer = if trace_out.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
     // With --workers, run the distributed driver (identical results);
     // --backend local runs the same plan without the network model.
     let result = match parsed.get_str("workers") {
@@ -299,16 +342,27 @@ fn cmd_tucker(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
             match parsed.get("backend", BackendKind::default())? {
                 BackendKind::Cluster => {
                     let cluster = Cluster::new(cluster_config);
-                    dbtf::tucker_distributed::tucker_factorize_distributed(&cluster, &x, &config)?
+                    tucker_factorize_distributed_instrumented(&cluster, &x, &config, &tracer)?.0
                 }
                 BackendKind::Local => {
                     let backend = LocalBackend::from_cluster_config(&cluster_config);
-                    dbtf::tucker_distributed::tucker_factorize_distributed(&backend, &x, &config)?
+                    tucker_factorize_distributed_instrumented(&backend, &x, &config, &tracer)?.0
                 }
             }
         }
-        None => tucker_factorize(&x, &config)?,
+        None => {
+            if trace_out.is_some() {
+                return Err(Box::new(ArgError(
+                    "--trace-out needs the distributed driver; add --workers N".into(),
+                )));
+            }
+            tucker_factorize(&x, &config)?
+        }
     };
+    if let Some(path) = trace_out {
+        write_trace(&tracer, path)?;
+        println!("wrote {path}");
+    }
     println!(
         "tucker-factorized {:?} with core {:?}: |X ⊕ X̃| = {} ({:.2}% of |X|), \
          {} core entries, {} iterations",
@@ -411,6 +465,9 @@ fn cmd_generate(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_stats(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(path) = parsed.get_str("trace") {
+        return trace_stats(path);
+    }
     let x = load_tensor(parsed)?;
     let [i, j, k] = x.dims();
     println!("shape:    {i} × {j} × {k}");
@@ -426,6 +483,43 @@ fn cmd_stats(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
             x.dims()[m],
             100.0 * distinct.len() as f64 / x.dims()[m].max(1) as f64
         );
+    }
+    Ok(())
+}
+
+/// Serializes the tracer's finished log as Chrome trace-event JSON.
+fn write_trace(tracer: &Tracer, path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let log = tracer.finish();
+    let mut buf = Vec::new();
+    write_chrome_trace(&log, &mut buf)?;
+    std::fs::write(path, buf)?;
+    Ok(())
+}
+
+/// `dbtf stats --trace FILE`: validates the trace-event JSON and prints a
+/// per-superstep/operator breakdown of virtual time.
+fn trace_stats(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let summary =
+        validate_chrome_trace(&text).map_err(|e| format!("invalid trace {path:?}: {e}"))?;
+    println!(
+        "trace:    {} complete events, {} counters",
+        summary.complete_events, summary.counter_events
+    );
+    for (cat, count, dur_us) in &summary.categories {
+        println!(
+            "  {:<12} {:>6} spans {:>14.3} virtual ms",
+            cat,
+            count,
+            dur_us / 1e3
+        );
+    }
+    if !summary.breakdown.is_empty() {
+        println!("per-superstep/operator breakdown:");
+        println!("  {:<28} {:>6} {:>16}", "operator", "count", "virtual ms");
+        for (name, count, dur_us) in &summary.breakdown {
+            println!("  {:<28} {:>6} {:>16.3}", name, count, dur_us / 1e3);
+        }
     }
     Ok(())
 }

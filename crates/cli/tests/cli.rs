@@ -190,3 +190,98 @@ fn bad_proxy_name_lists_options() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("Facebook"));
 }
+
+#[test]
+fn usage_and_runtime_errors_use_distinct_exit_codes() {
+    // Bad invocation: usage banner + exit 2.
+    let out = dbtf(&["factorize", "--rank", "3"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    // Runtime failure (input file does not exist): message only + exit 1.
+    let out = dbtf(&[
+        "factorize",
+        "--input",
+        "/nonexistent/never/x.txt",
+        "--rank",
+        "3",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.starts_with("dbtf: "), "{stderr}");
+    assert!(
+        !stderr.contains("usage:"),
+        "runtime errors must not print the usage banner: {stderr}"
+    );
+}
+
+#[test]
+fn trace_out_roundtrips_through_stats() {
+    let dir = tempdir("trace");
+    let x = dir.join("x.txt");
+    assert!(dbtf(&[
+        "generate",
+        "random",
+        "--dims",
+        "16,16,16",
+        "--density",
+        "0.1",
+        "--seed",
+        "3",
+        "--output",
+        x.to_str().unwrap(),
+    ])
+    .status
+    .success());
+
+    let trace = dir.join("trace.json");
+    let out = dbtf(&[
+        "factorize",
+        "--input",
+        x.to_str().unwrap(),
+        "--rank",
+        "3",
+        "--iters",
+        "2",
+        "--workers",
+        "2",
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = dbtf(&["stats", "--trace", trace.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("complete events"), "{text}");
+    assert!(text.contains("cp.update.sweep"), "{text}");
+
+    // A non-trace file fails validation with exit 1 (runtime error).
+    let out = dbtf(&["stats", "--trace", x.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid trace"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tucker_trace_out_needs_workers() {
+    let out = dbtf(&[
+        "tucker",
+        "--input",
+        "/dev/null",
+        "--ranks",
+        "2,2,2",
+        "--trace-out",
+        "/dev/null",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--workers"));
+}

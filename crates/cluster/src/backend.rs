@@ -10,6 +10,25 @@ use crate::metrics::MetricsSnapshot;
 use crate::storage::{Broadcast, DistVec};
 use crate::task::TaskContext;
 use crate::Cluster;
+use dbtf_telemetry::KernelEvent;
+
+/// The observational record of one partition task, shipped to the span
+/// layer when task-event capture is on. Always sorted by `partition` when
+/// returned from [`ExecutionBackend::take_task_events`] — the same merge
+/// discipline that keeps result order deterministic keeps traces
+/// deterministic under any `compute_threads` setting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskEvents {
+    /// Global partition index.
+    pub partition: usize,
+    /// Worker machine that ran the task.
+    pub worker: usize,
+    /// Total abstract ops the task charged.
+    pub ops: u64,
+    /// Per-kernel breakdown (only kernels charged through
+    /// `TaskContext::charge_kernel`).
+    pub kernels: Vec<KernelEvent>,
+}
 
 /// A physical execution engine for dataflow plans.
 ///
@@ -69,6 +88,18 @@ pub trait ExecutionBackend {
 
     /// Number of partitions in `data`.
     fn dataset_partitions<P: Send + 'static>(&self, data: &Self::Dataset<P>) -> usize;
+
+    /// Enables/disables per-task event capture (tracing). Off by default;
+    /// purely observational — metering is bit-identical either way.
+    fn set_task_event_capture(&self, on: bool);
+
+    /// Drains the task events recorded by the most recent superstep,
+    /// sorted by partition index (empty when capture is off).
+    fn take_task_events(&self) -> Vec<crate::TaskEvents>;
+
+    /// Ops-per-virtual-second of one core on `worker` — the rate the span
+    /// layer uses to convert a task's ops into a virtual duration.
+    fn core_throughput(&self, worker: usize) -> f64;
 }
 
 impl ExecutionBackend for Cluster {
@@ -128,5 +159,20 @@ impl ExecutionBackend for Cluster {
 
     fn dataset_partitions<P: Send + 'static>(&self, data: &DistVec<P>) -> usize {
         data.num_partitions()
+    }
+
+    fn set_task_event_capture(&self, on: bool) {
+        self.inner
+            .capture_task_events
+            .store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    fn take_task_events(&self) -> Vec<crate::TaskEvents> {
+        std::mem::take(&mut *self.inner.task_events.lock())
+    }
+
+    fn core_throughput(&self, worker: usize) -> f64 {
+        let _ = worker; // homogeneous cluster: every core runs at the same rate
+        self.config().core_throughput_ops_per_sec
     }
 }

@@ -128,27 +128,22 @@ impl ClusterConfig {
     /// `DBTF_COMPUTE_THREADS` environment variable, else
     /// [`ClusterConfig::cores_per_worker`].
     ///
-    /// A malformed `DBTF_COMPUTE_THREADS` value is ignored with a one-time
-    /// warning on stderr naming the bad value and the fallback used.
+    /// A malformed `DBTF_COMPUTE_THREADS` value is ignored, and a value of
+    /// `0` (from either source) is clamped to one thread; both emit a
+    /// one-time warning through the telemetry log layer naming the bad
+    /// value and the resolution used — a worker never gets a zero-thread
+    /// pool and never fails to boot over an env var.
     pub fn resolved_compute_threads(&self) -> usize {
-        if let Some(n) = self.compute_threads {
-            return n.max(1);
+        let (threads, warning) = resolve_compute_threads(
+            self.compute_threads,
+            std::env::var("DBTF_COMPUTE_THREADS").ok().as_deref(),
+            self.cores_per_worker,
+        );
+        if let Some(msg) = warning {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| dbtf_telemetry::log::warn(msg));
         }
-        match resolve_env_compute_threads(std::env::var("DBTF_COMPUTE_THREADS").ok().as_deref()) {
-            Ok(Some(n)) => n,
-            Ok(None) => self.cores_per_worker,
-            Err(raw) => {
-                static WARNED: std::sync::Once = std::sync::Once::new();
-                let fallback = self.cores_per_worker;
-                WARNED.call_once(|| {
-                    eprintln!(
-                        "dbtf-cluster: ignoring malformed DBTF_COMPUTE_THREADS={raw:?} \
-                         (not a positive integer); falling back to cores_per_worker = {fallback}"
-                    );
-                });
-                fallback
-            }
-        }
+        threads
     }
 
     /// A cluster with the given fault plan and default everything else.
@@ -185,16 +180,50 @@ impl Default for ClusterConfig {
     }
 }
 
-/// Interprets an optional `DBTF_COMPUTE_THREADS` value: `Ok(Some(n))` for a
-/// well-formed positive count (0 clamps to 1), `Ok(None)` when unset, and
-/// `Err(raw)` for a malformed value (pure, so directly unit-testable —
-/// [`ClusterConfig::resolved_compute_threads`] adds the one-time warning).
-fn resolve_env_compute_threads(raw: Option<&str>) -> Result<Option<usize>, String> {
-    match raw {
-        None => Ok(None),
+/// Resolves the compute-thread count from the config field, the
+/// `DBTF_COMPUTE_THREADS` environment value, and the `cores_per_worker`
+/// fallback, returning `(threads, warning)`. Pure, so every branch —
+/// including the warning text — is directly unit-testable;
+/// [`ClusterConfig::resolved_compute_threads`] adds the env read and the
+/// one-time emission through the telemetry log layer.
+fn resolve_compute_threads(
+    field: Option<usize>,
+    env: Option<&str>,
+    cores_per_worker: usize,
+) -> (usize, Option<String>) {
+    if let Some(n) = field {
+        if n == 0 {
+            return (
+                1,
+                Some(
+                    "clamping compute_threads = 0 to 1 \
+                     (a worker needs at least one compute thread)"
+                        .to_string(),
+                ),
+            );
+        }
+        return (n, None);
+    }
+    match env {
+        None => (cores_per_worker, None),
         Some(raw) => match raw.trim().parse::<usize>() {
-            Ok(n) => Ok(Some(n.max(1))),
-            Err(_) => Err(raw.to_string()),
+            Ok(0) => (
+                1,
+                Some(
+                    "clamping DBTF_COMPUTE_THREADS=0 to 1 \
+                     (a worker needs at least one compute thread)"
+                        .to_string(),
+                ),
+            ),
+            Ok(n) => (n, None),
+            Err(_) => (
+                cores_per_worker,
+                Some(format!(
+                    "ignoring malformed DBTF_COMPUTE_THREADS={raw:?} \
+                     (not a non-negative integer); falling back to \
+                     cores_per_worker = {cores_per_worker}"
+                )),
+            ),
         },
     }
 }
@@ -252,21 +281,43 @@ mod tests {
 
     #[test]
     fn env_compute_threads_parsing() {
-        assert_eq!(resolve_env_compute_threads(None), Ok(None));
-        assert_eq!(resolve_env_compute_threads(Some("6")), Ok(Some(6)));
-        assert_eq!(resolve_env_compute_threads(Some(" 3 ")), Ok(Some(3)));
-        // Zero clamps to one thread rather than erroring.
-        assert_eq!(resolve_env_compute_threads(Some("0")), Ok(Some(1)));
-        // Malformed values surface the raw string for the warning.
-        assert_eq!(
-            resolve_env_compute_threads(Some("lots")),
-            Err("lots".to_string())
-        );
-        assert_eq!(resolve_env_compute_threads(Some("")), Err(String::new()));
-        assert_eq!(
-            resolve_env_compute_threads(Some("-2")),
-            Err("-2".to_string())
-        );
+        assert_eq!(resolve_compute_threads(None, None, 8), (8, None));
+        assert_eq!(resolve_compute_threads(None, Some("6"), 8), (6, None));
+        assert_eq!(resolve_compute_threads(None, Some(" 3 "), 8), (3, None));
+        // The field wins over the environment.
+        assert_eq!(resolve_compute_threads(Some(2), Some("6"), 8), (2, None));
+        // Malformed values fall back to cores_per_worker with a warning
+        // naming the raw value.
+        for bad in ["lots", "", "-2"] {
+            let (threads, warning) = resolve_compute_threads(None, Some(bad), 8);
+            assert_eq!(threads, 8);
+            let msg = warning.expect("malformed value must warn");
+            assert!(
+                msg.contains(&format!("{bad:?}")),
+                "warning names value: {msg}"
+            );
+            assert!(
+                msg.contains("cores_per_worker = 8"),
+                "warning names fallback: {msg}"
+            );
+        }
+    }
+
+    /// Regression: a zero thread count (field or env) used to be clamped
+    /// silently; it now clamps to 1 *with a warning*, so a zero-thread
+    /// pool can neither be built nor requested unnoticed.
+    #[test]
+    fn zero_compute_threads_clamp_with_warning() {
+        let (threads, warning) = resolve_compute_threads(None, Some("0"), 8);
+        assert_eq!(threads, 1);
+        assert!(warning
+            .expect("zero must warn")
+            .contains("DBTF_COMPUTE_THREADS=0"));
+        let (threads, warning) = resolve_compute_threads(Some(0), None, 8);
+        assert_eq!(threads, 1);
+        assert!(warning
+            .expect("zero must warn")
+            .contains("compute_threads = 0"));
     }
 
     #[test]

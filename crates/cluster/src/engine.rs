@@ -64,6 +64,12 @@ pub(crate) struct Inner {
     pub(crate) fault: Option<Arc<FaultPlan>>,
     /// `(superstep, worker)` crash entries already fired (each at most once).
     pub(crate) crashes_done: parking_lot::Mutex<Vec<(u64, usize)>>,
+    /// When set, supersteps ship per-kernel events back to the driver
+    /// (tracing on). Purely observational — never affects metering.
+    pub(crate) capture_task_events: std::sync::atomic::AtomicBool,
+    /// Task events of the most recent superstep, sorted by partition
+    /// index; drained by [`crate::ExecutionBackend::take_task_events`].
+    pub(crate) task_events: parking_lot::Mutex<Vec<crate::TaskEvents>>,
 }
 
 /// A simulated cluster: one driver (the calling thread) plus
@@ -113,6 +119,8 @@ impl Cluster {
                 registry: parking_lot::Mutex::new(HashMap::new()),
                 fault,
                 crashes_done: parking_lot::Mutex::new(Vec::new()),
+                capture_task_events: std::sync::atomic::AtomicBool::new(false),
+                task_events: parking_lot::Mutex::new(Vec::new()),
             }),
         }
     }

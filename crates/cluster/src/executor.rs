@@ -12,6 +12,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::engine::{AnyPart, TaskFaults, TaskFn};
 use crate::task::TaskContext;
+use dbtf_telemetry::KernelEvent;
 
 /// Messages a worker thread understands.
 pub(crate) enum WorkerMsg {
@@ -28,6 +29,10 @@ pub(crate) enum WorkerMsg {
         /// `Some` when transient task faults are being injected; `None` for
         /// fault-free supersteps and for lineage replay.
         fault: Option<TaskFaults>,
+        /// Record per-kernel events in the task contexts (tracing on).
+        /// Always `false` for lineage replay so recovery re-execution
+        /// never pollutes a trace.
+        capture: bool,
         reply: Sender<BatchResult>,
     },
     /// Report how many partitions of a dataset this worker holds.
@@ -45,6 +50,8 @@ pub(crate) struct TaskStat {
     pub(crate) idx: usize,
     pub(crate) ops: u64,
     pub(crate) retries: u32,
+    /// Kernel events the task recorded (empty unless capture was on).
+    pub(crate) kernels: Vec<KernelEvent>,
 }
 
 /// One worker's reply to a superstep: every local task's result plus the
@@ -95,6 +102,7 @@ fn worker_loop(worker_id: usize, rx: Receiver<WorkerMsg>, compute_threads: usize
                 dataset,
                 task,
                 fault,
+                capture,
                 reply,
             } => {
                 let parts = datasets
@@ -107,6 +115,7 @@ fn worker_loop(worker_id: usize, rx: Receiver<WorkerMsg>, compute_threads: usize
                     task.as_ref(),
                     fault.as_ref(),
                     compute_threads,
+                    capture,
                 );
                 let _ = reply.send(batch);
             }
@@ -129,6 +138,7 @@ struct TaskOutcome {
     result_bytes: u64,
     /// Transiently failed launch attempts before the one that ran.
     retries: u32,
+    kernels: Vec<KernelEvent>,
 }
 
 /// Runs one task under `catch_unwind` so a panicking task takes down
@@ -143,6 +153,7 @@ fn run_task(
     part: &mut (dyn Any + Send),
     task: &TaskFn,
     fault: Option<&TaskFaults>,
+    capture: bool,
 ) -> TaskOutcome {
     let mut retries = 0u32;
     if let Some((plan, superstep)) = fault {
@@ -158,11 +169,12 @@ fn run_task(
                     ops: 0,
                     result_bytes: 0,
                     retries,
+                    kernels: Vec::new(),
                 };
             }
         }
     }
-    let mut ctx = TaskContext::new(worker_id, idx, retries);
+    let mut ctx = TaskContext::with_capture(worker_id, idx, retries, capture);
     let result =
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(idx, part, &mut ctx)))
             .map_err(|payload| {
@@ -180,6 +192,7 @@ fn run_task(
         ops: ctx.ops(),
         result_bytes: ctx.result_bytes(),
         retries,
+        kernels: ctx.take_kernels(),
     }
 }
 
@@ -197,12 +210,13 @@ fn run_batch(
     task: &TaskFn,
     fault: Option<&TaskFaults>,
     compute_threads: usize,
+    capture: bool,
 ) -> BatchResult {
     let nthreads = compute_threads.min(parts.len()).max(1);
     let mut outcomes: Vec<TaskOutcome> = if nthreads <= 1 {
         parts
             .iter_mut()
-            .map(|(idx, part)| run_task(worker_id, *idx, part.as_mut(), task, fault))
+            .map(|(idx, part)| run_task(worker_id, *idx, part.as_mut(), task, fault, capture))
             .collect()
     } else {
         let (job_tx, job_rx) = unbounded::<&mut (usize, AnyPart)>();
@@ -218,7 +232,14 @@ fn run_batch(
                         let mut out = Vec::new();
                         while let Ok(item) = job_rx.recv() {
                             let idx = item.0;
-                            out.push(run_task(worker_id, idx, item.1.as_mut(), task, fault));
+                            out.push(run_task(
+                                worker_id,
+                                idx,
+                                item.1.as_mut(),
+                                task,
+                                fault,
+                                capture,
+                            ));
                         }
                         out
                     })
@@ -246,6 +267,7 @@ fn run_batch(
             idx: outcome.idx,
             ops: outcome.ops,
             retries: outcome.retries,
+            kernels: outcome.kernels,
         });
         match outcome.result {
             Ok(out) => results.push((outcome.idx, out)),

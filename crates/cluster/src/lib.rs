@@ -97,7 +97,7 @@ mod scheduler;
 mod storage;
 mod task;
 
-pub use backend::ExecutionBackend;
+pub use backend::{ExecutionBackend, TaskEvents};
 pub use config::{ClusterConfig, NetworkModel};
 pub use engine::Cluster;
 pub use fault::FaultPlan;

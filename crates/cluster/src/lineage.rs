@@ -137,6 +137,8 @@ impl Cluster {
                         dataset: id,
                         task: Arc::clone(task),
                         fault: None,
+                        // Recovery re-execution must never pollute a trace.
+                        capture: false,
                         reply: reply_tx,
                     })
                     .expect("respawned worker hung up");

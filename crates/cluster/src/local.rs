@@ -33,6 +33,8 @@ struct LocalInner {
     cores_per_worker: usize,
     core_throughput: f64,
     metrics: CommMetrics,
+    capture_task_events: std::sync::atomic::AtomicBool,
+    task_events: Mutex<Vec<crate::TaskEvents>>,
 }
 
 /// A pure-local execution backend: plans run inline on the calling
@@ -68,6 +70,8 @@ impl LocalBackend {
                 cores_per_worker,
                 core_throughput,
                 metrics: CommMetrics::new(workers),
+                capture_task_events: std::sync::atomic::AtomicBool::new(false),
+                task_events: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -194,6 +198,10 @@ impl ExecutionBackend for LocalBackend {
     {
         let workers = self.inner.workers;
         let metrics = &self.inner.metrics;
+        let capture = self
+            .inner
+            .capture_task_events
+            .load(std::sync::atomic::Ordering::Relaxed);
         let mut parts = data.parts.lock();
         let mut out = Vec::with_capacity(parts.len());
         // Per-logical-worker accounting, identical to the cluster's batch
@@ -202,14 +210,27 @@ impl ExecutionBackend for LocalBackend {
         let mut max_task_ops = vec![0u64; workers];
         let mut result_bytes = vec![0u64; workers];
         let mut tasks = vec![0u64; workers];
+        let mut events: Vec<crate::TaskEvents> = Vec::new();
         for (idx, part) in parts.iter_mut().enumerate() {
             let w = idx % workers;
-            let mut ctx = TaskContext::new(w, idx, 0);
+            let mut ctx = TaskContext::with_capture(w, idx, 0, capture);
             out.push(f(idx, part, &mut ctx));
             total_ops[w] += ctx.ops();
             max_task_ops[w] = max_task_ops[w].max(ctx.ops());
             result_bytes[w] += ctx.result_bytes();
             tasks[w] += 1;
+            if capture {
+                events.push(crate::TaskEvents {
+                    partition: idx,
+                    worker: w,
+                    ops: ctx.ops(),
+                    kernels: ctx.take_kernels(),
+                });
+            }
+        }
+        if capture {
+            // Already in partition order (inline execution).
+            *self.inner.task_events.lock() = events;
         }
         // Fold the per-worker batches in worker order — the same fixed
         // reduction order as the cluster (every worker replies, including
@@ -257,5 +278,20 @@ impl ExecutionBackend for LocalBackend {
 
     fn dataset_partitions<P: Send + 'static>(&self, data: &LocalDataset<P>) -> usize {
         data.num_partitions()
+    }
+
+    fn set_task_event_capture(&self, on: bool) {
+        self.inner
+            .capture_task_events
+            .store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    fn take_task_events(&self) -> Vec<crate::TaskEvents> {
+        std::mem::take(&mut *self.inner.task_events.lock())
+    }
+
+    fn core_throughput(&self, worker: usize) -> f64 {
+        let _ = worker;
+        self.inner.core_throughput
     }
 }

@@ -22,6 +22,17 @@ impl VirtualDuration {
     pub fn as_secs_f64(self) -> f64 {
         self.0
     }
+
+    /// `self − rhs`, clamped to zero when `rhs` is larger.
+    ///
+    /// This is the *explicit* saturating form for call sites that
+    /// legitimately race a moving clock. The `-` operator instead treats
+    /// underflow as a bug (`debug_assert!`): a later timestamp subtracted
+    /// from an earlier one means the clock ran backwards somewhere, and
+    /// clamping silently would mask it.
+    pub fn saturating_sub(self, rhs: VirtualDuration) -> VirtualDuration {
+        VirtualDuration((self.0 - rhs.0).max(0.0))
+    }
 }
 
 impl std::ops::Add for VirtualDuration {
@@ -34,6 +45,13 @@ impl std::ops::Add for VirtualDuration {
 impl std::ops::Sub for VirtualDuration {
     type Output = VirtualDuration;
     fn sub(self, rhs: VirtualDuration) -> VirtualDuration {
+        debug_assert!(
+            self.0 >= rhs.0,
+            "VirtualDuration underflow: {} - {} (clock ran backwards?); \
+             use saturating_sub if clamping is intended",
+            self.0,
+            rhs.0
+        );
         VirtualDuration((self.0 - rhs.0).max(0.0))
     }
 }
@@ -246,6 +264,39 @@ impl MetricsSnapshot {
     pub fn total_network_bytes(&self) -> u64 {
         self.bytes_shuffled + self.bytes_broadcast + self.bytes_collected
     }
+
+    /// Every counter as a `(name, value)` list in a fixed order — the
+    /// unified export consumed by the telemetry counter registry and the
+    /// Chrome trace writer. Names are stable API: tooling keys off them.
+    pub fn named_counters(&self) -> Vec<(&'static str, f64)> {
+        let mut out = vec![
+            ("net.bytes_shuffled", self.bytes_shuffled as f64),
+            ("net.bytes_broadcast", self.bytes_broadcast as f64),
+            ("net.bytes_collected", self.bytes_collected as f64),
+            ("net.messages", self.messages as f64),
+            ("exec.tasks_run", self.tasks_run as f64),
+            ("exec.total_ops", self.total_ops as f64),
+            ("exec.supersteps", self.supersteps as f64),
+            ("mem.stored_bytes", self.stored_bytes as f64),
+            ("recovery.task_retries", self.task_retries as f64),
+            ("recovery.worker_respawns", self.worker_respawns as f64),
+            (
+                "recovery.partitions_recomputed",
+                self.partitions_recomputed as f64,
+            ),
+            ("recovery.bytes_reshipped", self.bytes_reshipped as f64),
+            ("recovery.ops", self.recovery_ops as f64),
+            ("recovery.speculative_tasks", self.speculative_tasks as f64),
+            ("recovery.speculative_wins", self.speculative_wins as f64),
+            ("clock.recovery_secs", self.recovery_time.as_secs_f64()),
+            ("clock.virtual_secs", self.virtual_time.as_secs_f64()),
+        ];
+        out.push((
+            "exec.worker_busy_secs_max",
+            self.worker_busy_secs.iter().copied().fold(0.0, f64::max),
+        ));
+        out
+    }
 }
 
 #[cfg(test)]
@@ -257,8 +308,21 @@ mod tests {
         let a = VirtualDuration::from_secs_f64(2.0);
         let b = VirtualDuration::from_secs_f64(0.5);
         assert_eq!((a + b).as_secs_f64(), 2.5);
-        assert_eq!((b - a).as_secs_f64(), 0.0); // saturating
         assert_eq!((a - b).as_secs_f64(), 1.5);
+        assert_eq!(b.saturating_sub(a).as_secs_f64(), 0.0);
+        assert_eq!(a.saturating_sub(b).as_secs_f64(), 1.5);
+    }
+
+    /// Regression: subtracting a later timestamp from an earlier one used
+    /// to clamp silently to 0.0, masking backwards-clock bugs. It is now a
+    /// debug assertion; `saturating_sub` is the explicit clamping form.
+    #[test]
+    #[should_panic(expected = "VirtualDuration underflow")]
+    #[cfg(debug_assertions)]
+    fn virtual_duration_sub_underflow_panics_in_debug() {
+        let earlier = VirtualDuration::from_secs_f64(1.0);
+        let later = VirtualDuration::from_secs_f64(2.0);
+        let _ = earlier - later;
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::executor::{BatchResult, WorkerMsg};
 use crate::plan::{OpKind, OpRecord, PlanTrace};
 use crate::storage::{Broadcast, DatasetState, DistVec};
 use crate::task::TaskContext;
+use dbtf_telemetry::{SpanKind, Tracer};
 
 impl Cluster {
     /// Shuffles `parts` across the workers round-robin and persists them in
@@ -224,6 +225,7 @@ impl Cluster {
             .filter(|plan| plan.task_failure_rate > 0.0)
             .map(|plan| (Arc::clone(plan), step));
 
+        let capture = self.inner.capture_task_events.load(Ordering::Relaxed);
         let (reply_tx, reply_rx): (Sender<BatchResult>, Receiver<BatchResult>) = unbounded();
         let senders = self.inner.senders.lock().clone();
         for sender in &senders {
@@ -232,6 +234,7 @@ impl Cluster {
                     dataset: data.id,
                     task: Arc::clone(&task),
                     fault: task_faults.clone(),
+                    capture,
                     reply: reply_tx.clone(),
                 })
                 .expect("worker hung up");
@@ -249,11 +252,22 @@ impl Cluster {
         let mut makespan = 0.0f64;
         let mut collect_secs = 0.0f64;
         let mut task_panics: Vec<(usize, usize, String)> = Vec::new();
+        let mut events: Vec<crate::TaskEvents> = Vec::new();
         {
             let mut busy = self.inner.metrics.worker_busy_secs.lock();
-            for (batch, &time) in batches.into_iter().zip(&times) {
+            for (mut batch, &time) in batches.into_iter().zip(&times) {
                 for (idx, msg) in &batch.panics {
                     task_panics.push((*idx, batch.worker, msg.clone()));
+                }
+                if capture {
+                    for stat in std::mem::take(&mut batch.stats) {
+                        events.push(crate::TaskEvents {
+                            partition: stat.idx,
+                            worker: batch.worker,
+                            ops: stat.ops,
+                            kernels: stat.kernels,
+                        });
+                    }
                 }
                 busy[batch.worker] += time;
                 makespan = makespan.max(time);
@@ -288,6 +302,10 @@ impl Cluster {
                 task_panics.len(),
                 lines.join("; ")
             );
+        }
+        if capture {
+            events.sort_by_key(|e| e.partition);
+            *self.inner.task_events.lock() = events;
         }
         self.inner.metrics.advance_clock(makespan + collect_secs);
         self.inner
@@ -418,20 +436,54 @@ impl Cluster {
 pub struct Scheduler<'a, B: ExecutionBackend> {
     backend: &'a B,
     trace: parking_lot::Mutex<Vec<OpRecord>>,
+    tracer: Tracer,
 }
 
 impl<'a, B: ExecutionBackend> Scheduler<'a, B> {
     /// Wraps `backend`; subsequent operators are recorded in the trace.
     pub fn new(backend: &'a B) -> Self {
+        Scheduler::with_tracer(backend, Tracer::disabled())
+    }
+
+    /// Like [`Scheduler::new`], but additionally records a span per
+    /// operator (and per task/kernel) into `tracer`. Enabling the tracer
+    /// turns on the backend's task-event capture; metering is unaffected
+    /// either way.
+    pub fn with_tracer(backend: &'a B, tracer: Tracer) -> Self {
+        if tracer.is_enabled() {
+            backend.set_task_event_capture(true);
+        }
         Scheduler {
             backend,
             trace: parking_lot::Mutex::new(Vec::new()),
+            tracer,
         }
     }
 
     /// The backend this scheduler executes on.
     pub fn backend(&self) -> &'a B {
         self.backend
+    }
+
+    /// The span tracer (disabled unless built with
+    /// [`Scheduler::with_tracer`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Runs `f` inside a driver-phase span named `name`, stamped with the
+    /// backend's virtual clock on entry and exit. Nested calls nest the
+    /// spans. With a disabled tracer this is just `f()`.
+    pub fn phase<R>(&self, name: &'static str, f: impl FnOnce(&Self) -> R) -> R {
+        if !self.tracer.is_enabled() {
+            return f(self);
+        }
+        let start = self.backend.metrics().virtual_time.as_secs_f64();
+        let span = self.tracer.begin(SpanKind::Phase, name, start);
+        let out = f(self);
+        let end = self.backend.metrics().virtual_time.as_secs_f64();
+        self.tracer.end(span, end);
+        out
     }
 
     /// Consumes the scheduler and returns the executed plan.
@@ -447,7 +499,9 @@ impl<'a, B: ExecutionBackend> Scheduler<'a, B> {
     }
 
     /// The single instrumentation point: runs `f`, then records the
-    /// metrics deltas it caused under (`kind`, `label`).
+    /// metrics deltas it caused under (`kind`, `label`) — and, with a
+    /// tracer attached, an operator/superstep span with task and kernel
+    /// child spans built from the backend's task events.
     fn instrumented<R>(
         &self,
         kind: OpKind,
@@ -456,12 +510,96 @@ impl<'a, B: ExecutionBackend> Scheduler<'a, B> {
         f: impl FnOnce() -> R,
     ) -> R {
         let before = self.backend.metrics();
+        let wall_start = self.tracer.wall_now();
         let out = f();
         let after = self.backend.metrics();
-        self.trace.lock().push(OpRecord::from_snapshots(
-            kind, label, partitions, &before, &after,
-        ));
+        let record = OpRecord::from_snapshots(kind, label, partitions, &before, &after);
+        if self.tracer.is_enabled() {
+            self.record_op_spans(kind, label, &record, &before, &after, wall_start);
+        }
+        self.trace.lock().push(record);
         out
+    }
+
+    /// Builds the span tree for one executed operator. Every annotation is
+    /// a metering delta (bit-identical across thread counts and, excluding
+    /// virtual stamps, across backends), so traces inherit the engine's
+    /// determinism contract.
+    fn record_op_spans(
+        &self,
+        kind: OpKind,
+        label: &'static str,
+        record: &OpRecord,
+        before: &crate::MetricsSnapshot,
+        after: &crate::MetricsSnapshot,
+        wall_start: f64,
+    ) {
+        let wall_end = self.tracer.wall_now();
+        let span_kind = match kind {
+            OpKind::MapPartitions => SpanKind::Superstep,
+            _ => SpanKind::Operator,
+        };
+        let mut args: Vec<(&'static str, u64)> = vec![("ops", record.ops)];
+        if record.tasks > 0 {
+            args.push(("tasks", record.tasks));
+        }
+        let bytes = record.bytes_shuffled + record.bytes_broadcast + record.bytes_collected;
+        if bytes > 0 {
+            args.push(("bytes", bytes));
+        }
+        if record.recovery_events > 0 {
+            args.push(("recovery_events", record.recovery_events));
+        }
+        let op_span = self.tracer.record(
+            span_kind,
+            label,
+            None,
+            (
+                before.virtual_time.as_secs_f64(),
+                after.virtual_time.as_secs_f64(),
+            ),
+            (wall_start, wall_end),
+            None,
+            None,
+            args,
+        );
+        if kind != OpKind::MapPartitions {
+            return;
+        }
+        // Task spans: each starts at the superstep's virtual start and
+        // runs for ops/core-rate on its worker — the engine's own cost
+        // model, laid out per partition. Kernels tile the task interval
+        // end-to-end in recorded order.
+        let v0 = before.virtual_time.as_secs_f64();
+        for event in self.backend.take_task_events() {
+            let rate = self.backend.core_throughput(event.worker);
+            let task_end = v0 + event.ops as f64 / rate;
+            let task_span = self.tracer.record(
+                SpanKind::Task,
+                label,
+                Some(op_span),
+                (v0, task_end),
+                (wall_start, wall_end),
+                Some(event.worker),
+                Some(event.partition),
+                vec![("ops", event.ops)],
+            );
+            let mut cursor = v0;
+            for kernel in &event.kernels {
+                let end = cursor + kernel.ops as f64 / rate;
+                self.tracer.record(
+                    SpanKind::Kernel,
+                    kernel.name,
+                    Some(task_span),
+                    (cursor, end),
+                    (wall_start, wall_end),
+                    Some(event.worker),
+                    Some(event.partition),
+                    vec![("ops", kernel.ops)],
+                );
+                cursor = end;
+            }
+        }
     }
 
     /// Executes a `Distribute` op: partitions `parts` across the backend

@@ -54,6 +54,29 @@ fn ck_err(path: &Path, msg: impl std::fmt::Display) -> DbtfError {
     DbtfError::Checkpoint(format!("{}: {msg}", path.display()))
 }
 
+/// Fsyncs the directory containing `path`, making a just-completed rename
+/// durable. On POSIX the rename updates the directory entry, and that
+/// entry lives in the directory's own data — without this fsync a crash
+/// can roll the rename back, leaving `--resume` pointing at the old (or
+/// no) checkpoint despite `write` having returned `Ok`.
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        std::fs::File::open(parent)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        // Windows has no directory-fsync equivalent; the temp-file fsync
+        // plus ReplaceFile-style rename is the best available.
+        let _ = path;
+    }
+    Ok(())
+}
+
 fn write_matrix<W: Write>(out: &mut W, name: &str, m: &BitMatrix) -> std::io::Result<()> {
     writeln!(out, "matrix {name} {} {}", m.rows(), m.cols())?;
     let mut row = String::with_capacity(m.cols());
@@ -69,9 +92,12 @@ fn write_matrix<W: Write>(out: &mut W, name: &str, m: &BitMatrix) -> std::io::Re
 
 impl Checkpoint {
     /// Writes the checkpoint to `path`, replacing any previous file
-    /// atomically: the bytes go to `<path>.tmp` first and the rename only
-    /// happens after a successful flush, so readers always see either the
-    /// old complete checkpoint or the new one.
+    /// atomically *and durably*: the bytes go to `<path>.tmp` first, the
+    /// temp file is fsynced before the rename (so the rename can never
+    /// publish a torn file), and the parent directory is fsynced after it
+    /// (so the rename itself survives a crash) — readers, including
+    /// `--resume`, always see either the old complete checkpoint or the
+    /// new one, even across power loss.
     pub fn write(&self, path: &Path) -> Result<(), DbtfError> {
         let tmp = path.with_extension("tmp");
         let write_all = || -> std::io::Result<()> {
@@ -96,7 +122,8 @@ impl Checkpoint {
             write_matrix(&mut out, "b", &self.factors.b)?;
             write_matrix(&mut out, "c", &self.factors.c)?;
             out.into_inner().map_err(|e| e.into_error())?.sync_all()?;
-            std::fs::rename(&tmp, path)
+            std::fs::rename(&tmp, path)?;
+            sync_parent_dir(path)
         };
         write_all().map_err(|e| ck_err(path, format!("write failed: {e}")))
     }
@@ -312,5 +339,41 @@ mod tests {
         assert!(path.exists());
         assert!(!path.with_extension("tmp").exists());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Regression (durability fix): a failing write must surface a clean
+    /// `DbtfError::Checkpoint` — including failures after the content was
+    /// produced (rename / directory-sync stage) — and must never clobber
+    /// an existing good checkpoint.
+    #[test]
+    fn write_error_paths_are_clean_and_preserve_previous() {
+        // Parent "directory" is actually a file → create_dir_all fails.
+        let blocker = tmp_path("error-parent");
+        std::fs::write(&blocker, "not a directory").unwrap();
+        let path = blocker.join("ck.dbtf");
+        let err = sample().write(&path).expect_err("write must fail");
+        match err {
+            DbtfError::Checkpoint(msg) => {
+                assert!(msg.contains("write failed"), "actionable message: {msg}");
+            }
+            other => panic!("expected Checkpoint error, got {other:?}"),
+        }
+
+        // Destination is a directory → the rename stage fails, after the
+        // temp file was written and fsynced. The error is still clean and
+        // a sibling good checkpoint is untouched.
+        let dir_dest = tmp_path("error-dest-dir");
+        let _ = std::fs::remove_dir_all(&dir_dest);
+        std::fs::create_dir_all(&dir_dest).unwrap();
+        let good = tmp_path("error-good");
+        sample().write(&good).unwrap();
+        let err = sample().write(&dir_dest).expect_err("rename must fail");
+        assert!(matches!(err, DbtfError::Checkpoint(_)));
+        assert_eq!(Checkpoint::read(&good).unwrap(), sample());
+
+        std::fs::remove_file(&blocker).unwrap();
+        std::fs::remove_file(&good).unwrap();
+        let _ = std::fs::remove_file(dir_dest.with_extension("tmp"));
+        let _ = std::fs::remove_dir_all(&dir_dest);
     }
 }

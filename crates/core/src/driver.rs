@@ -22,6 +22,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dbtf_cluster::{ExecutionBackend, PlanTrace, Scheduler};
+use dbtf_telemetry::{SpanKind, Tracer};
 use dbtf_tensor::{BitMatrix, BoolTensor, Mode, Unfolding};
 
 use crate::checkpoint::Checkpoint;
@@ -89,14 +90,44 @@ pub fn factorize_traced<B: ExecutionBackend>(
     x: &BoolTensor,
     config: &DbtfConfig,
 ) -> Result<(DbtfResult, PlanTrace), DbtfError> {
+    factorize_instrumented(backend, x, config, &Tracer::disabled())
+}
+
+/// [`factorize_traced`], additionally recording a hierarchical span trace
+/// into `tracer`: one `Run` root, a `Phase` per driver stage and
+/// iteration, an `Operator`/`Superstep` per dataflow operator, and
+/// `Task`/`Kernel` child spans from the backend's task events. Every span
+/// is stamped on the virtual clock (deterministic — see `DESIGN.md`
+/// §1.2.4) and the wall clock; the backend's counters are exported into
+/// the tracer at the end. Call `tracer.finish()` afterwards for the
+/// [`dbtf_telemetry::TraceLog`]. With a disabled tracer this *is*
+/// [`factorize_traced`], at the cost of one branch per operator.
+pub fn factorize_instrumented<B: ExecutionBackend>(
+    backend: &B,
+    x: &BoolTensor,
+    config: &DbtfConfig,
+    tracer: &Tracer,
+) -> Result<(DbtfResult, PlanTrace), DbtfError> {
     config.validate()?;
     let dims = x.dims();
     if dims.contains(&0) {
         return Err(DbtfError::EmptyTensor);
     }
-    let sched = Scheduler::new(backend);
-    let result = run(&sched, x, config)?;
-    Ok((result, sched.into_trace()))
+    let sched = Scheduler::with_tracer(backend, tracer.clone());
+    let root = tracer.begin(
+        SpanKind::Run,
+        "cp.factorize",
+        backend.metrics().virtual_time.as_secs_f64(),
+    );
+    let result = run(&sched, x, config);
+    tracer.end(root, backend.metrics().virtual_time.as_secs_f64());
+    if tracer.is_enabled() {
+        for (name, value) in backend.metrics().named_counters() {
+            tracer.set_counter(name, value);
+        }
+        backend.set_task_event_capture(false);
+    }
+    Ok((result?, sched.into_trace()))
 }
 
 /// The driver body: everything after validation, emitting through `sched`.
@@ -113,7 +144,9 @@ fn run<B: ExecutionBackend>(
         .unwrap_or_else(|| sched.backend().suggested_partitions());
 
     // ---- Partition the three unfolded tensors (Algorithm 2 lines 1–3). --
-    let ([px1, px2, px3], partition_bytes) = distribute_unfoldings(sched, x, n_partitions);
+    let ([px1, px2, px3], partition_bytes) = sched.phase("cp.distribute", |s| {
+        distribute_unfoldings(s, x, n_partitions)
+    });
 
     let threshold = config.convergence_threshold * x.nnz().max(1) as f64;
     let ckpt_path = config.checkpoint_path.as_deref().map(std::path::Path::new);
@@ -195,7 +228,9 @@ fn run<B: ExecutionBackend>(
             // Iteration 1: update every set, keep the best (lines 7–8).
             let mut best: Option<(FactorSet, u64)> = None;
             for set in sets {
-                let (factors, error, cache) = update_round(sched, &px1, &px2, &px3, set, config);
+                let (factors, error, cache) = sched.phase("cp.iteration", |s| {
+                    update_round(s, &px1, &px2, &px3, set, config)
+                });
                 peak_cache_bytes = peak_cache_bytes.max(cache);
                 if best.as_ref().is_none_or(|(_, be)| error < *be) {
                     best = Some((factors, error));
@@ -214,7 +249,9 @@ fn run<B: ExecutionBackend>(
         if converged {
             break;
         }
-        let (next, next_error, cache) = update_round(sched, &px1, &px2, &px3, factors, config);
+        let (next, next_error, cache) = sched.phase("cp.iteration", |s| {
+            update_round(s, &px1, &px2, &px3, factors, config)
+        });
         peak_cache_bytes = peak_cache_bytes.max(cache);
         let delta = error.abs_diff(next_error) as f64;
         factors = next;
@@ -298,7 +335,7 @@ pub(crate) fn distribute_unfoldings<B: ExecutionBackend>(
             "unfold.organize",
             &data,
             |_idx, slot: &mut PartitionSlot, ctx| {
-                ctx.charge(slot.part.nnz() as u64);
+                ctx.charge_kernel("kernel.organize_blocks", slot.part.nnz() as u64);
             },
         );
         // Read-only superstep: partitions still equal their rebuilt form.
@@ -365,7 +402,7 @@ fn update_factor<B: ExecutionBackend>(
         move |_idx, slot: &mut PartitionSlot, ctx| {
             let (a, mf, ms) = factors.get();
             let (state, ops) = WorkState::build(&slot.part, a, mf, ms, v_limit);
-            ctx.charge(ops);
+            ctx.charge_kernel("kernel.build_cache", ops);
             ctx.set_result_bytes(8);
             let bytes = state.cache_bytes();
             slot.work = Some(state);
@@ -388,12 +425,12 @@ fn update_factor<B: ExecutionBackend>(
         |slot, col, values, ctx| {
             let state = slot.work.as_mut().expect("update_factor not begun");
             state.apply_column(col, values);
-            ctx.charge(values.len() as u64);
+            ctx.charge_kernel("kernel.apply_column", values.len() as u64);
         },
         |slot, col, ctx| {
             let state = slot.work.as_mut().expect("update_factor not begun");
             let (errs, ops) = state.column_errors(&slot.part, col);
-            ctx.charge(ops);
+            ctx.charge_kernel("kernel.column_errors", ops);
             ctx.set_result_bytes(errs.len() as u64 * 16);
             errs
         },
@@ -406,10 +443,10 @@ fn update_factor<B: ExecutionBackend>(
             let state = slot.work.as_mut().expect("update_factor not begun");
             let (c, values) = last.get();
             state.apply_column(*c, values);
-            ctx.charge(values.len() as u64);
+            ctx.charge_kernel("kernel.apply_column", values.len() as u64);
             let err = if compute_error {
                 let (err, ops) = state.partition_error(&slot.part);
-                ctx.charge(ops);
+                ctx.charge_kernel("kernel.partition_error", ops);
                 err
             } else {
                 0

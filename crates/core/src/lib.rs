@@ -71,7 +71,7 @@ pub mod update;
 
 pub use checkpoint::Checkpoint;
 pub use config::{BackendKind, DbtfConfig, DbtfError, InitStrategy};
-pub use driver::{factorize, factorize_traced, DbtfResult};
+pub use driver::{factorize, factorize_instrumented, factorize_traced, DbtfResult};
 pub use factors::{initial_factor_sets, random_factor_sets, FactorSet};
 pub use stats::DbtfStats;
 pub use update::{PartitionSlot, WorkState};

@@ -30,6 +30,7 @@
 //! [`ExecutionBackend`] and emits operators through a [`Scheduler`].
 
 use dbtf_cluster::{ExecutionBackend, PlanTrace, Scheduler};
+use dbtf_telemetry::{SpanKind, Tracer};
 use dbtf_tensor::{BitMatrix, BitVec, BoolTensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -191,6 +192,19 @@ pub fn tucker_factorize_distributed_traced<B: ExecutionBackend>(
     x: &BoolTensor,
     config: &TuckerConfig,
 ) -> Result<(TuckerResult, PlanTrace), DbtfError> {
+    tucker_factorize_distributed_instrumented(backend, x, config, &Tracer::disabled())
+}
+
+/// [`tucker_factorize_distributed_traced`], additionally recording a
+/// hierarchical span trace into `tracer` (see
+/// [`crate::factorize_instrumented`] for the span model and determinism
+/// contract).
+pub fn tucker_factorize_distributed_instrumented<B: ExecutionBackend>(
+    backend: &B,
+    x: &BoolTensor,
+    config: &TuckerConfig,
+    tracer: &Tracer,
+) -> Result<(TuckerResult, PlanTrace), DbtfError> {
     config.validate()?;
     if config.ranks.iter().any(|&r| r > 64) {
         return Err(DbtfError::InvalidConfig(
@@ -201,8 +215,20 @@ pub fn tucker_factorize_distributed_traced<B: ExecutionBackend>(
     if dims.contains(&0) {
         return Err(DbtfError::EmptyTensor);
     }
-    let sched = Scheduler::new(backend);
+    let sched = Scheduler::with_tracer(backend, tracer.clone());
+    let root = tracer.begin(
+        SpanKind::Run,
+        "tucker.factorize",
+        backend.metrics().virtual_time.as_secs_f64(),
+    );
     let result = run(&sched, x, config);
+    tracer.end(root, backend.metrics().virtual_time.as_secs_f64());
+    if tracer.is_enabled() {
+        for (name, value) in backend.metrics().named_counters() {
+            tracer.set_counter(name, value);
+        }
+        backend.set_task_event_capture(false);
+    }
     Ok((result, sched.into_trace()))
 }
 
@@ -213,7 +239,11 @@ fn run<B: ExecutionBackend>(
     config: &TuckerConfig,
 ) -> TuckerResult {
     let n_partitions = sched.backend().suggested_partitions();
-    let [px1, px2, px3] = distribute_unfoldings(sched, x, n_partitions).0;
+    let [px1, px2, px3] = sched
+        .phase("tucker.distribute", |s| {
+            distribute_unfoldings(s, x, n_partitions)
+        })
+        .0;
 
     let mut best: Option<(TuckerFactorization, u64)> = None;
     for l in 0..config.initial_sets {
@@ -221,7 +251,9 @@ fn run<B: ExecutionBackend>(
             config.seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(l as u64 + 1),
         );
         let set = init_set(x, config, &mut rng);
-        let (set, error) = distributed_round(sched, &px1, &px2, &px3, set);
+        let (set, error) = sched.phase("tucker.iteration", |s| {
+            distributed_round(s, &px1, &px2, &px3, set)
+        });
         if best.as_ref().is_none_or(|(_, be)| error < *be) {
             best = Some((set, error));
         }
@@ -236,7 +268,9 @@ fn run<B: ExecutionBackend>(
         }
         let mut rng = StdRng::seed_from_u64(config.seed ^ (t as u64).wrapping_mul(0xc0de));
         let revived = revive_dead_components(x, factorization.clone(), &mut rng);
-        let (next, next_error) = distributed_round(sched, &px1, &px2, &px3, revived);
+        let (next, next_error) = sched.phase("tucker.iteration", |s| {
+            distributed_round(s, &px1, &px2, &px3, revived)
+        });
         if next_error > error {
             iteration_errors.push(error);
             continue;
@@ -335,7 +369,7 @@ fn update_factor_distributed<B: ExecutionBackend>(
         move |_idx, slot: &mut PartitionSlot, ctx| {
             let (factor, mf, core_mat, ms) = payload.get();
             let (state, ops) = TuckerWorkState::build(&slot.part, factor, mf, core_mat, ms, 15);
-            ctx.charge(ops);
+            ctx.charge_kernel("kernel.build_cache", ops);
             slot.tucker = Some(state);
         }
     });
@@ -353,7 +387,7 @@ fn update_factor_distributed<B: ExecutionBackend>(
         |slot, col, values, ctx| {
             let state = slot.tucker.as_mut().expect("tucker update not begun");
             state.apply_column(col, values);
-            ctx.charge(values.len() as u64);
+            ctx.charge_kernel("kernel.apply_column", values.len() as u64);
         },
         move |slot, col, ctx| {
             let state = slot.tucker.as_ref().expect("tucker update not begun");
@@ -375,7 +409,7 @@ fn update_factor_distributed<B: ExecutionBackend>(
                     ops += o0 + o1 + r_t as u64;
                 }
             }
-            ctx.charge(ops);
+            ctx.charge_kernel("kernel.column_errors", ops);
             ctx.set_result_bytes(errs.len() as u64 * 16);
             errs
         },
@@ -386,7 +420,7 @@ fn update_factor_distributed<B: ExecutionBackend>(
         let state = slot.tucker.as_mut().expect("tucker update not begun");
         let (c, values) = last.get();
         state.apply_column(*c, values);
-        ctx.charge(values.len() as u64);
+        ctx.charge_kernel("kernel.apply_column", values.len() as u64);
         slot.tucker = None;
     });
     // Every partition is back to its distribute-time state (`part` is never
@@ -428,7 +462,7 @@ fn distributed_error<B: ExecutionBackend>(
                     ops += o;
                 }
             }
-            ctx.charge(ops);
+            ctx.charge_kernel("kernel.partition_error", ops);
             ctx.set_result_bytes(8);
             err
         });
@@ -479,7 +513,7 @@ fn update_core_distributed<B: ExecutionBackend>(
                         let (a, b, c) = factors.get();
                         let (ones, zeros, ops) =
                             flip_delta(&slot.part, current.get(), e, active, a, b, c);
-                        ctx.charge(ops);
+                        ctx.charge_kernel("kernel.flip_delta", ops);
                         ctx.set_result_bytes(16);
                         (ones, zeros)
                     }

@@ -10,7 +10,9 @@
 //!   and (when sampled) a fault-injected cluster must agree
 //!   **bit-for-bit** on factors, error and iteration history;
 //! - all backends must execute the **same dataflow plan**
-//!   ([`PlanTrace::fingerprint`](dbtf_cluster::PlanTrace::fingerprint));
+//!   ([`PlanTrace::fingerprint`](dbtf_cluster::PlanTrace::fingerprint))
+//!   and produce the **same span trace** down to per-task/per-kernel
+//!   structure ([`TraceLog::fingerprint`](dbtf_telemetry::TraceLog::fingerprint));
 //! - the reported error must equal the cell-by-cell oracle
 //!   [`cp_error`](crate::oracles::cp_error()), the iteration history must be
 //!   monotone, and the communication meters must match the Lemma 6/7
@@ -25,9 +27,10 @@
 use dbtf::reference::factorize_reference;
 use dbtf::tucker::TuckerConfig;
 use dbtf::tucker_distributed::tucker_factorize_distributed_traced;
-use dbtf::{factorize_traced, DbtfConfig, DbtfResult};
+use dbtf::{factorize_instrumented, factorize_traced, DbtfConfig, DbtfResult};
 use dbtf_cluster::{Cluster, ClusterConfig, FaultPlan, LocalBackend, MetricsSnapshot, PlanTrace};
 use dbtf_datagen::Family;
+use dbtf_telemetry::Tracer;
 use dbtf_tensor::BoolTensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -171,7 +174,8 @@ pub fn run_point(point: &SamplePoint) -> PointReport {
         compute_threads: point.compute_threads,
         ..ClusterConfig::default()
     });
-    let (result, trace) = match factorize_traced(&cluster, &x, &point.config) {
+    let tracer = Tracer::enabled();
+    let (result, trace) = match factorize_instrumented(&cluster, &x, &point.config, &tracer) {
         Ok(r) => r,
         Err(e) => {
             v.push(format!("cluster factorization failed: {e}"));
@@ -181,6 +185,7 @@ pub fn run_point(point: &SamplePoint) -> PointReport {
             };
         }
     };
+    let span_log = tracer.finish();
     let metrics = cluster.metrics();
 
     check_against_reference(&mut v, "cluster", &result, &reference);
@@ -188,12 +193,20 @@ pub fn run_point(point: &SamplePoint) -> PointReport {
     v.extend(CommOracle::for_run(&x, &point.config, &result, point.workers).check(&x, &metrics));
     v.extend(check_recovery_counters(&metrics, false));
 
-    // Local backend: same plan, same bits.
+    // Local backend: same plan, same bits, same span-trace structure.
     let local = LocalBackend::new(point.workers, point.cores_per_worker);
-    match factorize_traced(&local, &x, &point.config) {
+    let local_tracer = Tracer::enabled();
+    match factorize_instrumented(&local, &x, &point.config, &local_tracer) {
         Ok((local_result, local_trace)) => {
             check_against_reference(&mut v, "local", &local_result, &reference);
             check_traces_agree(&mut v, "local vs cluster", &local_trace, &trace);
+            let local_log = local_tracer.finish();
+            if local_log.fingerprint() != span_log.fingerprint() {
+                v.push("local vs cluster: span-trace fingerprints differ".into());
+            }
+            if span_log.spans.is_empty() {
+                v.push("cluster span trace is empty".into());
+            }
         }
         Err(e) => v.push(format!("local factorization failed: {e}")),
     }

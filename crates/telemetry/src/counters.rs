@@ -1,0 +1,83 @@
+//! A unified counter registry.
+//!
+//! Absorbs the engine's scattered metric sources — `CommMetrics` byte/op
+//! counters, recovery counters, driver stats — into one named, ordered
+//! list that the Chrome exporter can emit as counter events and `dbtf
+//! stats` can print as a table. Counters are plain `f64` values keyed by
+//! `&'static str`-free `String` names; insertion order is preserved so the
+//! export is deterministic.
+
+/// An ordered set of named `f64` counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CounterRegistry {
+    entries: Vec<(String, f64)>,
+}
+
+impl CounterRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `name` to `value`, inserting it (at the end) if absent.
+    pub fn set(&mut self, name: impl Into<String>, value: f64) {
+        let name = name.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.entries.push((name, value));
+        }
+    }
+
+    /// Adds `delta` to `name`, inserting it at 0 if absent.
+    pub fn add(&mut self, name: impl Into<String>, delta: f64) {
+        let name = name.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 += delta;
+        } else {
+            self.entries.push((name, delta));
+        }
+    }
+
+    /// The value of `name`, if set.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// All counters in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no counters are set.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_add_preserve_insertion_order() {
+        let mut reg = CounterRegistry::new();
+        reg.set("net.bytes", 10.0);
+        reg.add("tasks", 1.0);
+        reg.add("tasks", 2.0);
+        reg.set("net.bytes", 20.0);
+        assert_eq!(reg.get("net.bytes"), Some(20.0));
+        assert_eq!(reg.get("tasks"), Some(3.0));
+        assert_eq!(reg.get("missing"), None);
+        let names: Vec<&str> = reg.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["net.bytes", "tasks"]);
+    }
+}

@@ -272,4 +272,31 @@ proptest! {
             }
         }
     }
+
+    /// `count_range` agrees with a naive per-bit count, with ranges biased
+    /// onto 64-bit word boundaries and explicit zero-length ranges
+    /// (including at the very end of the vector).
+    #[test]
+    fn bitvec_count_range_boundaries(
+        len in 1usize..300,
+        ones in proptest::collection::vec(0usize..300, 0..60),
+        word in 0usize..5,
+        edge in 0usize..3,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let ones: Vec<usize> = ones.into_iter().filter(|&i| i < len).collect();
+        let v = BitVec::from_indices(len, &ones);
+        // Starts on, just after, and just before a word boundary.
+        let offset = [0usize, 1, 63][edge];
+        let start = (word * 64 + offset).min(len);
+        let max_len = len - start;
+        let lens = [0, max_len, ((max_len as f64) * len_frac) as usize];
+        for range_len in lens {
+            let naive = (start..start + range_len).filter(|&i| v.get(i)).count();
+            prop_assert_eq!(v.count_range(start, range_len), naive);
+        }
+        // Zero-length ranges count nothing anywhere, even at `len` itself.
+        prop_assert_eq!(v.count_range(len, 0), 0);
+        prop_assert_eq!(v.count_range(0, 0), 0);
+    }
 }
