@@ -3,8 +3,8 @@
 //! ```text
 //! dbtf factorize   --input X.txt --rank 10 [--workers 16] [--iters 10]
 //!                  [--sets 1] [--seed 0] [--partitions N] [--v 15]
-//!                  [--compute-threads T] [--backend cluster|local]
-//!                  [--output PREFIX]
+//!                  [--compute-threads T] [--pipeline-depth D]
+//!                  [--backend cluster|local] [--output PREFIX]
 //!                  [--checkpoint FILE] [--checkpoint-every K] [--resume]
 //!                  [--fault-crash S:W,…] [--fault-task-failure-rate F]
 //!                  [--fault-slow-rate F] [--fault-slow-factor M]
@@ -96,6 +96,11 @@ common options:
 
 factorize: --rank R [--workers 16] [--iters 10] [--sets 1]
            [--partitions N] [--v 15] [--compute-threads T] [--output PREFIX]
+           [--pipeline-depth D]
+                 keep up to D supersteps in flight (default 1 = barrier
+                 execution; DBTF_PIPELINE_DEPTH also works). Results and
+                 every metric are bit-identical for every D; crash-plan
+                 runs pin D to 1. No effect on --backend local
            [--backend cluster|local]
                  cluster (default): simulated multi-worker engine with
                  network-model costing and optional fault injection;
@@ -171,6 +176,16 @@ fn cmd_factorize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> 
         ),
         None => None,
     };
+    // `--pipeline-depth D` admits up to D supersteps in flight
+    // (`DBTF_PIPELINE_DEPTH` also works); results and metrics are
+    // bit-identical for every setting, only host wall-clock changes.
+    let pipeline_depth: Option<usize> = match parsed.get_str("pipeline-depth") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| ArgError(format!("invalid value for --pipeline-depth: {raw:?}")))?,
+        ),
+        None => None,
+    };
     let checkpoint_path = parsed.get_str("checkpoint").map(str::to_string);
     let config = DbtfConfig {
         rank: parsed.require("rank")?,
@@ -202,6 +217,7 @@ fn cmd_factorize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> 
     let cluster_config = ClusterConfig {
         workers,
         compute_threads,
+        pipeline_depth,
         fault_plan: fault_plan.clone(),
         ..ClusterConfig::paper_cluster()
     };
@@ -210,7 +226,7 @@ fn cmd_factorize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> 
     // and cannot inject faults.
     let (result, recovery) = match config.backend {
         BackendKind::Cluster => {
-            let cluster = Cluster::new(cluster_config);
+            let cluster = Cluster::try_new(cluster_config)?;
             let result = factorize_instrumented(&cluster, &x, &config, &tracer)?.0;
             let recovery = fault_plan.is_some().then(|| cluster.metrics());
             (result, recovery)
@@ -341,7 +357,7 @@ fn cmd_tucker(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
             };
             match parsed.get("backend", BackendKind::default())? {
                 BackendKind::Cluster => {
-                    let cluster = Cluster::new(cluster_config);
+                    let cluster = Cluster::try_new(cluster_config)?;
                     tucker_factorize_distributed_instrumented(&cluster, &x, &config, &tracer)?.0
                 }
                 BackendKind::Local => {

@@ -38,7 +38,42 @@ use crate::config::ClusterConfig;
 use crate::executor::{spawn_worker, WorkerMsg};
 use crate::fault::FaultPlan;
 use crate::metrics::{CommMetrics, MetricsSnapshot, VirtualDuration};
+use crate::pool::PoolCounters;
 use crate::storage::DatasetState;
+
+/// Errors surfaced while booting a [`Cluster`].
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The configuration is structurally invalid (zero workers/cores).
+    InvalidConfig(String),
+    /// The OS refused to spawn a worker or compute-pool thread.
+    WorkerSpawn {
+        /// Worker machine whose threads could not be created.
+        worker: usize,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::InvalidConfig(msg) => f.write_str(msg),
+            ClusterError::WorkerSpawn { worker, source } => {
+                write!(f, "failed to spawn threads for worker {worker}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::InvalidConfig(_) => None,
+            ClusterError::WorkerSpawn { source, .. } => Some(source),
+        }
+    }
+}
 
 /// A type-erased partition payload as it travels to and from workers.
 pub(crate) type AnyPart = Box<dyn Any + Send>;
@@ -56,6 +91,18 @@ pub(crate) type TaskFaults = (Arc<FaultPlan>, u64);
 pub(crate) struct Inner {
     pub(crate) config: ClusterConfig,
     pub(crate) compute_threads: usize,
+    /// Resolved superstep-pipelining window (1 = barrier execution). Forced
+    /// to 1 when the fault plan schedules worker crashes: recovery rebuilds
+    /// datasets through lineage replay and needs a quiescent pipeline.
+    pub(crate) pipeline_depth: usize,
+    /// Supersteps handed to workers so far (submission order). Equals the
+    /// merged-superstep counter in barrier mode; with pipelining it runs
+    /// ahead by the number of supersteps in flight.
+    pub(crate) submitted_steps: AtomicU64,
+    /// Supersteps submitted but not yet merged.
+    pub(crate) in_flight: AtomicU64,
+    /// Wall-clock work-stealing statistics shared by all workers' pools.
+    pub(crate) pool_counters: Arc<PoolCounters>,
     pub(crate) senders: parking_lot::Mutex<Vec<Sender<WorkerMsg>>>,
     pub(crate) handles: parking_lot::Mutex<Vec<Option<JoinHandle<()>>>>,
     pub(crate) metrics: CommMetrics,
@@ -88,31 +135,77 @@ impl Cluster {
     ///
     /// # Panics
     ///
-    /// Panics if `config.workers == 0`, `config.cores_per_worker == 0`, or
-    /// the fault plan fails [`FaultPlan::validate`].
+    /// Panics if `config.workers == 0`, `config.cores_per_worker == 0`, a
+    /// worker thread cannot be spawned, or the fault plan fails
+    /// [`FaultPlan::validate`]. Use [`Cluster::try_new`] to get a typed
+    /// [`ClusterError`] instead.
     pub fn new(config: ClusterConfig) -> Self {
-        assert!(config.workers > 0, "a cluster needs at least one worker");
-        assert!(
-            config.cores_per_worker > 0,
-            "workers need at least one core"
-        );
+        match Cluster::try_new(config) {
+            Ok(cluster) => cluster,
+            // Keep the historical bare panic messages for invalid configs.
+            Err(ClusterError::InvalidConfig(msg)) => panic!("{msg}"),
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Boots a cluster with the given configuration, surfacing invalid
+    /// configurations and OS thread-spawn failures as a [`ClusterError`]
+    /// instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Still panics if the fault plan fails [`FaultPlan::validate`] (a
+    /// malformed *test* plan is a programming error, not a runtime
+    /// condition).
+    pub fn try_new(config: ClusterConfig) -> Result<Self, ClusterError> {
+        if config.workers == 0 {
+            return Err(ClusterError::InvalidConfig(
+                "a cluster needs at least one worker".to_string(),
+            ));
+        }
+        if config.cores_per_worker == 0 {
+            return Err(ClusterError::InvalidConfig(
+                "workers need at least one core".to_string(),
+            ));
+        }
         if let Some(plan) = &config.fault_plan {
             plan.validate(config.workers);
         }
         let compute_threads = config.resolved_compute_threads();
+        let schedules_crashes = config
+            .fault_plan
+            .as_ref()
+            .is_some_and(|plan| !plan.worker_crashes.is_empty());
+        let pipeline_depth = if schedules_crashes {
+            1
+        } else {
+            config.resolved_pipeline_depth()
+        };
+        let pool_counters = Arc::new(PoolCounters::default());
         let mut senders = Vec::with_capacity(config.workers);
         let mut handles = Vec::with_capacity(config.workers);
         for worker_id in 0..config.workers {
             let (tx, rx) = crossbeam::channel::unbounded::<WorkerMsg>();
             senders.push(tx);
-            handles.push(Some(spawn_worker(worker_id, rx, compute_threads)));
+            // On failure the earlier workers' senders drop with `senders`,
+            // so their event loops exit and join on their own.
+            let handle = spawn_worker(worker_id, rx, compute_threads, Arc::clone(&pool_counters))
+                .map_err(|source| ClusterError::WorkerSpawn {
+                worker: worker_id,
+                source,
+            })?;
+            handles.push(Some(handle));
         }
         let fault = config.fault_plan.clone().map(Arc::new);
-        Cluster {
+        Ok(Cluster {
             inner: Arc::new(Inner {
                 metrics: CommMetrics::new(config.workers),
                 config,
                 compute_threads,
+                pipeline_depth,
+                submitted_steps: AtomicU64::new(0),
+                in_flight: AtomicU64::new(0),
+                pool_counters,
                 senders: parking_lot::Mutex::new(senders),
                 handles: parking_lot::Mutex::new(handles),
                 next_dataset: AtomicU64::new(0),
@@ -122,7 +215,7 @@ impl Cluster {
                 capture_task_events: std::sync::atomic::AtomicBool::new(false),
                 task_events: parking_lot::Mutex::new(Vec::new()),
             }),
-        }
+        })
     }
 
     /// Number of worker machines.
@@ -140,9 +233,26 @@ impl Cluster {
         self.metrics().virtual_time
     }
 
-    /// Snapshot of the communication and compute counters.
+    /// Resolved superstep-pipelining window (1 = barrier execution).
+    pub fn pipeline_depth(&self) -> usize {
+        self.inner.pipeline_depth
+    }
+
+    /// Snapshot of the communication and compute counters, overlaid with
+    /// the (wall-clock, nondeterministic) work-stealing pool statistics.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.inner.metrics.snapshot()
+        let mut snapshot = self.inner.metrics.snapshot();
+        snapshot.pool_tasks_stolen = self
+            .inner
+            .pool_counters
+            .tasks_stolen
+            .load(std::sync::atomic::Ordering::Relaxed);
+        snapshot.pool_max_queue_depth = self
+            .inner
+            .pool_counters
+            .max_queue_depth
+            .load(std::sync::atomic::Ordering::Relaxed);
+        snapshot
     }
 
     /// Charges driver-side compute (e.g. the column-update decision loop

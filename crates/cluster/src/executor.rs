@@ -1,16 +1,21 @@
 //! Worker-side execution: the worker event loop, per-task fault/retry
-//! handling, and the intra-worker thread-pool fan-out of a superstep's
-//! tasks. Everything in this module runs on worker threads; the driver
-//! talks to it exclusively through [`WorkerMsg`] channels.
+//! handling, and the intra-worker fan-out of a superstep's tasks onto the
+//! worker's persistent compute pool. Everything in this module runs on
+//! worker threads; the driver talks to it exclusively through
+//! [`WorkerMsg`] channels.
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::io;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::{Condvar, Mutex};
+
+use crossbeam::channel::{Receiver, Sender};
 
 use crate::engine::{AnyPart, TaskFaults, TaskFn};
+use crate::pool::{lock, ComputePool, Job, PoolCounters};
 use crate::task::TaskContext;
 use dbtf_telemetry::KernelEvent;
 
@@ -72,19 +77,30 @@ pub(crate) struct BatchResult {
     pub(crate) result_bytes: u64,
 }
 
-/// Spawns the OS thread running [`worker_loop`] for one worker machine.
+/// Spawns the OS thread running [`worker_loop`] for one worker machine,
+/// together with its persistent compute pool (when `compute_threads > 1`).
+///
+/// The pool threads are created *before* the worker thread so any OS
+/// thread-spawn failure surfaces here as an `Err` — callers turn it into a
+/// typed [`crate::ClusterError::WorkerSpawn`] instead of panicking inside
+/// the engine.
 pub(crate) fn spawn_worker(
     worker_id: usize,
     rx: Receiver<WorkerMsg>,
     compute_threads: usize,
-) -> JoinHandle<()> {
+    counters: Arc<PoolCounters>,
+) -> io::Result<JoinHandle<()>> {
+    let pool = if compute_threads > 1 {
+        Some(ComputePool::new(worker_id, compute_threads, counters)?)
+    } else {
+        None
+    };
     std::thread::Builder::new()
         .name(format!("dbtf-worker-{worker_id}"))
-        .spawn(move || worker_loop(worker_id, rx, compute_threads))
-        .expect("failed to spawn worker thread")
+        .spawn(move || worker_loop(worker_id, rx, pool))
 }
 
-fn worker_loop(worker_id: usize, rx: Receiver<WorkerMsg>, compute_threads: usize) {
+fn worker_loop(worker_id: usize, rx: Receiver<WorkerMsg>, pool: Option<ComputePool>) {
     let mut datasets: HashMap<u64, Vec<(usize, AnyPart)>> = HashMap::new();
     while let Ok(msg) = rx.recv() {
         match msg {
@@ -105,18 +121,21 @@ fn worker_loop(worker_id: usize, rx: Receiver<WorkerMsg>, compute_threads: usize
                 capture,
                 reply,
             } => {
-                let parts = datasets
-                    .get_mut(&dataset)
-                    .map(Vec::as_mut_slice)
-                    .unwrap_or(&mut []);
-                let batch = run_batch(
+                // Ownership of the partitions moves through the pool and
+                // back: jobs must be `'static`, so borrowing the map is
+                // not an option.
+                let parts = datasets.remove(&dataset).unwrap_or_default();
+                let (batch, parts) = run_batch(
                     worker_id,
                     parts,
-                    task.as_ref(),
+                    &task,
                     fault.as_ref(),
-                    compute_threads,
+                    pool.as_ref(),
                     capture,
                 );
+                if !parts.is_empty() {
+                    datasets.insert(dataset, parts);
+                }
                 let _ = reply.send(batch);
             }
             WorkerMsg::Count { dataset, reply } => {
@@ -139,6 +158,35 @@ struct TaskOutcome {
     /// Transiently failed launch attempts before the one that ran.
     retries: u32,
     kernels: Vec<KernelEvent>,
+}
+
+/// Collects `(partition, outcome)` pairs from pool threads and lets the
+/// worker block until the whole batch has landed.
+struct BatchSink {
+    expected: usize,
+    slots: Mutex<Vec<((usize, AnyPart), TaskOutcome)>>,
+    done: Condvar,
+}
+
+impl BatchSink {
+    fn push(&self, part: (usize, AnyPart), outcome: TaskOutcome) {
+        let mut slots = lock(&self.slots);
+        slots.push((part, outcome));
+        if slots.len() == self.expected {
+            self.done.notify_one();
+        }
+    }
+
+    fn wait(&self) -> Vec<((usize, AnyPart), TaskOutcome)> {
+        let mut slots = lock(&self.slots);
+        while slots.len() < self.expected {
+            slots = match self.done.wait(slots) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        std::mem::take(&mut *slots)
+    }
 }
 
 /// Runs one task under `catch_unwind` so a panicking task takes down
@@ -196,70 +244,72 @@ fn run_task(
     }
 }
 
-/// Executes one superstep's share of tasks on this worker, fanning the
-/// locally stored partitions out across `compute_threads` scoped threads
-/// (each pulls the next partition from a shared queue — cheap work
-/// stealing for uneven task costs).
+/// Executes one superstep's share of tasks on this worker. With a compute
+/// pool the partitions are injected as jobs into the pool's per-thread
+/// deques (idle threads steal, so uneven task costs balance out); without
+/// one — or for batches of at most one task — they run inline on the
+/// worker thread.
 ///
 /// The merge is deterministic: outcomes are sorted by global partition
 /// index and the ops/bytes counters are reduced in that fixed order, so
-/// the reply is bit-identical for every thread count.
+/// the reply is bit-identical for every thread count. Partitions are
+/// returned (sorted by index) for re-installation into the dataset map.
 fn run_batch(
     worker_id: usize,
-    parts: &mut [(usize, AnyPart)],
-    task: &TaskFn,
+    parts: Vec<(usize, AnyPart)>,
+    task: &Arc<TaskFn>,
     fault: Option<&TaskFaults>,
-    compute_threads: usize,
+    pool: Option<&ComputePool>,
     capture: bool,
-) -> BatchResult {
-    let nthreads = compute_threads.min(parts.len()).max(1);
-    let mut outcomes: Vec<TaskOutcome> = if nthreads <= 1 {
-        parts
-            .iter_mut()
-            .map(|(idx, part)| run_task(worker_id, *idx, part.as_mut(), task, fault, capture))
-            .collect()
-    } else {
-        let (job_tx, job_rx) = unbounded::<&mut (usize, AnyPart)>();
-        for item in parts.iter_mut() {
-            job_tx.send(item).expect("job queue closed early");
-        }
-        drop(job_tx);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..nthreads)
-                .map(|_| {
-                    let job_rx = job_rx.clone();
-                    scope.spawn(move || {
-                        let mut out = Vec::new();
-                        while let Ok(item) = job_rx.recv() {
-                            let idx = item.0;
-                            out.push(run_task(
-                                worker_id,
-                                idx,
-                                item.1.as_mut(),
-                                task,
-                                fault,
-                                capture,
-                            ));
-                        }
-                        out
-                    })
+) -> (BatchResult, Vec<(usize, AnyPart)>) {
+    let mut finished: Vec<((usize, AnyPart), TaskOutcome)> = match pool {
+        Some(pool) if parts.len() > 1 => {
+            let sink = Arc::new(BatchSink {
+                expected: parts.len(),
+                slots: Mutex::new(Vec::with_capacity(parts.len())),
+                done: Condvar::new(),
+            });
+            let jobs: Vec<Job> = parts
+                .into_iter()
+                .map(|(idx, mut part)| {
+                    let task = Arc::clone(task);
+                    let fault = fault.cloned();
+                    let sink = Arc::clone(&sink);
+                    Box::new(move || {
+                        let outcome = run_task(
+                            worker_id,
+                            idx,
+                            part.as_mut(),
+                            task.as_ref(),
+                            fault.as_ref(),
+                            capture,
+                        );
+                        sink.push((idx, part), outcome);
+                    }) as Job
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("compute thread died"))
-                .collect()
-        })
+            pool.submit(jobs);
+            sink.wait()
+        }
+        _ => parts
+            .into_iter()
+            .map(|(idx, mut part)| {
+                let outcome =
+                    run_task(worker_id, idx, part.as_mut(), task.as_ref(), fault, capture);
+                ((idx, part), outcome)
+            })
+            .collect(),
     };
-    outcomes.sort_by_key(|o| o.idx);
+    finished.sort_by_key(|(_, outcome)| outcome.idx);
 
-    let mut results = Vec::with_capacity(outcomes.len());
+    let mut kept = Vec::with_capacity(finished.len());
+    let mut results = Vec::with_capacity(finished.len());
     let mut panics = Vec::new();
-    let mut stats = Vec::with_capacity(outcomes.len());
+    let mut stats = Vec::with_capacity(finished.len());
     let mut total_ops = 0u64;
     let mut max_task_ops = 0u64;
     let mut result_bytes = 0u64;
-    for outcome in outcomes {
+    for (part, outcome) in finished {
         total_ops += outcome.ops;
         max_task_ops = max_task_ops.max(outcome.ops);
         result_bytes += outcome.result_bytes;
@@ -273,14 +323,18 @@ fn run_batch(
             Ok(out) => results.push((outcome.idx, out)),
             Err(msg) => panics.push((outcome.idx, msg)),
         }
+        kept.push(part);
     }
-    BatchResult {
-        worker: worker_id,
-        results,
-        panics,
-        stats,
-        total_ops,
-        max_task_ops,
-        result_bytes,
-    }
+    (
+        BatchResult {
+            worker: worker_id,
+            results,
+            panics,
+            stats,
+            total_ops,
+            max_task_ops,
+            result_bytes,
+        },
+        kept,
+    )
 }

@@ -21,7 +21,13 @@
 //! each worker additionally fans its partition tasks out across
 //! [`ClusterConfig::cores_per_worker`] compute threads (override:
 //! [`ClusterConfig::compute_threads`] or `DBTF_COMPUTE_THREADS`), so the
-//! execution is genuinely concurrent on a multi-core host. But wall-clock
+//! execution is genuinely concurrent on a multi-core host. The compute
+//! threads form a persistent per-worker work-stealing pool (they live as
+//! long as the worker; no per-superstep spawn/join), and the scheduler
+//! can additionally keep up to [`ClusterConfig::pipeline_depth`]
+//! supersteps in flight (`DBTF_PIPELINE_DEPTH`) while deferring their
+//! merges in program order — results and every meter stay bit-identical
+//! to barrier execution. But wall-clock
 //! time on one host cannot reproduce the paper's *machine scalability*
 //! experiment (Figure 7), so the engine additionally keeps a **virtual
 //! clock**: every task reports its cost in abstract ops
@@ -92,17 +98,20 @@ mod fault;
 mod lineage;
 mod local;
 mod metrics;
+mod pipeline;
 mod plan;
+mod pool;
 mod scheduler;
 mod storage;
 mod task;
 
 pub use backend::{ExecutionBackend, TaskEvents};
 pub use config::{ClusterConfig, NetworkModel};
-pub use engine::Cluster;
+pub use engine::{Cluster, ClusterError};
 pub use fault::FaultPlan;
 pub use local::{LocalBackend, LocalDataset};
 pub use metrics::{CommMetrics, MetricsSnapshot, VirtualDuration};
+pub use pipeline::Deferred;
 pub use plan::{OpKind, OpRecord, PlanTrace};
 pub use scheduler::Scheduler;
 pub use storage::{Broadcast, DistVec};

@@ -72,7 +72,15 @@ impl Cluster {
         let old_sender = std::mem::replace(&mut self.inner.senders.lock()[w], tx);
         let _ = old_sender.send(WorkerMsg::Shutdown);
         drop(old_sender);
-        let fresh = spawn_worker(w, rx, self.inner.compute_threads);
+        // Mid-run recovery has no Result channel back to the caller; an OS
+        // refusing a thread here is unrecoverable, so panic with context.
+        let fresh = spawn_worker(
+            w,
+            rx,
+            self.inner.compute_threads,
+            Arc::clone(&self.inner.pool_counters),
+        )
+        .unwrap_or_else(|e| panic!("failed to respawn crashed worker {w}: {e}"));
         if let Some(old) = self.inner.handles.lock()[w].replace(fresh) {
             let _ = old.join();
         }

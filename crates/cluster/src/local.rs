@@ -134,6 +134,9 @@ impl<P> Drop for LocalDataset<P> {
 
 impl ExecutionBackend for LocalBackend {
     type Dataset<P: Send + 'static> = LocalDataset<P>;
+    // Inline execution has nothing to overlap: "pending" results are
+    // already-finished results, and the depth is pinned to 1 below.
+    type Pending<T: Send + 'static> = Vec<T>;
 
     fn name(&self) -> &'static str {
         "local"
@@ -182,9 +185,7 @@ impl ExecutionBackend for LocalBackend {
     }
 
     fn broadcast<T: Send + Sync + 'static>(&self, value: T, bytes: u64) -> Broadcast<T> {
-        self.inner
-            .metrics
-            .add_broadcast(bytes * self.inner.workers as u64);
+        self.meter_broadcast(bytes);
         Broadcast {
             value: Arc::new(value),
         }
@@ -236,13 +237,25 @@ impl ExecutionBackend for LocalBackend {
         // reduction order as the cluster (every worker replies, including
         // idle ones), so byte/message/op counters match bit-for-bit. Only
         // the collect network time is skipped.
+        let times: Vec<f64> = (0..workers)
+            .map(|w| {
+                (total_ops[w] as f64
+                    / (self.inner.cores_per_worker as f64 * self.inner.core_throughput))
+                    .max(max_task_ops[w] as f64 / self.inner.core_throughput)
+            })
+            .collect();
+        // Idle meter, for parity with the cluster (observability only —
+        // excluded from snapshot equality).
+        let times_makespan = times.iter().fold(0.0f64, |a, &b| a.max(b));
+        let idle: f64 = times.iter().map(|&t| times_makespan - t).sum();
+        if idle > 0.0 {
+            metrics.add_pool_idle(idle);
+        }
+        metrics.note_superstep_submitted(1);
         let mut makespan = 0.0f64;
         {
             let mut busy = metrics.worker_busy_secs.lock();
-            for w in 0..workers {
-                let time = (total_ops[w] as f64
-                    / (self.inner.cores_per_worker as f64 * self.inner.core_throughput))
-                    .max(max_task_ops[w] as f64 / self.inner.core_throughput);
+            for (w, &time) in times.iter().enumerate() {
                 busy[w] += time;
                 makespan = makespan.max(time);
                 metrics.add_collected(result_bytes[w]);
@@ -259,6 +272,35 @@ impl ExecutionBackend for LocalBackend {
             .supersteps
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         out
+    }
+
+    fn pipeline_depth(&self) -> usize {
+        // Inline execution cannot overlap anything; any configured or
+        // env-requested depth is a documented no-op on this backend.
+        1
+    }
+
+    fn submit_map_partitions<P, T, F>(&self, data: &LocalDataset<P>, f: F) -> Vec<T>
+    where
+        P: Send + 'static,
+        T: Send + 'static,
+        F: Fn(usize, &mut P, &mut TaskContext) -> T + Send + Sync + 'static,
+    {
+        // Eager execution as permitted for pipeline_depth() == 1: the
+        // "pending" handle is the finished, fully-metered result.
+        self.map_partitions(data, f)
+    }
+
+    fn wait_map_partitions<T: Send + 'static>(&self, pending: Vec<T>) -> Vec<T> {
+        pending
+    }
+
+    fn meter_broadcast(&self, bytes: u64) {
+        // Byte metering only — the local backend never charges network
+        // time (see the module docs).
+        self.inner
+            .metrics
+            .add_broadcast(bytes * self.inner.workers as u64);
     }
 
     fn gather<P>(&self, data: &LocalDataset<P>) -> Vec<P>

@@ -85,8 +85,13 @@ pub struct CommMetrics {
     pub(crate) recovery_ops: AtomicU64,
     pub(crate) speculative_tasks: AtomicU64,
     pub(crate) speculative_wins: AtomicU64,
+    pub(crate) pipeline_overlapped: AtomicU64,
+    pub(crate) pipeline_max_in_flight: AtomicU64,
     pub(crate) clock_secs: Mutex<f64>,
     pub(crate) recovery_secs: Mutex<f64>,
+    /// Virtual idle-seconds: per superstep, the busy-time gap between each
+    /// worker and that superstep's makespan, summed over workers.
+    pub(crate) pool_idle_secs: Mutex<f64>,
     /// Virtual busy-seconds accumulated per worker (index = worker id).
     pub(crate) worker_busy_secs: Mutex<Vec<f64>>,
 }
@@ -147,6 +152,22 @@ impl CommMetrics {
         *self.recovery_secs.lock() += secs;
     }
 
+    /// Records a superstep entering the pipeline with `in_flight` total
+    /// supersteps now outstanding (1 in barrier mode).
+    pub(crate) fn note_superstep_submitted(&self, in_flight: u64) {
+        if in_flight > 1 {
+            self.pipeline_overlapped.fetch_add(1, Ordering::Relaxed);
+        }
+        self.pipeline_max_in_flight
+            .fetch_max(in_flight, Ordering::Relaxed);
+    }
+
+    /// Accumulates virtual idle time (worker busy-time below the superstep
+    /// makespan, summed over workers).
+    pub(crate) fn add_pool_idle(&self, secs: f64) {
+        *self.pool_idle_secs.lock() += secs;
+    }
+
     /// Takes a consistent snapshot of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -168,12 +189,23 @@ impl CommMetrics {
             recovery_time: VirtualDuration::from_secs_f64(*self.recovery_secs.lock()),
             virtual_time: VirtualDuration::from_secs_f64(*self.clock_secs.lock()),
             worker_busy_secs: self.worker_busy_secs.lock().clone(),
+            pool_tasks_stolen: 0,
+            pool_max_queue_depth: 0,
+            pool_idle_secs: *self.pool_idle_secs.lock(),
+            pipeline_supersteps_overlapped: self.pipeline_overlapped.load(Ordering::Relaxed),
+            pipeline_max_in_flight: self.pipeline_max_in_flight.load(Ordering::Relaxed),
         }
     }
 }
 
 /// A point-in-time copy of a cluster's [`CommMetrics`].
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Equality (`PartialEq`) covers every *deterministic* field — the ones the
+/// bit-identity contract pins across backends, thread counts and pipeline
+/// depths. The pool/pipeline observability fields (`pool_*`,
+/// `pipeline_*`) depend on the host schedule or on purely-internal
+/// admission bookkeeping and are excluded; see the manual impl below.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Bytes moved by [`crate::Cluster::distribute`] (the one-off
     /// partitioning shuffle — Lemma 6).
@@ -223,6 +255,54 @@ pub struct MetricsSnapshot {
     pub virtual_time: VirtualDuration,
     /// Per-worker virtual busy time; the spread measures load balance.
     pub worker_busy_secs: Vec<f64>,
+    /// Work-stealing pool: jobs a compute thread stole from a sibling's
+    /// deque. Wall-clock statistic — nondeterministic, excluded from `==`.
+    #[serde(default)]
+    pub pool_tasks_stolen: u64,
+    /// Work-stealing pool: high-water mark of any per-thread deque.
+    /// Wall-clock statistic — nondeterministic, excluded from `==`.
+    #[serde(default)]
+    pub pool_max_queue_depth: u64,
+    /// Virtual idle-seconds across workers (busy-time below each
+    /// superstep's makespan). Deterministic but observability-only;
+    /// excluded from `==` alongside the other pool/pipeline fields.
+    #[serde(default)]
+    pub pool_idle_secs: f64,
+    /// Supersteps admitted while at least one other superstep was still in
+    /// flight (pipelining overlap). Excluded from `==`.
+    #[serde(default)]
+    pub pipeline_supersteps_overlapped: u64,
+    /// High-water mark of supersteps simultaneously in flight. Excluded
+    /// from `==`.
+    #[serde(default)]
+    pub pipeline_max_in_flight: u64,
+}
+
+impl PartialEq for MetricsSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        // Deliberately NOT derived: the pool_*/pipeline_* observability
+        // fields are outside the determinism contract (they vary with the
+        // host schedule and the pipeline admission window), so snapshot
+        // equality compares only the deterministic meters.
+        self.bytes_shuffled == other.bytes_shuffled
+            && self.bytes_broadcast == other.bytes_broadcast
+            && self.bytes_collected == other.bytes_collected
+            && self.messages == other.messages
+            && self.tasks_run == other.tasks_run
+            && self.total_ops == other.total_ops
+            && self.supersteps == other.supersteps
+            && self.stored_bytes == other.stored_bytes
+            && self.task_retries == other.task_retries
+            && self.worker_respawns == other.worker_respawns
+            && self.partitions_recomputed == other.partitions_recomputed
+            && self.bytes_reshipped == other.bytes_reshipped
+            && self.recovery_ops == other.recovery_ops
+            && self.speculative_tasks == other.speculative_tasks
+            && self.speculative_wins == other.speculative_wins
+            && self.recovery_time == other.recovery_time
+            && self.virtual_time == other.virtual_time
+            && self.worker_busy_secs == other.worker_busy_secs
+    }
 }
 
 impl MetricsSnapshot {
@@ -246,6 +326,17 @@ impl MetricsSnapshot {
             speculative_wins: self.speculative_wins - earlier.speculative_wins,
             recovery_time: self.recovery_time - earlier.recovery_time,
             virtual_time: self.virtual_time - earlier.virtual_time,
+            pool_tasks_stolen: self
+                .pool_tasks_stolen
+                .saturating_sub(earlier.pool_tasks_stolen),
+            // High-water marks don't difference meaningfully; keep the
+            // later absolute value.
+            pool_max_queue_depth: self.pool_max_queue_depth,
+            pool_idle_secs: (self.pool_idle_secs - earlier.pool_idle_secs).max(0.0),
+            pipeline_supersteps_overlapped: self
+                .pipeline_supersteps_overlapped
+                .saturating_sub(earlier.pipeline_supersteps_overlapped),
+            pipeline_max_in_flight: self.pipeline_max_in_flight,
             worker_busy_secs: self
                 .worker_busy_secs
                 .iter()
@@ -295,6 +386,16 @@ impl MetricsSnapshot {
             "exec.worker_busy_secs_max",
             self.worker_busy_secs.iter().copied().fold(0.0, f64::max),
         ));
+        out.extend([
+            ("pool.tasks_stolen", self.pool_tasks_stolen as f64),
+            ("pool.max_queue_depth", self.pool_max_queue_depth as f64),
+            ("pool.idle_virtual_secs", self.pool_idle_secs),
+            (
+                "pipeline.supersteps_overlapped",
+                self.pipeline_supersteps_overlapped as f64,
+            ),
+            ("pipeline.max_in_flight", self.pipeline_max_in_flight as f64),
+        ]);
         out
     }
 }
@@ -377,6 +478,43 @@ mod tests {
         assert_eq!(delta.task_retries, 2);
         assert_eq!(delta.worker_respawns, 0);
         assert_eq!(delta.recovery_time.as_secs_f64(), 0.25);
+    }
+
+    #[test]
+    fn pool_and_pipeline_counters_are_exported_but_not_compared() {
+        let m = CommMetrics::new(2);
+        m.note_superstep_submitted(1); // barrier: no overlap recorded
+        m.note_superstep_submitted(3);
+        m.add_pool_idle(0.75);
+        let s = m.snapshot();
+        assert_eq!(s.pipeline_supersteps_overlapped, 1);
+        assert_eq!(s.pipeline_max_in_flight, 3);
+        assert_eq!(s.pool_idle_secs, 0.75);
+
+        // The observability fields must not participate in equality: two
+        // snapshots that differ only there still compare equal.
+        let mut other = s.clone();
+        other.pool_tasks_stolen = 999;
+        other.pool_max_queue_depth = 42;
+        other.pool_idle_secs = 0.0;
+        other.pipeline_supersteps_overlapped = 0;
+        other.pipeline_max_in_flight = 0;
+        assert_eq!(s, other);
+        // ...while a deterministic meter difference still breaks equality.
+        other.total_ops += 1;
+        assert_ne!(s, other);
+
+        // And they are all visible through the unified counter export.
+        let names: Vec<&str> = s.named_counters().iter().map(|(n, _)| *n).collect();
+        for name in [
+            "pool.tasks_stolen",
+            "pool.max_queue_depth",
+            "pool.idle_virtual_secs",
+            "pipeline.supersteps_overlapped",
+            "pipeline.max_in_flight",
+        ] {
+            assert!(names.contains(&name), "missing counter {name}");
+        }
     }
 
     #[test]

@@ -686,3 +686,157 @@ fn distribute_with_lineage_rebuild_closure_is_used() {
     assert_eq!(m.worker_respawns, 1);
     assert_eq!(m.partitions_recomputed, 3);
 }
+
+/// Many tiny, wildly uneven tasks across every thread count: the
+/// work-stealing pool must produce identical results and identical
+/// virtual-time metrics regardless of how the host schedules the deques.
+#[test]
+fn queue_contention_under_uneven_tiny_tasks() {
+    let run = |threads: usize| {
+        let cluster = Cluster::new(ClusterConfig {
+            workers: 2,
+            cores_per_worker: 4,
+            compute_threads: Some(threads),
+            core_throughput_ops_per_sec: 1e6,
+            ..ClusterConfig::default()
+        });
+        let data = cluster.distribute((0..64u64).map(|v| (v, 8)).collect());
+        let mut outs = Vec::new();
+        for round in 0..5u64 {
+            outs.push(cluster.map_partitions(&data, move |idx, v, ctx| {
+                // Cost spans three orders of magnitude and shifts per
+                // round, so static round-robin placement is maximally
+                // unfair — only stealing balances it.
+                let cost = if idx % 7 == 0 {
+                    100_000
+                } else {
+                    37 + idx as u64
+                };
+                ctx.charge(cost * (round + 1));
+                *v = v.wrapping_mul(6364136223846793005).wrapping_add(round);
+                *v
+            }));
+        }
+        (outs, cluster.gather(&data), cluster.metrics())
+    };
+    let (o1, g1, m1) = run(1);
+    for threads in [2usize, 4, 8] {
+        let (o, g, m) = run(threads);
+        assert_eq!(o, o1, "{threads} threads");
+        assert_eq!(g, g1, "{threads} threads");
+        assert_eq!(m, m1, "{threads} threads");
+    }
+}
+
+/// With one monster task pinned to thread 0's deque and plenty of small
+/// ones behind it, the sibling thread must actually steal.
+#[test]
+fn idle_threads_steal_queued_work() {
+    let cluster = Cluster::new(ClusterConfig {
+        workers: 1,
+        cores_per_worker: 2,
+        compute_threads: Some(2),
+        core_throughput_ops_per_sec: 1e6,
+        ..ClusterConfig::default()
+    });
+    let data = cluster.distribute((0..32u64).map(|v| (v, 8)).collect());
+    for _ in 0..20 {
+        cluster.map_partitions(&data, |idx, _v: &mut u64, ctx| {
+            ctx.charge(1);
+            if idx == 0 {
+                // Hold thread 0 long enough that its queued jobs are
+                // visibly up for grabs.
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        });
+    }
+    let m = cluster.metrics();
+    assert!(
+        m.pool_tasks_stolen >= 1,
+        "expected at least one steal, counters: stolen={} max_depth={}",
+        m.pool_tasks_stolen,
+        m.pool_max_queue_depth
+    );
+    assert!(m.pool_max_queue_depth >= 1);
+}
+
+/// Two supersteps submitted without waiting must actually overlap under a
+/// depth-4 pipeline, and the observability counters must say so — while
+/// staying excluded from snapshot equality.
+#[test]
+fn pipeline_counters_report_overlap() {
+    use dbtf_cluster::Scheduler;
+    let cluster = Cluster::new(ClusterConfig {
+        workers: 2,
+        cores_per_worker: 2,
+        compute_threads: Some(2),
+        pipeline_depth: Some(4),
+        core_throughput_ops_per_sec: 1e6,
+        ..ClusterConfig::default()
+    });
+    assert_eq!(cluster.pipeline_depth(), 4);
+    let sched = Scheduler::new(&cluster);
+    let data =
+        sched.distribute_with_lineage("data", (0..8u64).map(|v| (v, 8)).collect(), |i| i as u64);
+    let first = sched.map_partitions_deferred("step.one", &data, |_idx, v: &mut u64, ctx| {
+        ctx.charge(10);
+        *v + 1
+    });
+    let second = sched.map_partitions_deferred("step.two", &data, |_idx, v: &mut u64, ctx| {
+        ctx.charge(10);
+        *v * 2
+    });
+    assert_eq!(sched.wait(first), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    assert_eq!(sched.wait(second), vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    let m = cluster.metrics();
+    assert!(m.pipeline_supersteps_overlapped >= 1);
+    assert!(m.pipeline_max_in_flight >= 2);
+    let names: Vec<&str> = m.named_counters().iter().map(|(n, _)| *n).collect();
+    for name in [
+        "pool.tasks_stolen",
+        "pool.max_queue_depth",
+        "pool.idle_virtual_secs",
+        "pipeline.supersteps_overlapped",
+        "pipeline.max_in_flight",
+    ] {
+        assert!(names.contains(&name), "missing counter {name}");
+    }
+}
+
+#[test]
+fn try_new_reports_invalid_configs_as_typed_errors() {
+    use dbtf_cluster::ClusterError;
+    let no_workers = Cluster::try_new(ClusterConfig {
+        workers: 0,
+        ..ClusterConfig::default()
+    });
+    match no_workers {
+        Err(ClusterError::InvalidConfig(msg)) => {
+            assert_eq!(msg, "a cluster needs at least one worker");
+        }
+        Err(other) => panic!("expected InvalidConfig, got {other}"),
+        Ok(_) => panic!("expected InvalidConfig, got a cluster"),
+    }
+    let no_cores = Cluster::try_new(ClusterConfig {
+        workers: 2,
+        cores_per_worker: 0,
+        ..ClusterConfig::default()
+    });
+    match no_cores {
+        Err(ClusterError::InvalidConfig(msg)) => {
+            assert_eq!(msg, "workers need at least one core");
+        }
+        Err(other) => panic!("expected InvalidConfig, got {other}"),
+        Ok(_) => panic!("expected InvalidConfig, got a cluster"),
+    }
+    // The Display impl renders spawn failures with worker context.
+    let spawn = ClusterError::WorkerSpawn {
+        worker: 3,
+        source: std::io::Error::other("no threads left"),
+    };
+    assert_eq!(
+        spawn.to_string(),
+        "failed to spawn threads for worker 3: no threads left"
+    );
+    assert!(std::error::Error::source(&spawn).is_some());
+}

@@ -15,6 +15,11 @@ pub enum DbtfError {
     /// is not an error (the run starts fresh); a corrupt or mismatched one
     /// is.
     Checkpoint(String),
+    /// Booting the execution engine failed (e.g. the OS refused to spawn a
+    /// worker's compute-pool threads). Carries the rendered engine error;
+    /// the variant stores a `String` because this enum is `Clone + Eq` and
+    /// the underlying `std::io::Error` is neither.
+    Engine(String),
 }
 
 impl std::fmt::Display for DbtfError {
@@ -23,11 +28,18 @@ impl std::fmt::Display for DbtfError {
             DbtfError::InvalidConfig(msg) => write!(f, "invalid DBTF configuration: {msg}"),
             DbtfError::EmptyTensor => write!(f, "input tensor has a zero-sized mode"),
             DbtfError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            DbtfError::Engine(msg) => write!(f, "engine error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for DbtfError {}
+
+impl From<dbtf_cluster::ClusterError> for DbtfError {
+    fn from(err: dbtf_cluster::ClusterError) -> Self {
+        DbtfError::Engine(err.to_string())
+    }
+}
 
 /// How the `L` initial factor sets are drawn.
 ///
@@ -265,6 +277,18 @@ mod tests {
             ..Default::default()
         };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn cluster_error_converts_to_engine_variant() {
+        let err = dbtf_cluster::ClusterError::WorkerSpawn {
+            worker: 2,
+            source: std::io::Error::other("out of threads"),
+        };
+        let rendered = err.to_string();
+        let converted = DbtfError::from(err);
+        assert_eq!(converted, DbtfError::Engine(rendered.clone()));
+        assert_eq!(converted.to_string(), format!("engine error: {rendered}"));
     }
 
     #[test]

@@ -263,6 +263,10 @@ fn run<B: ExecutionBackend>(
         save_if_due(iteration_errors.len(), &factors, &iteration_errors)?;
     }
 
+    // Settle any still-deferred supersteps before the final metric read.
+    // (The phase() wrappers above already drain, so this is a no-op today —
+    // but the metric snapshot must never race a pending merge.)
+    sched.drain();
     let comm = sched.backend().metrics().since(&metrics_start);
     let relative_error = if x.nnz() == 0 {
         if error == 0 {
@@ -330,14 +334,17 @@ pub(crate) fn distribute_unfoldings<B: ExecutionBackend>(
             PartitionSlot::new(parts.swap_remove(idx))
         });
         // Distributed block organization (Algorithm 3 line 4): each worker
-        // walks its share of the non-zeros once.
-        sched.map_partitions(
+        // walks its share of the non-zeros once. The driver never reads the
+        // result, so the superstep is submitted without waiting — under
+        // `pipeline_depth > 1` it overlaps with unfolding/partitioning the
+        // next mode (and with the driver's initial-factor sampling).
+        drop(sched.map_partitions_deferred(
             "unfold.organize",
             &data,
             |_idx, slot: &mut PartitionSlot, ctx| {
                 ctx.charge_kernel("kernel.organize_blocks", slot.part.nnz() as u64);
             },
-        );
+        ));
         // Read-only superstep: partitions still equal their rebuilt form.
         sched.reset_lineage(&data);
         datasets.push(data);
@@ -438,8 +445,8 @@ fn update_factor<B: ExecutionBackend>(
 
     // Finish: apply the last column; optionally compute the exact error;
     // drop the caches.
-    let errors: Vec<u64> = sched.map_partitions("cp.update.finish", data, {
-        move |_idx, slot: &mut PartitionSlot, ctx| {
+    let finish =
+        move |_idx: usize, slot: &mut PartitionSlot, ctx: &mut dbtf_cluster::TaskContext| {
             let state = slot.work.as_mut().expect("update_factor not begun");
             let (c, values) = last.get();
             state.apply_column(*c, values);
@@ -454,8 +461,17 @@ fn update_factor<B: ExecutionBackend>(
             ctx.set_result_bytes(8);
             slot.work = None;
             err
-        }
-    });
+        };
+    let errors: Option<Vec<u64>> = if compute_error {
+        Some(sched.map_partitions("cp.update.finish", data, finish))
+    } else {
+        // All results are zero and nothing downstream reads them, so the
+        // superstep is submitted without waiting — under
+        // `pipeline_depth > 1` it overlaps with the next mode's broadcast
+        // and cache-building begin.
+        drop(sched.map_partitions_deferred("cp.update.finish", data, finish));
+        None
+    };
     // The partitions are back to their distribute-time state (`part` is
     // never mutated, `work` is None again), so a crash from here on only
     // needs the rebuild closure — truncating the lineage log keeps replay
@@ -463,7 +479,7 @@ fn update_factor<B: ExecutionBackend>(
     sched.reset_lineage(data);
     UpdateOutcome {
         a: master,
-        error: compute_error.then(|| errors.iter().sum()),
+        error: errors.map(|e| e.iter().sum()),
         cache_bytes: peak_cache,
     }
 }
