@@ -8,20 +8,29 @@
 //! counts — and reports the recovery overhead (virtual-time stretch) plus
 //! the recovery counters.
 //!
+//! With `--net`, the faulty runs execute on the **networked backend**
+//! (TCP workers, thread-hosted) under a process-kill plan at the given
+//! rate instead of transient faults; each cell additionally asserts that
+//! the payload bytes measured on the wire equal the Lemma 6/7 meters,
+//! and the JSON report gains the wire counters.
+//!
 //! Output is an ASCII table on stdout and, with `--json FILE`, a
 //! hand-written JSON report for tooling (no external serializer needed).
 //!
 //! ```text
 //! cargo run --release -p dbtf-bench --bin chaos -- [--exp 9] [--rank 8]
-//!     [--density 0.02] [--seed 0] [--json chaos.json]
+//!     [--density 0.02] [--seed 0] [--json chaos.json] [--net]
 //! ```
 
 use std::fmt::Write as _;
 
-use dbtf::{factorize, DbtfConfig, DbtfResult};
+use dbtf::{factorize, net_tasks, DbtfConfig, DbtfResult};
 use dbtf_bench::{print_header, print_row, Args};
-use dbtf_cluster::{Cluster, ClusterConfig, FaultPlan, MetricsSnapshot};
+use dbtf_cluster::{
+    Cluster, ClusterConfig, ExecutionBackend, FaultPlan, MetricsSnapshot, NetTuning, WorkerHost,
+};
 use dbtf_datagen::uniform_random;
+use dbtf_oracle::check_wire_meters;
 use dbtf_tensor::BoolTensor;
 
 struct Cell {
@@ -35,6 +44,20 @@ struct Cell {
     recomputed: u64,
     reshipped: u64,
     speculative: u64,
+    /// Wire counters of the faulty run — zero in the simulated sweep.
+    wire_sent: u64,
+    wire_received: u64,
+    wire_overhead: u64,
+    wire_reship: u64,
+}
+
+fn cluster_config(workers: usize, plan: Option<FaultPlan>) -> ClusterConfig {
+    ClusterConfig {
+        workers,
+        cores_per_worker: 8,
+        fault_plan: plan,
+        ..ClusterConfig::default()
+    }
 }
 
 fn run(
@@ -43,20 +66,41 @@ fn run(
     workers: usize,
     plan: Option<FaultPlan>,
 ) -> (DbtfResult, MetricsSnapshot) {
-    let cluster = Cluster::new(ClusterConfig {
-        workers,
-        cores_per_worker: 8,
-        fault_plan: plan,
-        ..ClusterConfig::default()
-    });
+    let cluster = Cluster::new(cluster_config(workers, plan));
     let result = factorize(&cluster, x, config).expect("factorization succeeds");
     let metrics = cluster.metrics();
     (result, metrics)
 }
 
+/// Runs the same plan on the networked backend (thread-hosted TCP
+/// workers — same wire protocol and recovery path as real processes,
+/// kills delivered as `Die` frames).
+fn run_net(
+    x: &BoolTensor,
+    config: &DbtfConfig,
+    workers: usize,
+    plan: Option<FaultPlan>,
+) -> (DbtfResult, MetricsSnapshot) {
+    let backend = net_tasks::net_backend(
+        cluster_config(workers, plan),
+        WorkerHost::Thread(net_tasks::build_registry()),
+        NetTuning {
+            respawn_budget: 1024,
+            ..NetTuning::default()
+        },
+    )
+    .expect("net backend binds and spawns");
+    let result = factorize(&backend, x, config).expect("factorization succeeds");
+    let metrics = backend.metrics();
+    (result, metrics)
+}
+
 fn main() {
     let args = Args::parse();
-    let exp = args.get("exp", 9u32);
+    let net = args.has("net");
+    // The networked sweep moves every byte over real sockets, so it
+    // defaults to a smaller tensor than the simulated one.
+    let exp = args.get("exp", if net { 7u32 } else { 9u32 });
     let rank = args.get("rank", 8usize);
     let density = args.get("density", 0.02f64);
     let seed = args.get("seed", 0u64);
@@ -70,12 +114,19 @@ fn main() {
         seed,
         ..DbtfConfig::default()
     };
-    println!("Chaos sweep — fault-recovery overhead");
+    if net {
+        println!("Chaos sweep — process-kill recovery on the networked backend");
+    } else {
+        println!("Chaos sweep — fault-recovery overhead");
+    }
     println!(
         "I=J=K=2^{exp} ({dim}), density {density}, rank {rank}, |X|={}",
         x.nnz()
     );
     println!("(every faulty run is asserted bit-identical to the fault-free run)");
+    if net {
+        println!("(and the wire payload is asserted equal to the Lemma 6/7 meters)");
+    }
     print_header(
         "recovery overhead",
         "workers/rate",
@@ -90,21 +141,42 @@ fn main() {
     for &workers in &worker_counts {
         let (clean, clean_m) = run(&x, &config, workers, None);
         for &rate in &rates {
-            let plan = FaultPlan {
-                // One mid-run crash in every faulty cell; rate drives the
-                // transient/slow noise on top.
-                worker_crashes: vec![(15, workers - 1)],
-                task_failure_rate: rate,
-                slow_task_rate: rate / 2.0,
-                ..FaultPlan::with_seed(seed ^ 0xc0de)
+            let plan = if net {
+                FaultPlan {
+                    // One scheduled mid-run kill in every faulty cell;
+                    // the rate drives seeded worker kills on top.
+                    worker_crashes: vec![(15, workers - 1)],
+                    process_kill_rate: rate,
+                    ..FaultPlan::with_seed(seed ^ 0xc0de)
+                }
+            } else {
+                FaultPlan {
+                    // One mid-run crash in every faulty cell; rate drives
+                    // the transient/slow noise on top.
+                    worker_crashes: vec![(15, workers - 1)],
+                    task_failure_rate: rate,
+                    slow_task_rate: rate / 2.0,
+                    ..FaultPlan::with_seed(seed ^ 0xc0de)
+                }
             };
-            let (faulty, m) = run(&x, &config, workers, Some(plan));
+            let (faulty, m) = if net {
+                run_net(&x, &config, workers, Some(plan))
+            } else {
+                run(&x, &config, workers, Some(plan))
+            };
             assert_eq!(clean.factors, faulty.factors, "bit-identical factors");
             assert_eq!(clean.error, faulty.error, "bit-identical error");
             assert_eq!(
                 clean_m.total_ops, m.total_ops,
                 "bit-identical op counts (w={workers}, rate={rate})"
             );
+            if net {
+                let violations = check_wire_meters(&m);
+                assert!(
+                    violations.is_empty(),
+                    "wire bytes must equal the lemma meters: {violations:?}"
+                );
+            }
             let cell = Cell {
                 workers,
                 rate,
@@ -116,6 +188,10 @@ fn main() {
                 recomputed: m.partitions_recomputed,
                 reshipped: m.bytes_reshipped,
                 speculative: m.speculative_tasks,
+                wire_sent: m.net_wire_bytes_sent,
+                wire_received: m.net_wire_bytes_received,
+                wire_overhead: m.net_wire_overhead_bytes,
+                wire_reship: m.net_wire_reship_bytes,
             };
             let overhead = 100.0 * (cell.faulty_secs - cell.clean_secs) / cell.clean_secs;
             print_row(
@@ -138,15 +214,28 @@ fn main() {
         let p = args.get("json", String::new());
         (!p.is_empty()).then_some(p)
     } {
-        let mut json = String::from("{\n  \"experiment\": \"chaos\",\n  \"cells\": [\n");
+        let mut json = format!(
+            "{{\n  \"experiment\": \"{}\",\n  \"cells\": [\n",
+            if net { "chaos_net" } else { "chaos" }
+        );
         for (i, c) in cells.iter().enumerate() {
+            let wire = if net {
+                format!(
+                    ", \"wire_bytes_sent\": {}, \"wire_bytes_received\": {}, \
+                     \"wire_overhead_bytes\": {}, \"wire_reship_bytes\": {}, \
+                     \"wire_matches_lemma_meters\": true",
+                    c.wire_sent, c.wire_received, c.wire_overhead, c.wire_reship
+                )
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 json,
                 "    {{\"workers\": {}, \"fault_rate\": {}, \"clean_virtual_secs\": {}, \
                  \"faulty_virtual_secs\": {}, \"recovery_virtual_secs\": {}, \
                  \"worker_respawns\": {}, \"task_retries\": {}, \
                  \"partitions_recomputed\": {}, \"bytes_reshipped\": {}, \
-                 \"speculative_tasks\": {}, \"bit_identical\": true}}{}",
+                 \"speculative_tasks\": {}, \"bit_identical\": true{}}}{}",
                 c.workers,
                 c.rate,
                 c.clean_secs,
@@ -157,6 +246,7 @@ fn main() {
                 c.recomputed,
                 c.reshipped,
                 c.speculative,
+                wire,
                 if i + 1 < cells.len() { "," } else { "" },
             );
         }

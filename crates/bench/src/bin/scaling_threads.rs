@@ -9,12 +9,17 @@
 //! change results. Numbers land in EXPERIMENTS.md; note that speedup is
 //! bounded by the host's physical core count, not the thread setting.
 //!
+//! With `--json FILE` the datapoints are also written as a
+//! machine-readable report (same hand-rolled JSON as the chaos sweep),
+//! so the perf trajectory can be tracked across commits.
+//!
 //! ```text
 //! cargo run --release -p dbtf-bench --bin scaling_threads -- \
 //!     --dim 96 --density 0.05 --rank 10 --workers 4 --threads 1,2,4 \
-//!     --pipeline-depth 4
+//!     --pipeline-depth 4 [--json target/scaling_threads.json]
 //! ```
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use dbtf::DbtfConfig;
@@ -54,6 +59,7 @@ fn main() {
 
     let mut base_wall = None;
     let mut base_result = None;
+    let mut points: Vec<(usize, f64, f64, u64)> = Vec::new();
     for &t in &threads {
         let start = Instant::now();
         let outcome = run_dbtf_threads_depth(&x, &config, workers, Some(t), Some(depth));
@@ -71,6 +77,7 @@ fn main() {
             ),
         }
         let base = *base_wall.get_or_insert(wall);
+        points.push((t, wall, vsecs, error));
         print_row(
             &format!("{t}"),
             &[
@@ -82,4 +89,27 @@ fn main() {
         );
     }
     println!("\nresults identical across all thread counts ✓");
+
+    if let Some(path) = {
+        let p = args.get("json", String::new());
+        (!p.is_empty()).then_some(p)
+    } {
+        let mut json = format!(
+            "{{\n  \"experiment\": \"scaling_threads\",\n  \"dim\": {dim}, \
+             \"density\": {density}, \"rank\": {rank}, \"workers\": {workers}, \
+             \"pipeline_depth\": {depth},\n  \"cells\": [\n"
+        );
+        for (i, (t, wall, vsecs, error)) in points.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "    {{\"threads\": {t}, \"wall_secs\": {wall}, \
+                 \"virtual_secs\": {vsecs}, \"error\": {error}, \
+                 \"bit_identical\": true}}{}",
+                if i + 1 < points.len() { "," } else { "" },
+            );
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json).expect("write JSON report");
+        println!("wrote {path}");
+    }
 }

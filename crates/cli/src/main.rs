@@ -4,11 +4,15 @@
 //! dbtf factorize   --input X.txt --rank 10 [--workers 16] [--iters 10]
 //!                  [--sets 1] [--seed 0] [--partitions N] [--v 15]
 //!                  [--compute-threads T] [--pipeline-depth D]
-//!                  [--backend cluster|local] [--output PREFIX]
+//!                  [--backend cluster|local|net] [--output PREFIX]
+//!                  [--net-respawn-budget N]
 //!                  [--checkpoint FILE] [--checkpoint-every K] [--resume]
 //!                  [--fault-crash S:W,…] [--fault-task-failure-rate F]
 //!                  [--fault-slow-rate F] [--fault-slow-factor M]
+//!                  [--fault-kill-rate F] [--fault-drop-rate F]
+//!                  [--fault-delay-rate F] [--fault-delay-ms MS]
 //!                  [--fault-seed N] [--no-speculation] [--trace-out FILE]
+//! dbtf worker      --connect ADDR --id N [--incarnation N]
 //! dbtf tucker      --input X.txt --ranks 4,4,4 [--iters 10] [--sets 1]
 //!                  [--seed 0] [--output PREFIX] [--trace-out FILE]
 //! dbtf select-rank --input X.txt --candidates 2,4,6,8 [--sets 4]
@@ -34,7 +38,9 @@ use dbtf::model_selection::select_rank;
 use dbtf::tucker::{tucker_factorize, TuckerConfig};
 use dbtf::tucker_distributed::tucker_factorize_distributed_instrumented;
 use dbtf::{factorize_instrumented, BackendKind, DbtfConfig};
-use dbtf_cluster::{Cluster, ClusterConfig, FaultPlan, LocalBackend};
+use dbtf_cluster::{
+    Cluster, ClusterConfig, ExecutionBackend, FaultPlan, LocalBackend, NetTuning, WorkerHost,
+};
 use dbtf_datagen::proxies::{generate_proxy, proxy_specs};
 use dbtf_datagen::{uniform_random, NoiseSpec, PlantedConfig, PlantedTensor};
 use dbtf_telemetry::{validate_chrome_trace, write_chrome_trace, Tracer};
@@ -44,6 +50,17 @@ const USAGE: &str = "usage: dbtf <factorize|tucker|select-rank|generate|stats> [
 run `dbtf help` for the full option list";
 
 fn main() -> ExitCode {
+    // `ClusterError` panics are typed control flow: the engine unwinds to
+    // the driver's catch, which flushes a final checkpoint and converts
+    // them into `DbtfError`. The default hook's backtrace would dress
+    // that graceful degradation up as a crash, so silence it for exactly
+    // that payload type.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if !info.payload().is::<dbtf_cluster::ClusterError>() {
+            default_hook(info);
+        }
+    }));
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(argv) {
         Ok(()) => ExitCode::SUCCESS,
@@ -67,6 +84,7 @@ fn run(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let parsed = ParsedArgs::parse(argv)?;
     match parsed.command.first().map(String::as_str) {
         Some("factorize") => cmd_factorize(&parsed),
+        Some("worker") => cmd_worker(&parsed),
         Some("tucker") => cmd_tucker(&parsed),
         Some("select-rank") => cmd_select_rank(&parsed),
         Some("generate") => cmd_generate(&parsed),
@@ -84,6 +102,7 @@ fn long_help() -> &'static str {
 
 commands:
   factorize    Boolean CP factorization on a simulated cluster
+  worker       networked worker process (spawned by --backend net)
   tucker       Boolean Tucker factorization (single machine)
   select-rank  MDL sweep over candidate ranks
   generate     synthetic workloads: random | planted | proxy
@@ -101,12 +120,19 @@ factorize: --rank R [--workers 16] [--iters 10] [--sets 1]
                  execution; DBTF_PIPELINE_DEPTH also works). Results and
                  every metric are bit-identical for every D; crash-plan
                  runs pin D to 1. No effect on --backend local
-           [--backend cluster|local]
+           [--backend cluster|local|net]
                  cluster (default): simulated multi-worker engine with
                  network-model costing and optional fault injection;
                  local: same plan inline in one process — identical
                  factors/errors/byte counters, but virtual time excludes
-                 all network costs and --fault-* options are rejected
+                 all network costs and --fault-* options are rejected;
+                 net: workers are separate OS processes (this binary's
+                 `worker` subcommand) over TCP — identical factors/errors
+                 and byte counters, with shuffle/broadcast bytes measured
+                 on the wire and process kills delivered as real SIGKILLs
+           [--net-respawn-budget N]
+                 respawns per worker before a net run degrades to a typed
+                 error with a final checkpoint flush (default 3)
   checkpointing:
            [--checkpoint FILE]    write factors to FILE every K iterations
            [--checkpoint-every K] (default 1 when --checkpoint is given)
@@ -116,6 +142,12 @@ factorize: --rank R [--workers 16] [--iters 10] [--sets 1]
            [--fault-task-failure-rate F]  transient task-launch failures
            [--fault-slow-rate F]          slow-task (hang) probability
            [--fault-slow-factor M]        slowdown multiplier (default 4)
+           [--fault-kill-rate F]          per-worker-superstep kill rate
+                 (simulated crash on cluster, real SIGKILL on net — same
+                 seeded schedule, so results stay identical)
+           [--fault-drop-rate F]          connection-drop rate (net only)
+           [--fault-delay-rate F]         response-delay rate (net only)
+           [--fault-delay-ms MS]          injected delay (default 5 ms)
            [--fault-seed N]               fault-decision seed (default 0)
            [--no-speculation]             disable speculative re-execution
   tracing:
@@ -124,6 +156,9 @@ factorize: --rank R [--workers 16] [--iters 10] [--sets 1]
                  clock) and write it as Chrome trace-event JSON — open in
                  chrome://tracing or Perfetto, or summarize with
                  `dbtf stats --trace FILE`
+worker:    --connect ADDR --id N [--incarnation N]
+                 connect to a --backend net driver and serve tasks; spawned
+                 automatically, only useful directly for debugging
 tucker:    --ranks R1,R2,R3 [--iters 10] [--sets 1] [--workers M]\n           [--output PREFIX]   (--workers runs the distributed driver)
 select-rank: --candidates R1,R2,… [--sets 4]
 stats:     --input X.txt | --trace TRACE.json
@@ -221,20 +256,21 @@ fn cmd_factorize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> 
         fault_plan: fault_plan.clone(),
         ..ClusterConfig::paper_cluster()
     };
-    // Factors/errors/byte counters are identical on both backends; the
-    // local one skips the network model (virtual time is compute-only)
-    // and cannot inject faults.
-    let (result, recovery) = match config.backend {
+    // Factors/errors/byte counters are identical on all three backends;
+    // the local one skips the network model (virtual time is compute-only)
+    // and cannot inject faults; the net one runs workers as separate OS
+    // processes over TCP and measures the Lemma 6/7 bytes on the wire.
+    let (result, recovery, wire) = match config.backend {
         BackendKind::Cluster => {
             let cluster = Cluster::try_new(cluster_config)?;
             let result = factorize_instrumented(&cluster, &x, &config, &tracer)?.0;
             let recovery = fault_plan.is_some().then(|| cluster.metrics());
-            (result, recovery)
+            (result, recovery, None)
         }
         BackendKind::Local => {
             if fault_plan.is_some() {
                 return Err(Box::new(ArgError(
-                    "--fault-* options need --backend cluster \
+                    "--fault-* options need --backend cluster or net \
                      (the local backend injects no faults)"
                         .into(),
                 )));
@@ -243,7 +279,24 @@ fn cmd_factorize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> 
             (
                 factorize_instrumented(&backend, &x, &config, &tracer)?.0,
                 None,
+                None,
             )
+        }
+        BackendKind::Net => {
+            let tuning = NetTuning {
+                respawn_budget: parsed
+                    .get("net-respawn-budget", NetTuning::default().respawn_budget)?,
+                ..NetTuning::default()
+            };
+            let host = WorkerHost::Process {
+                program: std::env::current_exe()?,
+                args: vec!["worker".into()],
+            };
+            let backend = dbtf::net_tasks::net_backend(cluster_config, host, tuning)?;
+            let result = factorize_instrumented(&backend, &x, &config, &tracer)?.0;
+            let metrics = backend.metrics();
+            let recovery = fault_plan.is_some().then(|| metrics.clone());
+            (result, recovery, Some(metrics))
         }
     };
     if let Some(path) = trace_out {
@@ -268,6 +321,17 @@ fn cmd_factorize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> 
         result.stats.comm.bytes_broadcast,
         result.stats.comm.bytes_collected
     );
+    if let Some(m) = &wire {
+        println!(
+            "wire: {} B sent, {} B received (payload, equal to the meters \
+             above), {} B framing overhead, {} B re-shipped, {} reconnects",
+            m.net_wire_bytes_sent,
+            m.net_wire_bytes_received,
+            m.net_wire_overhead_bytes,
+            m.net_wire_reship_bytes,
+            m.net_reconnects,
+        );
+    }
     if let Some(m) = recovery {
         println!(
             "recovery: {} respawns, {} partitions recomputed, {} B re-shipped, \
@@ -324,10 +388,28 @@ fn parse_fault_plan(parsed: &ParsedArgs) -> Result<Option<FaultPlan>, Box<dyn st
         task_failure_rate: parsed.get("fault-task-failure-rate", 0.0)?,
         slow_task_rate: parsed.get("fault-slow-rate", 0.0)?,
         slow_task_factor: parsed.get("fault-slow-factor", 4.0)?,
+        process_kill_rate: parsed.get("fault-kill-rate", 0.0)?,
+        connection_drop_rate: parsed.get("fault-drop-rate", 0.0)?,
+        response_delay_rate: parsed.get("fault-delay-rate", 0.0)?,
+        response_delay_ms: parsed.get("fault-delay-ms", 5)?,
         speculation: !parsed.has_flag("no-speculation"),
         ..FaultPlan::with_seed(parsed.get("fault-seed", 0)?)
     };
     Ok(plan.is_active().then_some(plan))
+}
+
+/// `dbtf worker --connect ADDR --id N [--incarnation N]`: the networked
+/// worker process. `--backend net` drivers spawn this subcommand (via
+/// [`WorkerHost::Process`]) once per worker and again on every respawn;
+/// it connects back to the driver, registers the same task bodies the
+/// driver schedules (see `dbtf::net_tasks`), and serves supersteps until
+/// told to exit or killed.
+fn cmd_worker(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let addr: std::net::SocketAddr = parsed.require("connect")?;
+    let id: usize = parsed.require("id")?;
+    let incarnation: u64 = parsed.get("incarnation", 0)?;
+    dbtf_cluster::worker_main(addr, id, incarnation, dbtf::net_tasks::build_registry())?;
+    Ok(())
 }
 
 fn cmd_tucker(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
@@ -363,6 +445,16 @@ fn cmd_tucker(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
                 BackendKind::Local => {
                     let backend = LocalBackend::from_cluster_config(&cluster_config);
                     tucker_factorize_distributed_instrumented(&backend, &x, &config, &tracer)?.0
+                }
+                // Tucker's supersteps are plain closures (its broadcast
+                // tuples have no registered wire codecs), so they cannot
+                // cross a process boundary.
+                BackendKind::Net => {
+                    return Err(Box::new(ArgError(
+                        "tucker supports --backend cluster|local only \
+                         (its tasks are not wire-encodable)"
+                            .into(),
+                    )))
                 }
             }
         }

@@ -11,6 +11,91 @@ use crate::storage::{Broadcast, DistVec};
 use crate::task::TaskContext;
 use crate::Cluster;
 use dbtf_telemetry::KernelEvent;
+use dbtf_wire::{EncodedFrame, Wire, WireResult};
+
+/// One partition's unit of work in a superstep.
+///
+/// Every closure of the right shape is a `PartitionTask` (via the blanket
+/// impl), so in-process backends keep their ergonomic closure API. The
+/// networked backend, however, cannot ship a closure to another OS
+/// process: it requires tasks that additionally describe themselves as a
+/// *named wire task* ([`PartitionTask::wire`]) — a registry name plus an
+/// encoded parameter frame that the worker process resolves against its
+/// own copy of the task registry. [`RemoteTask`] wraps a closure with
+/// that description; plain closures return `None` and are rejected by the
+/// networked backend with a clear panic.
+pub trait PartitionTask<P, T>: Send + Sync + 'static {
+    /// Executes the task on one partition (the in-process path).
+    fn run(&self, idx: usize, part: &mut P, ctx: &mut TaskContext) -> T;
+
+    /// The task's wire description, if it can run in a worker process.
+    fn wire(&self) -> Option<WireTask<T>> {
+        None
+    }
+}
+
+impl<P, T, F> PartitionTask<P, T> for F
+where
+    F: Fn(usize, &mut P, &mut TaskContext) -> T + Send + Sync + 'static,
+{
+    fn run(&self, idx: usize, part: &mut P, ctx: &mut TaskContext) -> T {
+        self(idx, part, ctx)
+    }
+}
+
+/// A serialized task invocation: what the networked backend ships in a
+/// `Run` frame instead of a closure.
+pub struct WireTask<T> {
+    /// Registry name the worker process resolves the task body under.
+    pub name: &'static str,
+    /// Encoded parameter frame (broadcast ids, column indices, flags).
+    pub params: EncodedFrame,
+    /// Decodes one task result from its reply frame.
+    pub decode_result: fn(&[u8]) -> WireResult<T>,
+}
+
+/// A [`PartitionTask`] that can execute both in-process (it carries the
+/// closure) and in a worker process (it carries the registry name and the
+/// encoded parameters the registered body will be called with).
+///
+/// The closure and the registered body must compute the same function —
+/// the idiom is to write the task body once as a free function and have
+/// both call it (see `dbtf`'s `net_tasks` module).
+pub struct RemoteTask<F> {
+    name: &'static str,
+    params: EncodedFrame,
+    f: F,
+}
+
+impl<F> RemoteTask<F> {
+    /// Wraps `f` as the in-process body of the wire task `name`, with
+    /// `args` encoded as the parameter frame shipped to worker processes.
+    pub fn new<A: Wire>(name: &'static str, args: &A, f: F) -> Self {
+        RemoteTask {
+            name,
+            params: args.to_frame(),
+            f,
+        }
+    }
+}
+
+impl<P, T, F> PartitionTask<P, T> for RemoteTask<F>
+where
+    T: Wire + Send + 'static,
+    F: Fn(usize, &mut P, &mut TaskContext) -> T + Send + Sync + 'static,
+{
+    fn run(&self, idx: usize, part: &mut P, ctx: &mut TaskContext) -> T {
+        (self.f)(idx, part, ctx)
+    }
+
+    fn wire(&self) -> Option<WireTask<T>> {
+        Some(WireTask {
+            name: self.name,
+            params: self.params.clone(),
+            decode_result: T::from_frame,
+        })
+    }
+}
 
 /// The observational record of one partition task, shipped to the span
 /// layer when task-event capture is on. Always sorted by `partition` when
@@ -76,11 +161,27 @@ pub trait ExecutionBackend {
 
     /// Runs `f` once per partition (one superstep) and returns the results
     /// in partition order. Partition mutation persists across supersteps.
+    ///
+    /// Closure-bound convenience over
+    /// [`ExecutionBackend::map_partitions_task`] (keeps closure argument
+    /// types inferable at call sites).
     fn map_partitions<P, T, F>(&self, data: &Self::Dataset<P>, f: F) -> Vec<T>
     where
         P: Send + 'static,
         T: Send + 'static,
-        F: Fn(usize, &mut P, &mut TaskContext) -> T + Send + Sync + 'static;
+        F: Fn(usize, &mut P, &mut TaskContext) -> T + Send + Sync + 'static,
+    {
+        self.map_partitions_task(data, f)
+    }
+
+    /// [`ExecutionBackend::map_partitions`] for any [`PartitionTask`] —
+    /// in particular [`RemoteTask`]s, which the networked backend can ship
+    /// to worker processes. The method backends implement.
+    fn map_partitions_task<P, T, F>(&self, data: &Self::Dataset<P>, f: F) -> Vec<T>
+    where
+        P: Send + 'static,
+        T: Send + 'static,
+        F: PartitionTask<P, T>;
 
     /// The superstep-pipelining window this backend supports: how many
     /// supersteps may be submitted before the oldest must be merged.
@@ -100,7 +201,17 @@ pub trait ExecutionBackend {
     where
         P: Send + 'static,
         T: Send + 'static,
-        F: Fn(usize, &mut P, &mut TaskContext) -> T + Send + Sync + 'static;
+        F: PartitionTask<P, T>;
+
+    #[doc(hidden)] // closure-bound convenience mirroring `map_partitions`
+    fn submit_map_partitions_fn<P, T, F>(&self, data: &Self::Dataset<P>, f: F) -> Self::Pending<T>
+    where
+        P: Send + 'static,
+        T: Send + 'static,
+        F: Fn(usize, &mut P, &mut TaskContext) -> T + Send + Sync + 'static,
+    {
+        self.submit_map_partitions(data, f)
+    }
 
     /// Second half of a pipelined superstep: blocks for the workers'
     /// replies and settles all metering exactly as a barrier
@@ -174,13 +285,13 @@ impl ExecutionBackend for Cluster {
         Cluster::broadcast(self, value, bytes)
     }
 
-    fn map_partitions<P, T, F>(&self, data: &DistVec<P>, f: F) -> Vec<T>
+    fn map_partitions_task<P, T, F>(&self, data: &DistVec<P>, f: F) -> Vec<T>
     where
         P: Send + 'static,
         T: Send + 'static,
-        F: Fn(usize, &mut P, &mut TaskContext) -> T + Send + Sync + 'static,
+        F: PartitionTask<P, T>,
     {
-        Cluster::map_partitions(self, data, f)
+        Cluster::map_partitions_task(self, data, f)
     }
 
     fn pipeline_depth(&self) -> usize {
@@ -195,7 +306,7 @@ impl ExecutionBackend for Cluster {
     where
         P: Send + 'static,
         T: Send + 'static,
-        F: Fn(usize, &mut P, &mut TaskContext) -> T + Send + Sync + 'static,
+        F: PartitionTask<P, T>,
     {
         Cluster::submit_superstep(self, data, f)
     }

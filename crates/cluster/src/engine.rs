@@ -53,6 +53,18 @@ pub enum ClusterError {
         /// The underlying OS error.
         source: std::io::Error,
     },
+    /// A networked worker process died more times than the supervisor's
+    /// respawn budget allows; the run degrades gracefully (checkpoint
+    /// flush, typed error) instead of looping on recovery forever.
+    RespawnBudgetExhausted {
+        /// Worker whose process kept dying.
+        worker: usize,
+        /// Respawns performed for this worker before giving up.
+        respawns: u32,
+    },
+    /// A networked-backend I/O failure that retries and reconnects could
+    /// not mask (listener setup, handshake, unrecoverable socket error).
+    Net(String),
 }
 
 impl std::fmt::Display for ClusterError {
@@ -62,6 +74,12 @@ impl std::fmt::Display for ClusterError {
             ClusterError::WorkerSpawn { worker, source } => {
                 write!(f, "failed to spawn threads for worker {worker}: {source}")
             }
+            ClusterError::RespawnBudgetExhausted { worker, respawns } => write!(
+                f,
+                "worker {worker} exhausted its respawn budget ({respawns} respawns); \
+                 giving up on recovery"
+            ),
+            ClusterError::Net(msg) => write!(f, "network backend failure: {msg}"),
         }
     }
 }
@@ -69,7 +87,9 @@ impl std::fmt::Display for ClusterError {
 impl std::error::Error for ClusterError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ClusterError::InvalidConfig(_) => None,
+            ClusterError::InvalidConfig(_)
+            | ClusterError::RespawnBudgetExhausted { .. }
+            | ClusterError::Net(_) => None,
             ClusterError::WorkerSpawn { source, .. } => Some(source),
         }
     }
@@ -175,7 +195,7 @@ impl Cluster {
         let schedules_crashes = config
             .fault_plan
             .as_ref()
-            .is_some_and(|plan| !plan.worker_crashes.is_empty());
+            .is_some_and(|plan| plan.schedules_crashes());
         let pipeline_depth = if schedules_crashes {
             1
         } else {

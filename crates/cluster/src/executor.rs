@@ -254,7 +254,7 @@ fn run_task(
 /// index and the ops/bytes counters are reduced in that fixed order, so
 /// the reply is bit-identical for every thread count. Partitions are
 /// returned (sorted by index) for re-installation into the dataset map.
-fn run_batch(
+pub(crate) fn run_batch(
     worker_id: usize,
     parts: Vec<(usize, AnyPart)>,
     task: &Arc<TaskFn>,

@@ -23,6 +23,26 @@
 //!   [`FaultPlan::slow_task_factor`] with probability
 //!   [`FaultPlan::slow_task_rate`], simulating hangs/stragglers; the
 //!   engine's speculative re-execution bounds the damage.
+//!
+//! The networked backend adds real-process faults on top, driven by the
+//! same seed discipline:
+//!
+//! - **process kills** — with probability [`FaultPlan::process_kill_rate`]
+//!   a worker dies at the start of a superstep. On the in-process backends
+//!   this is a simulated crash (thread killed, memory lost); on the
+//!   networked backend it is a literal `SIGKILL` of the worker process.
+//!   Both paths recover through the same lineage machinery, so a
+//!   kill-riddled networked run stays bit-identical to the simulated one.
+//! - **connection drops** — with probability
+//!   [`FaultPlan::connection_drop_rate`] a worker severs its driver
+//!   connection after receiving a request; the driver reconnects and
+//!   resends, and reply dedup keeps execution exactly-once. Wire-level
+//!   only: no metering impact.
+//! - **delayed responses** — with probability
+//!   [`FaultPlan::response_delay_rate`] a worker sleeps
+//!   [`FaultPlan::response_delay_ms`] wall-clock milliseconds before
+//!   replying, exercising the driver's timeout/heartbeat paths. Wire-level
+//!   only: no metering impact.
 
 use serde::{Deserialize, Serialize};
 
@@ -60,6 +80,25 @@ pub struct FaultPlan {
     /// `speculation_threshold × fault-free superstep makespan` gets a
     /// speculative copy on the fastest other worker (≥ 1).
     pub speculation_threshold: f64,
+    /// Probability in `[0, 1]` that a worker is killed at the start of a
+    /// superstep (decided per `(superstep, worker)`). Simulated crash on
+    /// in-process backends, real `SIGKILL` on the networked backend; both
+    /// recover through lineage with identical metering.
+    #[serde(default)]
+    pub process_kill_rate: f64,
+    /// Probability in `[0, 1]` that a worker drops its driver connection
+    /// after receiving a request (networked backend only; the driver
+    /// reconnects and resends).
+    #[serde(default)]
+    pub connection_drop_rate: f64,
+    /// Probability in `[0, 1]` that a worker delays a reply by
+    /// [`FaultPlan::response_delay_ms`] (networked backend only).
+    #[serde(default)]
+    pub response_delay_rate: f64,
+    /// Wall-clock delay for [`FaultPlan::response_delay_rate`] hits, in
+    /// milliseconds.
+    #[serde(default)]
+    pub response_delay_ms: u64,
 }
 
 impl Default for FaultPlan {
@@ -74,6 +113,10 @@ impl Default for FaultPlan {
             slow_task_factor: 4.0,
             speculation: true,
             speculation_threshold: 1.5,
+            process_kill_rate: 0.0,
+            connection_drop_rate: 0.0,
+            response_delay_rate: 0.0,
+            response_delay_ms: 0,
         }
     }
 }
@@ -127,6 +170,52 @@ impl FaultPlan {
         }
     }
 
+    /// The workers killed at the start of `superstep`: the scheduled
+    /// [`FaultPlan::worker_crashes`] entries for this step unioned with the
+    /// seed-hashed [`FaultPlan::process_kill_rate`] draws, sorted and
+    /// deduplicated. Every backend injects crashes through this one list,
+    /// which is what keeps a kill-riddled networked run bit-identical to
+    /// the simulated one.
+    pub fn kills_at(&self, superstep: u64, workers: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .worker_crashes
+            .iter()
+            .filter(|&&(s, _)| s == superstep)
+            .map(|&(_, w)| w)
+            .collect();
+        if self.process_kill_rate > 0.0 {
+            for w in 0..workers {
+                if self.unit(0x6b69_6c6c, superstep, w as u64, 0) < self.process_kill_rate {
+                    out.push(w);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Whether worker `worker` severs its driver connection after receiving
+    /// request `attempt` of `superstep` (networked backend only).
+    pub fn connection_drops(&self, superstep: u64, worker: usize, attempt: u64) -> bool {
+        self.connection_drop_rate > 0.0
+            && self.unit(0x6472_6f70, superstep, worker as u64, attempt) < self.connection_drop_rate
+    }
+
+    /// Whether worker `worker` delays its reply in `superstep` (networked
+    /// backend only; the delay length is [`FaultPlan::response_delay_ms`]).
+    pub fn response_delayed(&self, superstep: u64, worker: usize) -> bool {
+        self.response_delay_rate > 0.0
+            && self.unit(0x6465_6c79, superstep, worker as u64, 0) < self.response_delay_rate
+    }
+
+    /// Whether the plan can kill workers at superstep boundaries (scheduled
+    /// crashes or a positive kill rate). Crash recovery needs a quiescent
+    /// pipeline, so an affirmative forces `pipeline_depth = 1`.
+    pub fn schedules_crashes(&self) -> bool {
+        !self.worker_crashes.is_empty() || self.process_kill_rate > 0.0
+    }
+
     /// Total virtual backoff seconds charged for `retries` failed attempts
     /// (exponential: `base × (2^retries − 1)`).
     pub fn backoff_secs(&self, retries: u32) -> f64 {
@@ -139,7 +228,11 @@ impl FaultPlan {
 
     /// Whether the plan injects any fault at all.
     pub fn is_active(&self) -> bool {
-        !self.worker_crashes.is_empty() || self.task_failure_rate > 0.0 || self.slow_task_rate > 0.0
+        self.schedules_crashes()
+            || self.task_failure_rate > 0.0
+            || self.slow_task_rate > 0.0
+            || self.connection_drop_rate > 0.0
+            || self.response_delay_rate > 0.0
     }
 
     /// Checks the plan against a cluster of `workers` machines.
@@ -159,6 +252,21 @@ impl FaultPlan {
             (0.0..=1.0).contains(&self.slow_task_rate),
             "slow_task_rate must be in [0, 1], got {}",
             self.slow_task_rate
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.process_kill_rate),
+            "process_kill_rate must be in [0, 1], got {}",
+            self.process_kill_rate
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.connection_drop_rate),
+            "connection_drop_rate must be in [0, 1], got {}",
+            self.connection_drop_rate
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.response_delay_rate),
+            "response_delay_rate must be in [0, 1], got {}",
+            self.response_delay_rate
         );
         assert!(
             self.max_task_attempts >= 1,
@@ -281,6 +389,84 @@ mod tests {
     fn validate_rejects_bad_rate() {
         let plan = FaultPlan {
             task_failure_rate: 1.5,
+            ..FaultPlan::default()
+        };
+        plan.validate(2);
+    }
+
+    #[test]
+    fn kills_at_unions_schedule_and_rate() {
+        let plan = FaultPlan {
+            worker_crashes: vec![(3, 1), (5, 0)],
+            process_kill_rate: 0.4,
+            ..FaultPlan::with_seed(99)
+        };
+        // Deterministic and sorted/deduplicated.
+        for step in 0..8u64 {
+            let a = plan.kills_at(step, 4);
+            assert_eq!(a, plan.kills_at(step, 4));
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(a, sorted);
+        }
+        // Scheduled entries always appear.
+        assert!(plan.kills_at(3, 4).contains(&1));
+        assert!(plan.kills_at(5, 4).contains(&0));
+        // With a 0.4 rate over 8 steps × 4 workers, some hashed kills fire.
+        let hashed: usize = (0..8u64).map(|s| plan.kills_at(s, 4).len()).sum();
+        assert!(hashed > 2, "kill rate injected only {hashed} kills");
+        // And a zero-rate plan injects exactly the schedule.
+        let sched_only = FaultPlan {
+            worker_crashes: vec![(3, 1)],
+            ..FaultPlan::with_seed(99)
+        };
+        assert_eq!(sched_only.kills_at(3, 4), vec![1]);
+        assert!(sched_only.kills_at(4, 4).is_empty());
+    }
+
+    #[test]
+    fn net_fault_decisions_are_deterministic_and_gated() {
+        let quiet = FaultPlan::with_seed(5);
+        for step in 0..4u64 {
+            for w in 0..4usize {
+                assert!(!quiet.connection_drops(step, w, 0));
+                assert!(!quiet.response_delayed(step, w));
+            }
+        }
+        assert!(!quiet.is_active());
+        let noisy = FaultPlan {
+            connection_drop_rate: 0.5,
+            response_delay_rate: 0.5,
+            response_delay_ms: 10,
+            ..FaultPlan::with_seed(5)
+        };
+        assert!(noisy.is_active());
+        assert!(!noisy.schedules_crashes());
+        for step in 0..4u64 {
+            for w in 0..4usize {
+                assert_eq!(
+                    noisy.connection_drops(step, w, 1),
+                    noisy.connection_drops(step, w, 1)
+                );
+                assert_eq!(
+                    noisy.response_delayed(step, w),
+                    noisy.response_delayed(step, w)
+                );
+            }
+        }
+        let kills = FaultPlan {
+            process_kill_rate: 0.1,
+            ..FaultPlan::with_seed(5)
+        };
+        assert!(kills.schedules_crashes() && kills.is_active());
+    }
+
+    #[test]
+    #[should_panic(expected = "process_kill_rate")]
+    fn validate_rejects_bad_kill_rate() {
+        let plan = FaultPlan {
+            process_kill_rate: -0.1,
             ..FaultPlan::default()
         };
         plan.validate(2);

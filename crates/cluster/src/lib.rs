@@ -98,6 +98,7 @@ mod fault;
 mod lineage;
 mod local;
 mod metrics;
+mod net;
 mod pipeline;
 mod plan;
 mod pool;
@@ -105,12 +106,16 @@ mod scheduler;
 mod storage;
 mod task;
 
-pub use backend::{ExecutionBackend, TaskEvents};
+pub use backend::{ExecutionBackend, PartitionTask, RemoteTask, TaskEvents, WireTask};
 pub use config::{ClusterConfig, NetworkModel};
 pub use engine::{Cluster, ClusterError};
 pub use fault::FaultPlan;
 pub use local::{LocalBackend, LocalDataset};
 pub use metrics::{CommMetrics, MetricsSnapshot, VirtualDuration};
+pub use net::{
+    worker_main, BroadcastStore, NetBackend, NetPending, NetRegistry, NetTuning, NetVec,
+    TaskFactory, WorkerHost, WorkerTaskFn,
+};
 pub use pipeline::Deferred;
 pub use plan::{OpKind, OpRecord, PlanTrace};
 pub use scheduler::Scheduler;

@@ -31,27 +31,36 @@ impl Cluster {
         }
     }
 
-    /// Fires every `(superstep, worker)` crash the fault plan schedules for
-    /// `step`, each at most once, and runs full recovery.
+    /// Fires every crash the fault plan injects at `step` — scheduled
+    /// `(superstep, worker)` entries plus seed-hashed `process_kill_rate`
+    /// draws, via [`crate::FaultPlan::kills_at`] — each at most once, and
+    /// runs full recovery.
     pub(crate) fn inject_crashes(&self, step: u64) {
         let Some(plan) = &self.inner.fault else {
             return;
         };
-        if plan.worker_crashes.is_empty() {
+        if !plan.schedules_crashes() {
             return;
         }
-        let pending: Vec<(u64, usize)> = {
+        let kills = plan.kills_at(step, self.inner.config.workers);
+        if kills.is_empty() {
+            return;
+        }
+        let pending: Vec<usize> = {
             let mut done = self.inner.crashes_done.lock();
-            let mut pending = Vec::new();
-            for &(s, w) in &plan.worker_crashes {
-                if s == step && !done.contains(&(s, w)) {
-                    done.push((s, w));
-                    pending.push((s, w));
-                }
-            }
-            pending
+            kills
+                .into_iter()
+                .filter(|&w| {
+                    if done.contains(&(step, w)) {
+                        false
+                    } else {
+                        done.push((step, w));
+                        true
+                    }
+                })
+                .collect()
         };
-        for (_, w) in pending {
+        for w in pending {
             self.crash_and_recover(step, w);
         }
     }

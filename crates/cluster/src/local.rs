@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::backend::ExecutionBackend;
+use crate::backend::{ExecutionBackend, PartitionTask};
 use crate::config::ClusterConfig;
 use crate::metrics::{CommMetrics, MetricsSnapshot};
 use crate::storage::Broadcast;
@@ -188,14 +188,15 @@ impl ExecutionBackend for LocalBackend {
         self.meter_broadcast(bytes);
         Broadcast {
             value: Arc::new(value),
+            wire_id: None,
         }
     }
 
-    fn map_partitions<P, T, F>(&self, data: &LocalDataset<P>, f: F) -> Vec<T>
+    fn map_partitions_task<P, T, F>(&self, data: &LocalDataset<P>, f: F) -> Vec<T>
     where
         P: Send + 'static,
         T: Send + 'static,
-        F: Fn(usize, &mut P, &mut TaskContext) -> T + Send + Sync + 'static,
+        F: PartitionTask<P, T>,
     {
         let workers = self.inner.workers;
         let metrics = &self.inner.metrics;
@@ -215,7 +216,7 @@ impl ExecutionBackend for LocalBackend {
         for (idx, part) in parts.iter_mut().enumerate() {
             let w = idx % workers;
             let mut ctx = TaskContext::with_capture(w, idx, 0, capture);
-            out.push(f(idx, part, &mut ctx));
+            out.push(f.run(idx, part, &mut ctx));
             total_ops[w] += ctx.ops();
             max_task_ops[w] = max_task_ops[w].max(ctx.ops());
             result_bytes[w] += ctx.result_bytes();
@@ -284,11 +285,11 @@ impl ExecutionBackend for LocalBackend {
     where
         P: Send + 'static,
         T: Send + 'static,
-        F: Fn(usize, &mut P, &mut TaskContext) -> T + Send + Sync + 'static,
+        F: PartitionTask<P, T>,
     {
         // Eager execution as permitted for pipeline_depth() == 1: the
         // "pending" handle is the finished, fully-metered result.
-        self.map_partitions(data, f)
+        self.map_partitions_task(data, f)
     }
 
     fn wait_map_partitions<T: Send + 'static>(&self, pending: Vec<T>) -> Vec<T> {
@@ -308,7 +309,7 @@ impl ExecutionBackend for LocalBackend {
         P: Clone + Send + 'static,
     {
         let bytes = data.part_bytes.clone();
-        self.map_partitions(data, move |idx, part: &mut P, ctx| {
+        self.map_partitions(data, move |idx, part: &mut P, ctx: &mut TaskContext| {
             ctx.set_result_bytes(bytes[idx]);
             part.clone()
         })

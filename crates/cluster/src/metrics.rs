@@ -87,6 +87,27 @@ pub struct CommMetrics {
     pub(crate) speculative_wins: AtomicU64,
     pub(crate) pipeline_overlapped: AtomicU64,
     pub(crate) pipeline_max_in_flight: AtomicU64,
+    /// Networked backend: heartbeat probes that timed out or errored.
+    pub(crate) net_heartbeats_missed: AtomicU64,
+    /// Networked backend: times a live worker's connection was re-established.
+    pub(crate) net_reconnects: AtomicU64,
+    /// Networked backend: requests that hit the per-request socket timeout.
+    pub(crate) net_request_timeouts: AtomicU64,
+    /// Networked backend: measured payload bytes in driver→worker frames
+    /// (Store data + Broadcast data × workers); equals
+    /// `bytes_shuffled + bytes_broadcast` on a networked run.
+    pub(crate) net_wire_bytes_sent: AtomicU64,
+    /// Networked backend: measured payload bytes in worker→driver frames
+    /// (task results + gathered partitions); equals `bytes_collected`.
+    pub(crate) net_wire_bytes_received: AtomicU64,
+    /// Networked backend: wire bytes outside the Lemma meters — frame
+    /// headers, task parameters, acks, handshakes, heartbeats, and resends
+    /// after connection drops.
+    pub(crate) net_wire_overhead_bytes: AtomicU64,
+    /// Networked backend: payload bytes re-shipped to a respawned worker
+    /// process during lineage recovery (the wire-level counterpart of
+    /// `bytes_reshipped`).
+    pub(crate) net_wire_reship_bytes: AtomicU64,
     pub(crate) clock_secs: Mutex<f64>,
     pub(crate) recovery_secs: Mutex<f64>,
     /// Virtual idle-seconds: per superstep, the busy-time gap between each
@@ -194,6 +215,13 @@ impl CommMetrics {
             pool_idle_secs: *self.pool_idle_secs.lock(),
             pipeline_supersteps_overlapped: self.pipeline_overlapped.load(Ordering::Relaxed),
             pipeline_max_in_flight: self.pipeline_max_in_flight.load(Ordering::Relaxed),
+            net_heartbeats_missed: self.net_heartbeats_missed.load(Ordering::Relaxed),
+            net_reconnects: self.net_reconnects.load(Ordering::Relaxed),
+            net_request_timeouts: self.net_request_timeouts.load(Ordering::Relaxed),
+            net_wire_bytes_sent: self.net_wire_bytes_sent.load(Ordering::Relaxed),
+            net_wire_bytes_received: self.net_wire_bytes_received.load(Ordering::Relaxed),
+            net_wire_overhead_bytes: self.net_wire_overhead_bytes.load(Ordering::Relaxed),
+            net_wire_reship_bytes: self.net_wire_reship_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -276,6 +304,38 @@ pub struct MetricsSnapshot {
     /// from `==`.
     #[serde(default)]
     pub pipeline_max_in_flight: u64,
+    /// Networked backend: heartbeat probes that timed out or errored.
+    /// Wall-clock statistic — nondeterministic, excluded from `==`.
+    #[serde(default)]
+    pub net_heartbeats_missed: u64,
+    /// Networked backend: live-worker connections re-established after a
+    /// drop. Depends on injected wire faults — excluded from `==`.
+    #[serde(default)]
+    pub net_reconnects: u64,
+    /// Networked backend: requests that hit the socket timeout and were
+    /// retried. Wall-clock statistic — excluded from `==`.
+    #[serde(default)]
+    pub net_request_timeouts: u64,
+    /// Networked backend: measured payload bytes shipped driver→worker.
+    /// On a networked run this equals `bytes_shuffled + bytes_broadcast`
+    /// exactly (the Lemma 6/7 meters, now *measured* on the wire); zero on
+    /// in-process backends, hence excluded from cross-backend `==`.
+    #[serde(default)]
+    pub net_wire_bytes_sent: u64,
+    /// Networked backend: measured payload bytes received worker→driver;
+    /// equals `bytes_collected` exactly. Excluded from `==` (zero on
+    /// in-process backends).
+    #[serde(default)]
+    pub net_wire_bytes_received: u64,
+    /// Networked backend: wire bytes outside the Lemma meters (headers,
+    /// task params, acks, heartbeats, drop-triggered resends). Excluded
+    /// from `==`.
+    #[serde(default)]
+    pub net_wire_overhead_bytes: u64,
+    /// Networked backend: payload bytes re-shipped to respawned worker
+    /// processes during recovery. Excluded from `==`.
+    #[serde(default)]
+    pub net_wire_reship_bytes: u64,
 }
 
 impl PartialEq for MetricsSnapshot {
@@ -337,6 +397,25 @@ impl MetricsSnapshot {
                 .pipeline_supersteps_overlapped
                 .saturating_sub(earlier.pipeline_supersteps_overlapped),
             pipeline_max_in_flight: self.pipeline_max_in_flight,
+            net_heartbeats_missed: self
+                .net_heartbeats_missed
+                .saturating_sub(earlier.net_heartbeats_missed),
+            net_reconnects: self.net_reconnects.saturating_sub(earlier.net_reconnects),
+            net_request_timeouts: self
+                .net_request_timeouts
+                .saturating_sub(earlier.net_request_timeouts),
+            net_wire_bytes_sent: self
+                .net_wire_bytes_sent
+                .saturating_sub(earlier.net_wire_bytes_sent),
+            net_wire_bytes_received: self
+                .net_wire_bytes_received
+                .saturating_sub(earlier.net_wire_bytes_received),
+            net_wire_overhead_bytes: self
+                .net_wire_overhead_bytes
+                .saturating_sub(earlier.net_wire_overhead_bytes),
+            net_wire_reship_bytes: self
+                .net_wire_reship_bytes
+                .saturating_sub(earlier.net_wire_reship_bytes),
             worker_busy_secs: self
                 .worker_busy_secs
                 .iter()
@@ -395,6 +474,19 @@ impl MetricsSnapshot {
                 self.pipeline_supersteps_overlapped as f64,
             ),
             ("pipeline.max_in_flight", self.pipeline_max_in_flight as f64),
+            ("net.heartbeats_missed", self.net_heartbeats_missed as f64),
+            ("net.reconnects", self.net_reconnects as f64),
+            ("net.request_timeouts", self.net_request_timeouts as f64),
+            ("net.wire_bytes_sent", self.net_wire_bytes_sent as f64),
+            (
+                "net.wire_bytes_received",
+                self.net_wire_bytes_received as f64,
+            ),
+            (
+                "net.wire_overhead_bytes",
+                self.net_wire_overhead_bytes as f64,
+            ),
+            ("net.wire_reship_bytes", self.net_wire_reship_bytes as f64),
         ]);
         out
     }
@@ -499,6 +591,13 @@ mod tests {
         other.pool_idle_secs = 0.0;
         other.pipeline_supersteps_overlapped = 0;
         other.pipeline_max_in_flight = 0;
+        other.net_heartbeats_missed = 7;
+        other.net_reconnects = 3;
+        other.net_request_timeouts = 2;
+        other.net_wire_bytes_sent = 1 << 20;
+        other.net_wire_bytes_received = 1 << 19;
+        other.net_wire_overhead_bytes = 4096;
+        other.net_wire_reship_bytes = 512;
         assert_eq!(s, other);
         // ...while a deterministic meter difference still breaks equality.
         other.total_ops += 1;
@@ -512,9 +611,40 @@ mod tests {
             "pool.idle_virtual_secs",
             "pipeline.supersteps_overlapped",
             "pipeline.max_in_flight",
+            "net.heartbeats_missed",
+            "net.reconnects",
+            "net.request_timeouts",
+            "net.wire_bytes_sent",
+            "net.wire_bytes_received",
+            "net.wire_overhead_bytes",
+            "net.wire_reship_bytes",
         ] {
             assert!(names.contains(&name), "missing counter {name}");
         }
+    }
+
+    #[test]
+    fn net_counters_snapshot_and_since() {
+        let m = CommMetrics::new(2);
+        m.net_heartbeats_missed.fetch_add(2, Ordering::Relaxed);
+        m.net_reconnects.fetch_add(1, Ordering::Relaxed);
+        m.net_request_timeouts.fetch_add(3, Ordering::Relaxed);
+        m.net_wire_bytes_sent.fetch_add(1000, Ordering::Relaxed);
+        m.net_wire_bytes_received.fetch_add(500, Ordering::Relaxed);
+        m.net_wire_overhead_bytes.fetch_add(64, Ordering::Relaxed);
+        m.net_wire_reship_bytes.fetch_add(128, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.net_heartbeats_missed, 2);
+        assert_eq!(s.net_reconnects, 1);
+        assert_eq!(s.net_request_timeouts, 3);
+        assert_eq!(s.net_wire_bytes_sent, 1000);
+        assert_eq!(s.net_wire_bytes_received, 500);
+        assert_eq!(s.net_wire_overhead_bytes, 64);
+        assert_eq!(s.net_wire_reship_bytes, 128);
+        m.net_wire_bytes_sent.fetch_add(24, Ordering::Relaxed);
+        let delta = m.snapshot().since(&s);
+        assert_eq!(delta.net_wire_bytes_sent, 24);
+        assert_eq!(delta.net_reconnects, 0);
     }
 
     #[test]

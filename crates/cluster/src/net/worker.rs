@@ -1,0 +1,362 @@
+//! The networked worker: a real OS process (or a thread speaking the same
+//! TCP protocol in tests) that connects back to the driver, stores
+//! partitions, and executes registry tasks over them.
+//!
+//! Execution semantics are shared with the in-process backend by
+//! construction: batches run through the executor's `run_batch` (same
+//! compute-pool fan-out, same retry/panic handling, same deterministic
+//! merge order), so a networked superstep's reply is bit-identical to the
+//! simulated worker's.
+//!
+//! The worker is crash-oriented: any state it holds can be restored by
+//! the driver's lineage recovery, so on connection loss it simply
+//! reconnects (keeping its state — a drop is not a crash) and on `Die` /
+//! `SIGKILL` it vanishes and lets the supervisor respawn it.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::engine::{TaskFaults, TaskFn};
+use crate::executor::run_batch;
+use crate::fault::FaultPlan;
+use crate::net::proto::{read_frame, write_frame, BatchReply, Frame, StatEntry};
+use crate::net::registry::{AnyPart, BroadcastStore, NetRegistry};
+use crate::pool::{ComputePool, PoolCounters};
+
+/// How long the worker keeps trying to (re)connect to the driver before
+/// giving up (the driver is normally already listening).
+const CONNECT_ATTEMPTS: u32 = 100;
+const CONNECT_RETRY_DELAY: Duration = Duration::from_millis(50);
+
+/// Worker-side state that survives reconnects (a dropped connection loses
+/// no data; only a process kill does).
+struct WorkerState {
+    worker: usize,
+    datasets: HashMap<u64, Vec<(usize, AnyPart)>>,
+    bstore: BroadcastStore,
+    pool: Option<ComputePool>,
+    /// Last `Run`/`Gather` reply, kept for resend dedup: a driver retry
+    /// after a drop or timeout is answered from cache, never re-executed.
+    cached_reply: Option<(u64, Frame)>,
+}
+
+enum Served {
+    /// Connection lost (io error or injected drop) — reconnect, keep state.
+    ConnLost,
+    /// Clean `Shutdown` or injected `Die` — exit without reconnecting.
+    Exit,
+}
+
+/// Entry point of a networked worker: connects to the driver at `addr`,
+/// introduces itself as `(worker, incarnation)`, and serves requests until
+/// shut down or killed. Runs on the main thread of a `dbtf worker`
+/// process, or on a plain thread in thread-hosted test clusters.
+pub fn worker_main(
+    addr: SocketAddr,
+    worker: usize,
+    incarnation: u64,
+    registry: Arc<NetRegistry>,
+) -> io::Result<()> {
+    let mut state = WorkerState {
+        worker,
+        datasets: HashMap::new(),
+        bstore: BroadcastStore::new(),
+        pool: None,
+        cached_reply: None,
+    };
+    loop {
+        let mut stream = connect(addr)?;
+        write_frame(
+            &mut stream,
+            &Frame::Hello {
+                worker: worker as u64,
+                incarnation,
+            },
+        )?;
+        let (ack, _) = read_frame(&mut stream)?;
+        let Frame::HelloAck { compute_threads } = ack else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "expected HelloAck from driver",
+            ));
+        };
+        if state.pool.is_none() && compute_threads > 1 {
+            state.pool = Some(ComputePool::new(
+                worker,
+                compute_threads as usize,
+                Arc::new(PoolCounters::default()),
+            )?);
+        }
+        match serve(&mut stream, &mut state, &registry) {
+            Served::ConnLost => continue,
+            Served::Exit => return Ok(()),
+        }
+    }
+}
+
+fn connect(addr: SocketAddr) -> io::Result<TcpStream> {
+    let mut last_err = None;
+    for _ in 0..CONNECT_ATTEMPTS {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true).ok();
+                return Ok(stream);
+            }
+            Err(e) => {
+                last_err = Some(e);
+                std::thread::sleep(CONNECT_RETRY_DELAY);
+            }
+        }
+    }
+    Err(last_err.unwrap_or_else(|| io::Error::other("driver unreachable")))
+}
+
+fn serve(stream: &mut TcpStream, state: &mut WorkerState, registry: &NetRegistry) -> Served {
+    loop {
+        let frame = match read_frame(stream) {
+            Ok((frame, _)) => frame,
+            Err(_) => return Served::ConnLost,
+        };
+        let reply = match frame {
+            Frame::Store {
+                req,
+                dataset,
+                codec,
+                parts,
+            } => {
+                let codec = registry.part_codec_named(&codec).unwrap_or_else(|| {
+                    panic!(
+                        "worker {} has no partition codec named {codec:?}; driver and \
+                         worker registries differ",
+                        state.worker
+                    )
+                });
+                let slot = state.datasets.entry(dataset).or_default();
+                for (idx, bytes) in parts {
+                    let part = (codec.decode)(&bytes).unwrap_or_else(|e| {
+                        panic!(
+                            "partition {idx} of dataset {dataset} failed to decode: {}",
+                            e.0
+                        )
+                    });
+                    slot.push((idx as usize, part));
+                }
+                slot.sort_by_key(|(idx, _)| *idx);
+                // A resent Store (the Ack was lost, not the request) lands
+                // the same partitions twice; keep the first copy.
+                slot.dedup_by_key(|(idx, _)| *idx);
+                Frame::Ack { req }
+            }
+            Frame::BroadcastValue { req, id, frame } => {
+                state.bstore.insert(id, frame);
+                Frame::Ack { req }
+            }
+            Frame::Run {
+                req,
+                dataset,
+                step,
+                name,
+                params,
+                seed,
+                failure_rate,
+                max_attempts,
+                drop_rate,
+                delay_rate,
+                delay_ms,
+                delivery,
+                capture,
+            } => {
+                if let Some((cached_req, cached)) = &state.cached_reply {
+                    if *cached_req == req {
+                        // Resend of an already-executed request: answer
+                        // from cache (exactly-once execution).
+                        let cached = cached.clone();
+                        if write_frame(stream, &cached).is_err() {
+                            return Served::ConnLost;
+                        }
+                        continue;
+                    }
+                }
+                let wire_faults = FaultPlan {
+                    connection_drop_rate: drop_rate,
+                    response_delay_rate: delay_rate,
+                    ..FaultPlan::with_seed(seed)
+                };
+                if wire_faults.connection_drops(step, state.worker, delivery) {
+                    // Injected drop: sever the connection *before*
+                    // executing; the driver reconnects and redelivers.
+                    return Served::ConnLost;
+                }
+                let reply = run_request(
+                    state,
+                    registry,
+                    dataset,
+                    step,
+                    &name,
+                    &params,
+                    seed,
+                    failure_rate,
+                    max_attempts,
+                    capture,
+                );
+                if wire_faults.response_delayed(step, state.worker) {
+                    std::thread::sleep(Duration::from_millis(delay_ms));
+                }
+                Frame::Batch { req, reply }
+            }
+            Frame::Gather {
+                req,
+                dataset,
+                step: _,
+                codec,
+                capture: _,
+            } => {
+                if let Some((cached_req, cached)) = &state.cached_reply {
+                    if *cached_req == req {
+                        let cached = cached.clone();
+                        if write_frame(stream, &cached).is_err() {
+                            return Served::ConnLost;
+                        }
+                        continue;
+                    }
+                }
+                let codec = registry.part_codec_named(&codec).unwrap_or_else(|| {
+                    panic!(
+                        "worker {} has no partition codec named {codec:?}; driver and \
+                         worker registries differ",
+                        state.worker
+                    )
+                });
+                let mut results = Vec::new();
+                if let Some(parts) = state.datasets.get(&dataset) {
+                    for (idx, part) in parts {
+                        let frame = (codec.encode)(part.as_ref());
+                        results.push((*idx as u64, frame.bytes));
+                    }
+                }
+                Frame::Batch {
+                    req,
+                    reply: BatchReply {
+                        worker: state.worker as u64,
+                        results,
+                        ..BatchReply::default()
+                    },
+                }
+            }
+            Frame::DropDataset { dataset } => {
+                state.datasets.remove(&dataset);
+                continue; // no reply
+            }
+            Frame::Ping { req } => Frame::Pong { req },
+            Frame::Shutdown => return Served::Exit,
+            Frame::Die => {
+                // SIGKILL analogue for thread-hosted workers: drop all
+                // state and vanish without a reply.
+                return Served::Exit;
+            }
+            other => {
+                panic!(
+                    "worker {} received unexpected frame {other:?} (protocol bug)",
+                    state.worker
+                );
+            }
+        };
+        if let Frame::Batch { .. } = &reply {
+            let req = match &reply {
+                Frame::Batch { req, .. } => *req,
+                _ => unreachable!(),
+            };
+            state.cached_reply = Some((req, reply.clone()));
+        }
+        if write_frame(stream, &reply).is_err() {
+            return Served::ConnLost;
+        }
+    }
+}
+
+/// Executes one `Run` request through the executor's `run_batch` — the
+/// same retry/panic/merge machinery the in-process worker uses.
+#[allow(clippy::too_many_arguments)]
+fn run_request(
+    state: &mut WorkerState,
+    registry: &NetRegistry,
+    dataset: u64,
+    step: u64,
+    name: &str,
+    params: &[u8],
+    seed: u64,
+    failure_rate: f64,
+    max_attempts: u32,
+    capture: bool,
+) -> BatchReply {
+    let factory = registry.task_factory(name).unwrap_or_else(|| {
+        panic!(
+            "worker {} has no task named {name:?}; driver and worker registries differ",
+            state.worker
+        )
+    });
+    let body = factory(params, &state.bstore)
+        .unwrap_or_else(|e| panic!("task {name:?} rejected its parameter frame: {}", e.0));
+    let task: Arc<TaskFn> =
+        Arc::new(move |idx, part, ctx| Box::new(body(idx, part, ctx)) as AnyPart);
+    let faults: Option<TaskFaults> = (failure_rate > 0.0).then(|| {
+        (
+            Arc::new(FaultPlan {
+                task_failure_rate: failure_rate,
+                max_task_attempts: max_attempts,
+                ..FaultPlan::with_seed(seed)
+            }),
+            step,
+        )
+    });
+    let parts = state.datasets.remove(&dataset).unwrap_or_default();
+    let (batch, parts) = run_batch(
+        state.worker,
+        parts,
+        &task,
+        faults.as_ref(),
+        state.pool.as_ref(),
+        capture,
+    );
+    if !parts.is_empty() {
+        state.datasets.insert(dataset, parts);
+    }
+    BatchReply {
+        worker: batch.worker as u64,
+        results: batch
+            .results
+            .into_iter()
+            .map(|(idx, boxed)| {
+                let frame = boxed
+                    .downcast::<dbtf_wire::EncodedFrame>()
+                    .expect("net task returned a non-frame result (engine bug)");
+                (idx as u64, frame.bytes)
+            })
+            .collect(),
+        panics: batch
+            .panics
+            .into_iter()
+            .map(|(idx, msg)| (idx as u64, msg))
+            .collect(),
+        stats: batch
+            .stats
+            .into_iter()
+            .map(|stat| StatEntry {
+                idx: stat.idx as u64,
+                ops: stat.ops,
+                retries: stat.retries,
+                kernels: stat
+                    .kernels
+                    .into_iter()
+                    .map(|k| (k.name.to_string(), k.ops))
+                    .collect(),
+            })
+            .collect(),
+        total_ops: batch.total_ops,
+        max_task_ops: batch.max_task_ops,
+        result_bytes: batch.result_bytes,
+    }
+}

@@ -53,7 +53,6 @@ use parking_lot::Mutex;
 use crate::backend::ExecutionBackend;
 use crate::plan::OpKind;
 use crate::scheduler::Scheduler;
-use crate::task::TaskContext;
 
 /// One deferred metering action: a superstep merge, a broadcast metering,
 /// or a driver-compute charge, queued in program order.
@@ -149,7 +148,23 @@ impl<'a, B: ExecutionBackend> Scheduler<'a, B> {
     where
         P: Send + 'static,
         T: Send + 'static,
-        F: Fn(usize, &mut P, &mut TaskContext) -> T + Send + Sync + 'static,
+        F: Fn(usize, &mut P, &mut crate::task::TaskContext) -> T + Send + Sync + 'static,
+    {
+        self.map_partitions_task_deferred(label, data, f)
+    }
+
+    /// [`Scheduler::map_partitions_deferred`] for any
+    /// [`crate::PartitionTask`] value.
+    pub fn map_partitions_task_deferred<P, T, F>(
+        &self,
+        label: &'static str,
+        data: &B::Dataset<P>,
+        f: F,
+    ) -> Deferred<T>
+    where
+        P: Send + 'static,
+        T: Send + 'static,
+        F: crate::backend::PartitionTask<P, T>,
     {
         let nparts = self.backend.dataset_partitions(data);
         let depth = self.backend.pipeline_depth().max(1);
@@ -158,7 +173,7 @@ impl<'a, B: ExecutionBackend> Scheduler<'a, B> {
                 OpKind::MapPartitions,
                 label,
                 nparts,
-                || self.backend.map_partitions(data, f),
+                || self.backend.map_partitions_task(data, f),
             ));
         }
         // Admission window: merge the oldest work until fewer than `depth`

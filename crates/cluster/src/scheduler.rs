@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use crate::backend::ExecutionBackend;
+use crate::backend::{ExecutionBackend, PartitionTask};
 use crate::engine::{AnyPart, Cluster, RebuildFn, TaskFaults, TaskFn};
 use crate::executor::{BatchResult, WorkerMsg};
 use crate::plan::{OpKind, OpRecord, PlanTrace};
@@ -169,6 +169,7 @@ impl Cluster {
         self.meter_broadcast(bytes);
         Broadcast {
             value: Arc::new(value),
+            wire_id: None,
         }
     }
 
@@ -224,6 +225,16 @@ impl Cluster {
         T: Send + 'static,
         F: Fn(usize, &mut P, &mut TaskContext) -> T + Send + Sync + 'static,
     {
+        self.map_partitions_task(data, f)
+    }
+
+    /// [`Cluster::map_partitions`] for any [`PartitionTask`] value.
+    pub fn map_partitions_task<P, T, F>(&self, data: &DistVec<P>, f: F) -> Vec<T>
+    where
+        P: Send + 'static,
+        T: Send + 'static,
+        F: PartitionTask<P, T>,
+    {
         let pending = self.submit_superstep(data, f);
         self.wait_superstep(pending)
     }
@@ -240,7 +251,7 @@ impl Cluster {
     where
         P: Send + 'static,
         T: Send + 'static,
-        F: Fn(usize, &mut P, &mut TaskContext) -> T + Send + Sync + 'static,
+        F: PartitionTask<P, T>,
     {
         assert!(
             Arc::ptr_eq(&self.inner, &data.inner),
@@ -257,7 +268,7 @@ impl Cluster {
             let part = part
                 .downcast_mut::<P>()
                 .expect("partition type mismatch: DistVec used with wrong element type");
-            Box::new(f(idx, part, ctx)) as AnyPart
+            Box::new(f.run(idx, part, ctx)) as AnyPart
         });
         // Record the task in the dataset's lineage log (replayed after a
         // crash) before it runs anywhere.
@@ -315,181 +326,22 @@ impl Cluster {
             reply_rx,
             _marker,
         } = pending;
-        let mut batches: Vec<BatchResult> = (0..self.num_workers())
+        let batches: Vec<BatchResult> = (0..self.num_workers())
             .map(|_| reply_rx.recv().expect("worker hung up"))
             .collect();
-        // Fixed reduction order regardless of reply arrival.
-        batches.sort_by_key(|b| b.worker);
-
-        let times = self.superstep_times(step, &batches, &part_bytes);
-        // Idle meter: per-worker busy-time shortfall against this
-        // superstep's makespan (observability only — excluded from
-        // snapshot equality, so accumulating it here cannot perturb the
-        // determinism contract).
-        let times_makespan = times.iter().fold(0.0f64, |a, &b| a.max(b));
-        let idle: f64 = times.iter().map(|&t| times_makespan - t).sum();
-        if idle > 0.0 {
-            self.inner.metrics.add_pool_idle(idle);
-        }
-        let mut slots: Vec<Option<T>> = (0..nparts).map(|_| None).collect();
-        let mut makespan = 0.0f64;
-        let mut collect_secs = 0.0f64;
-        let mut task_panics: Vec<(usize, usize, String)> = Vec::new();
-        let mut events: Vec<crate::TaskEvents> = Vec::new();
-        {
-            let mut busy = self.inner.metrics.worker_busy_secs.lock();
-            for (mut batch, &time) in batches.into_iter().zip(&times) {
-                for (idx, msg) in &batch.panics {
-                    task_panics.push((*idx, batch.worker, msg.clone()));
-                }
-                if capture {
-                    for stat in std::mem::take(&mut batch.stats) {
-                        events.push(crate::TaskEvents {
-                            partition: stat.idx,
-                            worker: batch.worker,
-                            ops: stat.ops,
-                            kernels: stat.kernels,
-                        });
-                    }
-                }
-                busy[batch.worker] += time;
-                makespan = makespan.max(time);
-                collect_secs =
-                    collect_secs.max(self.inner.config.network.transfer_secs(batch.result_bytes));
-                self.inner.metrics.add_collected(batch.result_bytes);
-                self.inner
-                    .metrics
-                    .total_ops
-                    .fetch_add(batch.total_ops, Ordering::Relaxed);
-                self.inner
-                    .metrics
-                    .tasks_run
-                    .fetch_add(batch.results.len() as u64, Ordering::Relaxed);
-                for (idx, boxed) in batch.results {
-                    let value = *boxed
-                        .downcast::<T>()
-                        .expect("task result type mismatch (engine bug)");
-                    assert!(slots[idx].is_none(), "duplicate partition index {idx}");
-                    slots[idx] = Some(value);
-                }
-            }
-        }
-        if !task_panics.is_empty() {
-            task_panics.sort_by_key(|(idx, ..)| *idx);
-            let lines: Vec<String> = task_panics
-                .iter()
-                .map(|(idx, w, msg)| format!("partition {idx} on worker {w}: {msg}"))
-                .collect();
-            panic!(
-                "{} task(s) panicked during superstep — {}",
-                task_panics.len(),
-                lines.join("; ")
-            );
-        }
-        if capture {
-            events.sort_by_key(|e| e.partition);
-            *self.inner.task_events.lock() = events;
-        }
-        self.inner.metrics.advance_clock(makespan + collect_secs);
-        self.inner
-            .metrics
-            .supersteps
-            .fetch_add(1, Ordering::Relaxed);
+        let out = merge_superstep(
+            &self.inner.config,
+            &self.inner.metrics,
+            self.inner.fault.as_ref(),
+            step,
+            nparts,
+            &part_bytes,
+            capture,
+            batches,
+            &self.inner.task_events,
+        );
         self.inner.in_flight.fetch_sub(1, Ordering::Relaxed);
-        slots
-            .into_iter()
-            .enumerate()
-            .map(|(idx, s)| s.unwrap_or_else(|| panic!("partition {idx} produced no result")))
-            .collect()
-    }
-
-    /// Virtual completion time of each batch (same order as `batches`),
-    /// applying the fault plan's slow tasks, retry backoffs, and
-    /// speculative re-execution. Fault-free (or with an all-zero plan) this
-    /// reduces exactly to PR 1's formula: worker time is perfect
-    /// parallelism over its cores, floored by its single largest task.
-    fn superstep_times(&self, step: u64, batches: &[BatchResult], part_bytes: &[u64]) -> Vec<f64> {
-        let cfg = &self.inner.config;
-        let nominal: Vec<f64> = batches
-            .iter()
-            .map(|b| {
-                (b.total_ops as f64 / cfg.worker_throughput(b.worker))
-                    .max(b.max_task_ops as f64 / cfg.core_throughput(b.worker))
-            })
-            .collect();
-        let Some(plan) = self
-            .inner
-            .fault
-            .as_ref()
-            .filter(|p| p.task_failure_rate > 0.0 || p.slow_task_rate > 0.0)
-        else {
-            return nominal;
-        };
-
-        let nominal_makespan = nominal.iter().fold(0.0, |a: f64, &b| a.max(b));
-        let deadline = plan.speculation_threshold * nominal_makespan;
-        let metrics = &self.inner.metrics;
-        let mut retries_total = 0u64;
-        let mut effective = Vec::with_capacity(batches.len());
-        for (b, &base) in batches.iter().zip(&nominal) {
-            let agg = b.total_ops as f64 / cfg.worker_throughput(b.worker);
-            let mut longest = 0.0f64;
-            for stat in &b.stats {
-                retries_total += stat.retries as u64;
-                let mut t = (stat.ops as f64 / cfg.core_throughput(b.worker))
-                    * plan.task_slowdown(step, stat.idx)
-                    + plan.backoff_secs(stat.retries);
-                if plan.speculation && t > deadline {
-                    if let Some(target) = self.speculation_target(b.worker) {
-                        metrics.speculative_tasks.fetch_add(1, Ordering::Relaxed);
-                        metrics.recovery_ops.fetch_add(stat.ops, Ordering::Relaxed);
-                        let copy = deadline
-                            + cfg.network.transfer_secs(part_bytes[stat.idx])
-                            + stat.ops as f64 / cfg.core_throughput(target);
-                        if copy < t {
-                            metrics.speculative_wins.fetch_add(1, Ordering::Relaxed);
-                            metrics.add_reshipped(part_bytes[stat.idx]);
-                            t = copy;
-                        }
-                    }
-                }
-                longest = longest.max(t);
-            }
-            let _ = base;
-            effective.push(agg.max(longest));
-        }
-        if retries_total > 0 {
-            metrics
-                .task_retries
-                .fetch_add(retries_total, Ordering::Relaxed);
-        }
-        // The makespan stretch beyond the fault-free schedule is the
-        // superstep's recovery overhead (the clock itself advances by the
-        // effective makespan in the caller).
-        let eff_makespan = effective.iter().fold(0.0, |a: f64, &b| a.max(b));
-        let overhead = (eff_makespan - nominal_makespan).max(0.0);
-        if overhead > 0.0 {
-            metrics.note_recovery(overhead);
-        }
-        effective
-    }
-
-    /// The worker a speculative task copy runs on: the fastest worker other
-    /// than `not`, preferring the lowest id on ties (deterministic); `None`
-    /// on a single-worker cluster.
-    pub(crate) fn speculation_target(&self, not: usize) -> Option<usize> {
-        let cfg = &self.inner.config;
-        let mut best: Option<(usize, f64)> = None;
-        for w in 0..cfg.workers {
-            if w == not {
-                continue;
-            }
-            let thr = cfg.core_throughput(w);
-            if best.is_none_or(|(_, b)| thr > b) {
-                best = Some((w, thr));
-            }
-        }
-        best.map(|(w, _)| w)
+        out
     }
 
     /// Clones every partition back to the driver, in partition order.
@@ -500,7 +352,7 @@ impl Cluster {
         P: Clone + Send + 'static,
     {
         let bytes = data.part_bytes.clone();
-        self.map_partitions(data, move |idx, part: &mut P, ctx| {
+        self.map_partitions(data, move |idx, part: &mut P, ctx: &mut TaskContext| {
             ctx.set_result_bytes(bytes[idx]);
             part.clone()
         })
@@ -738,6 +590,7 @@ impl<'a, B: ExecutionBackend> Scheduler<'a, B> {
         }
         let handle = Broadcast {
             value: Arc::new(value),
+            wire_id: None,
         };
         self.defer_action(OpKind::Broadcast, label, 0, move |backend: &B| {
             backend.meter_broadcast(bytes)
@@ -752,7 +605,24 @@ impl<'a, B: ExecutionBackend> Scheduler<'a, B> {
         T: Send + 'static,
         F: Fn(usize, &mut P, &mut TaskContext) -> T + Send + Sync + 'static,
     {
-        let deferred = self.map_partitions_deferred(label, data, f);
+        self.map_partitions_task(label, data, f)
+    }
+
+    /// [`Scheduler::map_partitions`] for any [`PartitionTask`] value —
+    /// the entry point for [`crate::RemoteTask`]s, which the networked
+    /// backend ships to worker processes by name instead of by closure.
+    pub fn map_partitions_task<P, T, F>(
+        &self,
+        label: &'static str,
+        data: &B::Dataset<P>,
+        f: F,
+    ) -> Vec<T>
+    where
+        P: Send + 'static,
+        T: Send + 'static,
+        F: PartitionTask<P, T>,
+    {
+        let deferred = self.map_partitions_task_deferred(label, data, f);
         self.wait(deferred)
     }
 
@@ -808,4 +678,188 @@ impl<B: ExecutionBackend> Drop for Scheduler<'_, B> {
         // accounts until every deferred merge has run.
         self.drain();
     }
+}
+
+/// Merges one superstep's per-worker batches: the single shared
+/// implementation of result ordering, panic propagation, task-event
+/// capture, and *all* superstep metering (busy time, idle meter, byte/op
+/// counters, fault costing, clock). Both the simulated cluster and the
+/// networked backend call this, which is what makes their meters
+/// bit-identical by construction.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn merge_superstep<T: Send + 'static>(
+    cfg: &crate::ClusterConfig,
+    metrics: &crate::metrics::CommMetrics,
+    fault: Option<&Arc<crate::FaultPlan>>,
+    step: u64,
+    nparts: usize,
+    part_bytes: &[u64],
+    capture: bool,
+    mut batches: Vec<BatchResult>,
+    task_events: &parking_lot::Mutex<Vec<crate::TaskEvents>>,
+) -> Vec<T> {
+    // Fixed reduction order regardless of reply arrival.
+    batches.sort_by_key(|b| b.worker);
+
+    let times = superstep_times(cfg, metrics, fault, step, &batches, part_bytes);
+    // Idle meter: per-worker busy-time shortfall against this
+    // superstep's makespan (observability only — excluded from
+    // snapshot equality, so accumulating it here cannot perturb the
+    // determinism contract).
+    let times_makespan = times.iter().fold(0.0f64, |a, &b| a.max(b));
+    let idle: f64 = times.iter().map(|&t| times_makespan - t).sum();
+    if idle > 0.0 {
+        metrics.add_pool_idle(idle);
+    }
+    let mut slots: Vec<Option<T>> = (0..nparts).map(|_| None).collect();
+    let mut makespan = 0.0f64;
+    let mut collect_secs = 0.0f64;
+    let mut task_panics: Vec<(usize, usize, String)> = Vec::new();
+    let mut events: Vec<crate::TaskEvents> = Vec::new();
+    {
+        let mut busy = metrics.worker_busy_secs.lock();
+        for (mut batch, &time) in batches.into_iter().zip(&times) {
+            for (idx, msg) in &batch.panics {
+                task_panics.push((*idx, batch.worker, msg.clone()));
+            }
+            if capture {
+                for stat in std::mem::take(&mut batch.stats) {
+                    events.push(crate::TaskEvents {
+                        partition: stat.idx,
+                        worker: batch.worker,
+                        ops: stat.ops,
+                        kernels: stat.kernels,
+                    });
+                }
+            }
+            busy[batch.worker] += time;
+            makespan = makespan.max(time);
+            collect_secs = collect_secs.max(cfg.network.transfer_secs(batch.result_bytes));
+            metrics.add_collected(batch.result_bytes);
+            metrics
+                .total_ops
+                .fetch_add(batch.total_ops, Ordering::Relaxed);
+            metrics
+                .tasks_run
+                .fetch_add(batch.results.len() as u64, Ordering::Relaxed);
+            for (idx, boxed) in batch.results {
+                let value = *boxed
+                    .downcast::<T>()
+                    .expect("task result type mismatch (engine bug)");
+                assert!(slots[idx].is_none(), "duplicate partition index {idx}");
+                slots[idx] = Some(value);
+            }
+        }
+    }
+    if !task_panics.is_empty() {
+        task_panics.sort_by_key(|(idx, ..)| *idx);
+        let lines: Vec<String> = task_panics
+            .iter()
+            .map(|(idx, w, msg)| format!("partition {idx} on worker {w}: {msg}"))
+            .collect();
+        panic!(
+            "{} task(s) panicked during superstep — {}",
+            task_panics.len(),
+            lines.join("; ")
+        );
+    }
+    if capture {
+        events.sort_by_key(|e| e.partition);
+        *task_events.lock() = events;
+    }
+    metrics.advance_clock(makespan + collect_secs);
+    metrics.supersteps.fetch_add(1, Ordering::Relaxed);
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(idx, s)| s.unwrap_or_else(|| panic!("partition {idx} produced no result")))
+        .collect()
+}
+
+/// Virtual completion time of each batch (same order as `batches`),
+/// applying the fault plan's slow tasks, retry backoffs, and
+/// speculative re-execution. Fault-free (or with an all-zero plan) this
+/// reduces exactly to PR 1's formula: worker time is perfect
+/// parallelism over its cores, floored by its single largest task.
+pub(crate) fn superstep_times(
+    cfg: &crate::ClusterConfig,
+    metrics: &crate::metrics::CommMetrics,
+    fault: Option<&Arc<crate::FaultPlan>>,
+    step: u64,
+    batches: &[BatchResult],
+    part_bytes: &[u64],
+) -> Vec<f64> {
+    let nominal: Vec<f64> = batches
+        .iter()
+        .map(|b| {
+            (b.total_ops as f64 / cfg.worker_throughput(b.worker))
+                .max(b.max_task_ops as f64 / cfg.core_throughput(b.worker))
+        })
+        .collect();
+    let Some(plan) = fault.filter(|p| p.task_failure_rate > 0.0 || p.slow_task_rate > 0.0) else {
+        return nominal;
+    };
+
+    let nominal_makespan = nominal.iter().fold(0.0, |a: f64, &b| a.max(b));
+    let deadline = plan.speculation_threshold * nominal_makespan;
+    let mut retries_total = 0u64;
+    let mut effective = Vec::with_capacity(batches.len());
+    for (b, &base) in batches.iter().zip(&nominal) {
+        let agg = b.total_ops as f64 / cfg.worker_throughput(b.worker);
+        let mut longest = 0.0f64;
+        for stat in &b.stats {
+            retries_total += stat.retries as u64;
+            let mut t = (stat.ops as f64 / cfg.core_throughput(b.worker))
+                * plan.task_slowdown(step, stat.idx)
+                + plan.backoff_secs(stat.retries);
+            if plan.speculation && t > deadline {
+                if let Some(target) = speculation_target(cfg, b.worker) {
+                    metrics.speculative_tasks.fetch_add(1, Ordering::Relaxed);
+                    metrics.recovery_ops.fetch_add(stat.ops, Ordering::Relaxed);
+                    let copy = deadline
+                        + cfg.network.transfer_secs(part_bytes[stat.idx])
+                        + stat.ops as f64 / cfg.core_throughput(target);
+                    if copy < t {
+                        metrics.speculative_wins.fetch_add(1, Ordering::Relaxed);
+                        metrics.add_reshipped(part_bytes[stat.idx]);
+                        t = copy;
+                    }
+                }
+            }
+            longest = longest.max(t);
+        }
+        let _ = base;
+        effective.push(agg.max(longest));
+    }
+    if retries_total > 0 {
+        metrics
+            .task_retries
+            .fetch_add(retries_total, Ordering::Relaxed);
+    }
+    // The makespan stretch beyond the fault-free schedule is the
+    // superstep's recovery overhead (the clock itself advances by the
+    // effective makespan in the caller).
+    let eff_makespan = effective.iter().fold(0.0, |a: f64, &b| a.max(b));
+    let overhead = (eff_makespan - nominal_makespan).max(0.0);
+    if overhead > 0.0 {
+        metrics.note_recovery(overhead);
+    }
+    effective
+}
+
+/// The worker a speculative task copy runs on: the fastest worker other
+/// than `not`, preferring the lowest id on ties (deterministic); `None`
+/// on a single-worker cluster.
+pub(crate) fn speculation_target(cfg: &crate::ClusterConfig, not: usize) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for w in 0..cfg.workers {
+        if w == not {
+            continue;
+        }
+        let thr = cfg.core_throughput(w);
+        if best.is_none_or(|(_, b)| thr > b) {
+            best = Some((w, thr));
+        }
+    }
+    best.map(|(w, _)| w)
 }

@@ -118,6 +118,10 @@ impl<P> Drop for DistVec<P> {
 /// was charged when [`Cluster::broadcast`] created it.
 pub struct Broadcast<T> {
     pub(crate) value: Arc<T>,
+    /// Wire id assigned by the networked backend (the value was shipped to
+    /// every worker process under this id at broadcast time); `None` on
+    /// in-process backends, which share the value through the `Arc`.
+    pub(crate) wire_id: Option<u64>,
 }
 
 impl<T> Broadcast<T> {
@@ -125,12 +129,20 @@ impl<T> Broadcast<T> {
     pub fn get(&self) -> &T {
         &self.value
     }
+
+    /// The id the networked backend shipped this value under, `None` on
+    /// in-process backends. Wire-task parameter frames reference broadcast
+    /// values by this id.
+    pub fn wire_id(&self) -> Option<u64> {
+        self.wire_id
+    }
 }
 
 impl<T> Clone for Broadcast<T> {
     fn clone(&self) -> Self {
         Broadcast {
             value: Arc::clone(&self.value),
+            wire_id: self.wire_id,
         }
     }
 }

@@ -78,6 +78,11 @@ pub enum BackendKind {
     /// Pure-local inline execution: no worker threads, no network-model
     /// costing (virtual time is compute-only), no fault injection.
     Local,
+    /// The networked multi-process backend: workers are separate OS
+    /// processes behind TCP, the Lemma 6/7 counters are *measured* wire
+    /// bytes, and fault injection kills real processes. Results and every
+    /// declared counter stay bit-identical to the other backends.
+    Net,
 }
 
 impl std::fmt::Display for BackendKind {
@@ -85,6 +90,7 @@ impl std::fmt::Display for BackendKind {
         f.write_str(match self {
             BackendKind::Cluster => "cluster",
             BackendKind::Local => "local",
+            BackendKind::Net => "net",
         })
     }
 }
@@ -96,7 +102,8 @@ impl std::str::FromStr for BackendKind {
         match s {
             "cluster" => Ok(BackendKind::Cluster),
             "local" => Ok(BackendKind::Local),
-            other => Err(format!("unknown backend {other:?} (cluster|local)")),
+            "net" => Ok(BackendKind::Net),
+            other => Err(format!("unknown backend {other:?} (cluster|local|net)")),
         }
     }
 }
@@ -329,7 +336,7 @@ mod tests {
 
     #[test]
     fn backend_kind_round_trips_through_str() {
-        for kind in [BackendKind::Cluster, BackendKind::Local] {
+        for kind in [BackendKind::Cluster, BackendKind::Local, BackendKind::Net] {
             assert_eq!(kind.to_string().parse::<BackendKind>(), Ok(kind));
         }
         assert!("spark".parse::<BackendKind>().is_err());

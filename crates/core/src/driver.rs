@@ -21,17 +21,18 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use dbtf_cluster::{ExecutionBackend, PlanTrace, Scheduler};
+use dbtf_cluster::{ClusterError, ExecutionBackend, PlanTrace, Scheduler};
 use dbtf_telemetry::{SpanKind, Tracer};
-use dbtf_tensor::{BitMatrix, BoolTensor, Mode, Unfolding};
+use dbtf_tensor::{BitMatrix, BoolTensor, FactorTriple, Mode, Unfolding};
 
 use crate::checkpoint::Checkpoint;
 use crate::config::{DbtfConfig, DbtfError};
 use crate::factors::{initial_factor_sets, FactorSet};
+use crate::net_tasks;
 use crate::partition::partition_unfolding;
 use crate::stats::DbtfStats;
 use crate::sweep::{column_sweep, SweepLabels};
-use crate::update::{PartitionSlot, WorkState};
+use crate::update::PartitionSlot;
 
 /// The outcome of a [`factorize`] run.
 #[derive(Clone, Debug)]
@@ -130,6 +131,47 @@ pub fn factorize_instrumented<B: ExecutionBackend>(
     Ok((result?, sched.into_trace()))
 }
 
+/// Runs `f`, converting a panicking [`ClusterError`] — how backends
+/// report unrecoverable cluster failures, e.g. the networked backend's
+/// exhausted respawn budget — into a typed result instead of unwinding
+/// through the driver. Any other panic resumes unwinding. Safe because the
+/// scheduler's pending queue is empty whenever the driver is between
+/// superstep waits (pipelined runs pin `pipeline_depth` to 1 on backends
+/// that can raise cluster errors), so dropping mid-phase state never
+/// double-panics.
+fn catch_cluster<R>(f: impl FnOnce() -> R) -> Result<R, ClusterError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => Ok(r),
+        Err(payload) => match payload.downcast::<ClusterError>() {
+            Ok(err) => Err(*err),
+            Err(payload) => std::panic::resume_unwind(payload),
+        },
+    }
+}
+
+/// Graceful degradation on an unrecoverable cluster failure: flush the
+/// last *committed* iteration to the configured checkpoint path (directly,
+/// not through the scheduler — the backend may be unusable) so the run can
+/// later `--resume`, then surface the typed engine error. A flush failure
+/// never masks the cluster error.
+fn degrade(
+    ckpt_path: Option<&std::path::Path>,
+    factors: &FactorSet,
+    iteration_errors: &[u64],
+    err: ClusterError,
+) -> DbtfError {
+    if let (Some(path), Some(&error)) = (ckpt_path, iteration_errors.last()) {
+        let _ = Checkpoint {
+            iteration: iteration_errors.len(),
+            error,
+            iteration_errors: iteration_errors.to_vec(),
+            factors: factors.clone(),
+        }
+        .write(path);
+    }
+    DbtfError::from(err)
+}
+
 /// The driver body: everything after validation, emitting through `sched`.
 fn run<B: ExecutionBackend>(
     sched: &Scheduler<'_, B>,
@@ -144,9 +186,13 @@ fn run<B: ExecutionBackend>(
         .unwrap_or_else(|| sched.backend().suggested_partitions());
 
     // ---- Partition the three unfolded tensors (Algorithm 2 lines 1–3). --
-    let ([px1, px2, px3], partition_bytes) = sched.phase("cp.distribute", |s| {
-        distribute_unfoldings(s, x, n_partitions)
-    });
+    // No iteration has committed yet, so an unrecoverable cluster failure
+    // here degrades to the typed error with nothing to checkpoint.
+    let ([px1, px2, px3], partition_bytes) = catch_cluster(|| {
+        sched.phase("cp.distribute", |s| {
+            distribute_unfoldings(s, x, n_partitions)
+        })
+    })?;
 
     let threshold = config.convergence_threshold * x.nnz().max(1) as f64;
     let ckpt_path = config.checkpoint_path.as_deref().map(std::path::Path::new);
@@ -226,11 +272,16 @@ fn run<B: ExecutionBackend>(
             );
 
             // Iteration 1: update every set, keep the best (lines 7–8).
+            // A cluster failure here is before the first commit — typed
+            // error, no checkpoint (a partial best over the initial sets
+            // is not a committed iteration).
             let mut best: Option<(FactorSet, u64)> = None;
             for set in sets {
-                let (factors, error, cache) = sched.phase("cp.iteration", |s| {
-                    update_round(s, &px1, &px2, &px3, set, config)
-                });
+                let (factors, error, cache) = catch_cluster(|| {
+                    sched.phase("cp.iteration", |s| {
+                        update_round(s, &px1, &px2, &px3, set, config)
+                    })
+                })?;
                 peak_cache_bytes = peak_cache_bytes.max(cache);
                 if best.as_ref().is_none_or(|(_, be)| error < *be) {
                     best = Some((factors, error));
@@ -249,9 +300,17 @@ fn run<B: ExecutionBackend>(
         if converged {
             break;
         }
-        let (next, next_error, cache) = sched.phase("cp.iteration", |s| {
-            update_round(s, &px1, &px2, &px3, factors, config)
+        let round = catch_cluster(|| {
+            sched.phase("cp.iteration", |s| {
+                update_round(s, &px1, &px2, &px3, factors.clone(), config)
+            })
         });
+        let (next, next_error, cache) = match round {
+            Ok(r) => r,
+            // The last committed iteration's factors are still in hand:
+            // flush them durably, then fail with the typed engine error.
+            Err(err) => return Err(degrade(ckpt_path, &factors, &iteration_errors, err)),
+        };
         peak_cache_bytes = peak_cache_bytes.max(cache);
         let delta = error.abs_diff(next_error) as f64;
         factors = next;
@@ -338,12 +397,10 @@ pub(crate) fn distribute_unfoldings<B: ExecutionBackend>(
         // result, so the superstep is submitted without waiting — under
         // `pipeline_depth > 1` it overlaps with unfolding/partitioning the
         // next mode (and with the driver's initial-factor sampling).
-        drop(sched.map_partitions_deferred(
+        drop(sched.map_partitions_task_deferred(
             "unfold.organize",
             &data,
-            |_idx, slot: &mut PartitionSlot, ctx| {
-                ctx.charge_kernel("kernel.organize_blocks", slot.part.nnz() as u64);
-            },
+            net_tasks::organize_task(),
         ));
         // Read-only superstep: partitions still equal their rebuilt form.
         sched.reset_lineage(&data);
@@ -397,25 +454,24 @@ fn update_factor<B: ExecutionBackend>(
     compute_error: bool,
 ) -> UpdateOutcome {
     // Begin: broadcast the factors, build per-partition caches
-    // (Algorithm 4 line 1 / Algorithm 5).
+    // (Algorithm 4 line 1 / Algorithm 5). Every superstep of the update is
+    // a named `RemoteTask` whose body lives in `net_tasks`, so the same
+    // plan runs unchanged over the networked multi-process backend.
     let bytes = matrix_bytes(a) + matrix_bytes(mf) + matrix_bytes(ms);
     let factors = sched.broadcast(
         "cp.update.factors",
-        (a.clone(), mf.clone(), ms.clone()),
+        FactorTriple {
+            a: a.clone(),
+            mf: mf.clone(),
+            ms: ms.clone(),
+        },
         bytes,
     );
-    let cache_bytes: Vec<u64> = sched.map_partitions("cp.update.begin", data, {
-        let factors = factors.clone();
-        move |_idx, slot: &mut PartitionSlot, ctx| {
-            let (a, mf, ms) = factors.get();
-            let (state, ops) = WorkState::build(&slot.part, a, mf, ms, v_limit);
-            ctx.charge_kernel("kernel.build_cache", ops);
-            ctx.set_result_bytes(8);
-            let bytes = state.cache_bytes();
-            slot.work = Some(state);
-            bytes
-        }
-    });
+    let cache_bytes: Vec<u64> = sched.map_partitions_task(
+        "cp.update.begin",
+        data,
+        net_tasks::begin_task(&factors, v_limit),
+    );
     let peak_cache: u64 = cache_bytes.iter().sum();
 
     // Column sweep (Algorithm 4 lines 2–12): one superstep per column.
@@ -429,47 +485,20 @@ fn update_factor<B: ExecutionBackend>(
         },
         data,
         &mut master,
-        |slot, col, values, ctx| {
-            let state = slot.work.as_mut().expect("update_factor not begun");
-            state.apply_column(col, values);
-            ctx.charge_kernel("kernel.apply_column", values.len() as u64);
-        },
-        |slot, col, ctx| {
-            let state = slot.work.as_mut().expect("update_factor not begun");
-            let (errs, ops) = state.column_errors(&slot.part, col);
-            ctx.charge_kernel("kernel.column_errors", ops);
-            ctx.set_result_bytes(errs.len() as u64 * 16);
-            errs
-        },
+        net_tasks::sweep_task,
     );
 
     // Finish: apply the last column; optionally compute the exact error;
     // drop the caches.
-    let finish =
-        move |_idx: usize, slot: &mut PartitionSlot, ctx: &mut dbtf_cluster::TaskContext| {
-            let state = slot.work.as_mut().expect("update_factor not begun");
-            let (c, values) = last.get();
-            state.apply_column(*c, values);
-            ctx.charge_kernel("kernel.apply_column", values.len() as u64);
-            let err = if compute_error {
-                let (err, ops) = state.partition_error(&slot.part);
-                ctx.charge_kernel("kernel.partition_error", ops);
-                err
-            } else {
-                0
-            };
-            ctx.set_result_bytes(8);
-            slot.work = None;
-            err
-        };
+    let finish = net_tasks::finish_task(&last, compute_error);
     let errors: Option<Vec<u64>> = if compute_error {
-        Some(sched.map_partitions("cp.update.finish", data, finish))
+        Some(sched.map_partitions_task("cp.update.finish", data, finish))
     } else {
         // All results are zero and nothing downstream reads them, so the
         // superstep is submitted without waiting — under
         // `pipeline_depth > 1` it overlaps with the next mode's broadcast
         // and cache-building begin.
-        drop(sched.map_partitions_deferred("cp.update.finish", data, finish));
+        drop(sched.map_partitions_task_deferred("cp.update.finish", data, finish));
         None
     };
     // The partitions are back to their distribute-time state (`part` is

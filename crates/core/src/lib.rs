@@ -61,6 +61,7 @@ mod config;
 mod driver;
 mod factors;
 pub mod model_selection;
+pub mod net_tasks;
 pub mod partition;
 pub mod reference;
 mod stats;

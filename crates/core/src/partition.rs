@@ -46,9 +46,9 @@ pub struct Block {
     /// Figure 5 block type.
     pub kind: BlockKind,
     /// CSR row offsets (`row_offsets.len() = nrows + 1`).
-    row_offsets: Vec<u32>,
+    pub(crate) row_offsets: Vec<u32>,
     /// Concatenated sorted column offsets (relative to `inner_lo`).
-    cols: Vec<u32>,
+    pub(crate) cols: Vec<u32>,
 }
 
 impl Block {

@@ -10,13 +10,14 @@
 //! per row (ties prefer `0` — the sparser factor), writes the decision
 //! into the master copy, and broadcasts the decided column for the next
 //! superstep. What differs between CP and Tucker is only *how* a
-//! partition applies and scores a column — callers pass those two steps
-//! as closures over their partition-local work state.
+//! partition applies and scores a column — callers pass a task factory
+//! producing the per-column superstep task. CP's factory builds
+//! [`dbtf_cluster::RemoteTask`]s (so the sweep can run in separate worker
+//! processes over the networked backend); Tucker's builds plain closures
+//! (in-process backends only).
 
-use std::sync::Arc;
-
-use dbtf_cluster::{Broadcast, ExecutionBackend, Scheduler, TaskContext};
-use dbtf_tensor::{BitMatrix, BitVec};
+use dbtf_cluster::{Broadcast, ExecutionBackend, PartitionTask, Scheduler};
+use dbtf_tensor::{BitMatrix, BitVec, ColumnDecision};
 
 use crate::update::PartitionSlot;
 
@@ -35,41 +36,28 @@ pub(crate) struct SweepLabels {
 /// decided column's broadcast — the caller's finish superstep still has
 /// to apply it on the workers.
 ///
-/// `apply(slot, col, values, ctx)` applies a decided column to the
-/// partition's work state; `score(slot, col, ctx)` returns the partition's
-/// per-row `(e0, e1)` error pairs for the column being decided. Both run
-/// inside the same superstep task and share its cost accounting.
-pub(crate) fn column_sweep<B, A, S>(
+/// `make_task(col, prev)` builds the superstep task for column `col`:
+/// apply the previously decided column `prev` (if any), then score both
+/// candidate values of every row's entry in column `col`, returning the
+/// partition's per-row `(e0, e1)` error pairs.
+pub(crate) fn column_sweep<B, F, K>(
     sched: &Scheduler<'_, B>,
     labels: SweepLabels,
     data: &B::Dataset<PartitionSlot>,
     master: &mut BitMatrix,
-    apply: A,
-    score: S,
-) -> Broadcast<(usize, BitVec)>
+    make_task: F,
+) -> Broadcast<ColumnDecision>
 where
     B: ExecutionBackend,
-    A: Fn(&mut PartitionSlot, usize, &BitVec, &mut TaskContext) + Send + Sync + 'static,
-    S: Fn(&mut PartitionSlot, usize, &mut TaskContext) -> Vec<(u64, u64)> + Send + Sync + 'static,
+    F: Fn(usize, Option<Broadcast<ColumnDecision>>) -> K,
+    K: PartitionTask<PartitionSlot, Vec<(u64, u64)>>,
 {
     let rank = master.cols();
     let nrows = master.rows();
-    let apply = Arc::new(apply);
-    let score = Arc::new(score);
-    let mut pending: Option<Broadcast<(usize, BitVec)>> = None;
+    let mut pending: Option<Broadcast<ColumnDecision>> = None;
     for col in 0..rank {
-        let prev = pending.clone();
-        let errs: Vec<Vec<(u64, u64)>> = sched.map_partitions(labels.sweep, data, {
-            let apply = Arc::clone(&apply);
-            let score = Arc::clone(&score);
-            move |_idx, slot: &mut PartitionSlot, ctx| {
-                if let Some(decided) = &prev {
-                    let (c, values) = decided.get();
-                    apply(slot, *c, values, ctx);
-                }
-                score(slot, col, ctx)
-            }
-        });
+        let errs: Vec<Vec<(u64, u64)>> =
+            sched.map_partitions_task(labels.sweep, data, make_task(col, pending.clone()));
         // Driver: sum errors across partitions, pick the smaller per row
         // (ties prefer 0 — the sparser factor).
         let mut decision = BitVec::zeros(nrows);
@@ -87,7 +75,10 @@ where
         sched.charge_driver(labels.reduce, nrows as u64 * (errs.len() as u64 + 1));
         pending = Some(sched.broadcast(
             labels.decision,
-            (col, decision),
+            ColumnDecision {
+                col,
+                values: decision,
+            },
             (nrows as u64).div_ceil(8) + 8,
         ));
     }

@@ -29,7 +29,7 @@
 //! Like the CP driver, everything here is generic over an
 //! [`ExecutionBackend`] and emits operators through a [`Scheduler`].
 
-use dbtf_cluster::{ExecutionBackend, PlanTrace, Scheduler};
+use dbtf_cluster::{ExecutionBackend, PlanTrace, Scheduler, TaskContext};
 use dbtf_telemetry::{SpanKind, Tracer};
 use dbtf_tensor::{BitMatrix, BitVec, BoolTensor};
 use rand::rngs::StdRng;
@@ -374,6 +374,10 @@ fn update_factor_distributed<B: ExecutionBackend>(
         }
     });
 
+    // The Tucker sweep task stays a plain closure (no wire registration),
+    // so distributed Tucker runs on the in-process backends only — the
+    // networked backend rejects it with instructions at the first
+    // superstep.
     let mut master = factor.clone();
     let last = column_sweep(
         sched,
@@ -384,43 +388,45 @@ fn update_factor_distributed<B: ExecutionBackend>(
         },
         data,
         &mut master,
-        |slot, col, values, ctx| {
-            let state = slot.tucker.as_mut().expect("tucker update not begun");
-            state.apply_column(col, values);
-            ctx.charge_kernel("kernel.apply_column", values.len() as u64);
-        },
-        move |slot, col, ctx| {
-            let state = slot.tucker.as_ref().expect("tucker update not begun");
-            let part = &slot.part;
-            let mut errs = vec![(0u64, 0u64); part.nrows];
-            let mut scratch = vec![0u64; part.slab_width.div_ceil(64).max(1)];
-            let mut ops = 0u64;
-            for b in 0..part.blocks.len() {
-                let mask_t = state.block_masks[b][col];
-                if mask_t == 0 {
-                    continue; // both candidates reconstruct identically
+        move |col, prev| {
+            move |_idx: usize, slot: &mut PartitionSlot, ctx: &mut TaskContext| {
+                if let Some(decided) = prev.as_deref() {
+                    let state = slot.tucker.as_mut().expect("tucker update not begun");
+                    state.apply_column(decided.col, &decided.values);
+                    ctx.charge_kernel("kernel.apply_column", decided.values.len() as u64);
                 }
-                for (row, err) in errs.iter_mut().enumerate() {
-                    let base = state.union_mask(b, row, Some(col));
-                    let (e0, o0) = state.block_error(part, b, row, base, &mut scratch);
-                    let (e1, o1) = state.block_error(part, b, row, base | mask_t, &mut scratch);
-                    err.0 += e0;
-                    err.1 += e1;
-                    ops += o0 + o1 + r_t as u64;
+                let state = slot.tucker.as_ref().expect("tucker update not begun");
+                let part = &slot.part;
+                let mut errs = vec![(0u64, 0u64); part.nrows];
+                let mut scratch = vec![0u64; part.slab_width.div_ceil(64).max(1)];
+                let mut ops = 0u64;
+                for b in 0..part.blocks.len() {
+                    let mask_t = state.block_masks[b][col];
+                    if mask_t == 0 {
+                        continue; // both candidates reconstruct identically
+                    }
+                    for (row, err) in errs.iter_mut().enumerate() {
+                        let base = state.union_mask(b, row, Some(col));
+                        let (e0, o0) = state.block_error(part, b, row, base, &mut scratch);
+                        let (e1, o1) = state.block_error(part, b, row, base | mask_t, &mut scratch);
+                        err.0 += e0;
+                        err.1 += e1;
+                        ops += o0 + o1 + r_t as u64;
+                    }
                 }
+                ctx.charge_kernel("kernel.column_errors", ops);
+                ctx.set_result_bytes(errs.len() as u64 * 16);
+                errs
             }
-            ctx.charge_kernel("kernel.column_errors", ops);
-            ctx.set_result_bytes(errs.len() as u64 * 16);
-            errs
         },
     );
 
     // Finish: apply the last column and drop the state.
     sched.map_partitions("tucker.update.finish", data, move |_idx, slot, ctx| {
         let state = slot.tucker.as_mut().expect("tucker update not begun");
-        let (c, values) = last.get();
-        state.apply_column(*c, values);
-        ctx.charge_kernel("kernel.apply_column", values.len() as u64);
+        let decided = last.get();
+        state.apply_column(decided.col, &decided.values);
+        ctx.charge_kernel("kernel.apply_column", decided.values.len() as u64);
         slot.tucker = None;
     });
     // Every partition is back to its distribute-time state (`part` is never

@@ -140,6 +140,37 @@ impl CommOracle {
     }
 }
 
+/// Networked-backend invariant: the bytes *measured on the TCP wire*
+/// must equal the cost-model meters exactly — payload framing is free of
+/// slack by construction (`PartitionSlot`'s wire form is byte-for-byte
+/// its `byte_size()`, decisions are `⌈P/8⌉ + 8`, factor triples are the
+/// packed matrix bytes). `net_wire_bytes_sent` counts driver→worker
+/// payload (shuffle + broadcast), `net_wire_bytes_received` counts
+/// worker→driver payload (collect); protocol framing and reships are
+/// metered separately and not bounded by the lemmas. Returns violations
+/// (empty when the wire agrees with Lemmas 6/7).
+pub fn check_wire_meters(metrics: &MetricsSnapshot) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut expect = |what: &str, predicted: u64, measured: u64| {
+        if predicted != measured {
+            violations.push(format!(
+                "{what}: cost-model meter {predicted} != measured wire bytes {measured}"
+            ));
+        }
+    };
+    expect(
+        "lemma6+7 sent payload (shuffle + broadcast)",
+        metrics.bytes_shuffled + metrics.bytes_broadcast,
+        metrics.net_wire_bytes_sent,
+    );
+    expect(
+        "lemma7 received payload (collect)",
+        metrics.bytes_collected,
+        metrics.net_wire_bytes_received,
+    );
+    violations
+}
+
 /// Engine-invariant check: recovery meters must be zero on a fault-free
 /// run and may only be non-zero when a fault plan was injected. Returns
 /// violations.

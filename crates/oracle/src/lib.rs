@@ -35,7 +35,7 @@ pub mod oracles;
 pub mod report;
 pub mod runner;
 
-pub use invariants::{check_recovery_counters, CommOracle};
+pub use invariants::{check_recovery_counters, check_wire_meters, CommOracle};
 pub use oracles::{
     check_unfolding, cp_error, cp_reconstruct, factors_equivalent, gauge_canonical, tucker_error,
 };

@@ -58,11 +58,13 @@ pub mod ops;
 pub mod reconstruct;
 mod tensor;
 mod unfold;
+mod wire_impls;
 
 pub use bitmatrix::BitMatrix;
 pub use bitvec::BitVec;
 pub use tensor::{BoolTensor, TensorBuilder};
 pub use unfold::{Mode, Unfolding};
+pub use wire_impls::{ColumnDecision, FactorTriple};
 
 /// The number of bits in one storage word of [`BitVec`] / [`BitMatrix`].
 pub const WORD_BITS: usize = 64;

@@ -1,0 +1,250 @@
+//! Wire codec impls for the bit-packed containers.
+//!
+//! The data-channel layouts are chosen so the encoded payload length
+//! equals the engine's metered byte size for the value:
+//!
+//! - [`BitVec`]: `⌈nbits/8⌉` payload bytes (bit `i` at byte `i/8`, bit
+//!   `i%8`), the length on the meta channel. A broadcast column decision
+//!   `(usize, BitVec)` therefore costs exactly `8 + ⌈I/8⌉` wire bytes —
+//!   the Lemma 7 decision term.
+//! - [`BitMatrix`]: `⌈rows·cols/8⌉` payload bytes (bit `r·cols + c`
+//!   packed contiguously across row boundaries), dimensions on the meta
+//!   channel — exactly the `⌈rows·cols/8⌉` the factor-broadcast meter
+//!   charges.
+
+use dbtf_wire::{Wire, WireError, WireNamed, WireReader, WireResult, WireWriter};
+
+use crate::{BitMatrix, BitVec};
+
+fn pack_bits(nbits: usize, get: impl Fn(usize) -> bool) -> Vec<u8> {
+    let mut bytes = vec![0u8; nbits.div_ceil(8)];
+    for i in 0..nbits {
+        if get(i) {
+            bytes[i / 8] |= 1 << (i % 8);
+        }
+    }
+    bytes
+}
+
+#[inline]
+fn bit_at(bytes: &[u8], i: usize) -> bool {
+    bytes[i / 8] & (1 << (i % 8)) != 0
+}
+
+impl Wire for BitVec {
+    fn encode(&self, w: &mut WireWriter) {
+        let nbits = self.len();
+        w.meta_u64(nbits as u64);
+        // Word storage is little-endian bit order, so the first
+        // ⌈nbits/8⌉ bytes of the LE word dump *are* the bit packing.
+        let mut bytes = Vec::with_capacity(nbits.div_ceil(8));
+        for word in self.words() {
+            bytes.extend_from_slice(&word.to_le_bytes());
+        }
+        bytes.truncate(nbits.div_ceil(8));
+        w.data(&bytes);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        let nbits = usize::try_from(r.meta_u64()?)
+            .map_err(|_| WireError("bitvec length overflow".into()))?;
+        let bytes = r.data_bytes(nbits.div_ceil(8))?;
+        let nwords = nbits.div_ceil(64);
+        let mut words = vec![0u64; nwords];
+        for (i, chunk) in bytes.chunks(8).enumerate() {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            words[i] = u64::from_le_bytes(buf);
+        }
+        Ok(BitVec::from_words(nbits, words))
+    }
+}
+
+impl WireNamed for BitVec {
+    const WIRE_NAME: &'static str = "tensor.bitvec";
+}
+
+impl Wire for BitMatrix {
+    fn encode(&self, w: &mut WireWriter) {
+        let (rows, cols) = (self.rows(), self.cols());
+        w.meta_u64(rows as u64);
+        w.meta_u64(cols as u64);
+        w.data(&pack_bits(rows * cols, |i| self.get(i / cols, i % cols)));
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        let rows = usize::try_from(r.meta_u64()?)
+            .map_err(|_| WireError("bitmatrix rows overflow".into()))?;
+        let cols = usize::try_from(r.meta_u64()?)
+            .map_err(|_| WireError("bitmatrix cols overflow".into()))?;
+        let nbits = rows
+            .checked_mul(cols)
+            .ok_or_else(|| WireError("bitmatrix size overflow".into()))?;
+        let bytes = r.data_bytes(nbits.div_ceil(8))?;
+        let mut m = BitMatrix::zeros(rows, cols);
+        for i in 0..nbits {
+            if bit_at(bytes, i) {
+                m.set(i / cols, i % cols, true);
+            }
+        }
+        Ok(m)
+    }
+}
+
+impl WireNamed for BitMatrix {
+    const WIRE_NAME: &'static str = "tensor.bitmatrix";
+}
+
+// The two broadcast payloads of the CP driver. Tuples are always foreign
+// under the orphan rules, so these are named newtypes; their encodings are
+// field-by-field, byte-identical to the corresponding tuple `Wire` impls,
+// and therefore carry exactly the Lemma 7 payload sizes.
+
+/// A decided sweep column: the Lemma 7 decision broadcast, costing
+/// exactly `8 + ⌈P/8⌉` payload bytes on the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnDecision {
+    /// The factor column the sweep just decided.
+    pub col: usize,
+    /// The decided bit per factor row.
+    pub values: BitVec,
+}
+
+impl Wire for ColumnDecision {
+    fn encode(&self, w: &mut WireWriter) {
+        self.col.encode(w);
+        self.values.encode(w);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        Ok(ColumnDecision {
+            col: Wire::decode(r)?,
+            values: Wire::decode(r)?,
+        })
+    }
+}
+
+impl WireNamed for ColumnDecision {
+    const WIRE_NAME: &'static str = "tensor.column_decision";
+}
+
+/// An `UpdateFactor` operand triple `(A, M_f, M_s)`: the Lemma 7 factor
+/// broadcast, costing exactly the sum of the three `⌈rows·cols/8⌉` matrix
+/// payloads on the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FactorTriple {
+    /// The factor being updated.
+    pub a: BitMatrix,
+    /// The first Khatri-Rao operand `M_f`.
+    pub mf: BitMatrix,
+    /// The second Khatri-Rao operand `M_s`.
+    pub ms: BitMatrix,
+}
+
+impl Wire for FactorTriple {
+    fn encode(&self, w: &mut WireWriter) {
+        self.a.encode(w);
+        self.mf.encode(w);
+        self.ms.encode(w);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        Ok(FactorTriple {
+            a: Wire::decode(r)?,
+            mf: Wire::decode(r)?,
+            ms: Wire::decode(r)?,
+        })
+    }
+}
+
+impl WireNamed for FactorTriple {
+    const WIRE_NAME: &'static str = "tensor.factor_triple";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn bitvec_roundtrips_and_meters_exact_bytes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for nbits in [0usize, 1, 7, 8, 9, 63, 64, 65, 200, 1024] {
+            let mut v = BitVec::zeros(nbits);
+            for i in 0..nbits {
+                if rng.gen_bool(0.4) {
+                    v.set(i, true);
+                }
+            }
+            let frame = v.to_frame();
+            assert_eq!(frame.data_len, nbits.div_ceil(8) as u64, "nbits={nbits}");
+            let back = BitVec::from_frame(&frame.bytes).unwrap();
+            assert_eq!(back.len(), v.len());
+            for i in 0..nbits {
+                assert_eq!(back.get(i), v.get(i), "bit {i} of {nbits}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitmatrix_roundtrips_and_meters_exact_bytes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for (rows, cols) in [(0, 0), (1, 1), (3, 5), (17, 9), (64, 64), (100, 10)] {
+            let mut m = BitMatrix::zeros(rows, cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    if rng.gen_bool(0.3) {
+                        m.set(r, c, true);
+                    }
+                }
+            }
+            let frame = m.to_frame();
+            assert_eq!(
+                frame.data_len,
+                ((rows * cols) as u64).div_ceil(8),
+                "{rows}x{cols}"
+            );
+            let back = BitMatrix::from_frame(&frame.bytes).unwrap();
+            assert_eq!((back.rows(), back.cols()), (rows, cols));
+            for r in 0..rows {
+                for c in 0..cols {
+                    assert_eq!(back.get(r, c), m.get(r, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decision_payload_matches_lemma_meter() {
+        // The broadcast decision is metered `nrows.div_ceil(8) + 8` by the
+        // driver; the newtype must encode byte-identically to the tuple.
+        let nrows = 123usize;
+        let decision = ColumnDecision {
+            col: 4,
+            values: BitVec::zeros(nrows),
+        };
+        let frame = decision.to_frame();
+        assert_eq!(frame.data_len, (nrows.div_ceil(8) + 8) as u64);
+        let tuple_frame = (4usize, BitVec::zeros(nrows)).to_frame();
+        assert_eq!(frame.bytes, tuple_frame.bytes);
+        let back = ColumnDecision::from_frame(&frame.bytes).unwrap();
+        assert_eq!(back, decision);
+    }
+
+    #[test]
+    fn factor_triple_payload_matches_lemma_meter() {
+        let triple = FactorTriple {
+            a: BitMatrix::zeros(10, 3),
+            mf: BitMatrix::zeros(7, 3),
+            ms: BitMatrix::zeros(5, 3),
+        };
+        let meter = |m: &BitMatrix| ((m.rows() * m.cols()) as u64).div_ceil(8);
+        let frame = triple.to_frame();
+        assert_eq!(
+            frame.data_len,
+            meter(&triple.a) + meter(&triple.mf) + meter(&triple.ms)
+        );
+        let back = FactorTriple::from_frame(&frame.bytes).unwrap();
+        assert_eq!(back, triple);
+    }
+}

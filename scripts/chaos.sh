@@ -2,15 +2,26 @@
 # Chaos sweep: fault injection × worker counts with bit-identical
 # verification, emitting a JSON recovery-overhead report.
 #
-# Usage: scripts/chaos.sh [output.json] [extra chaos args...]
+# Usage: scripts/chaos.sh [--net] [output.json] [extra chaos args...]
 #   scripts/chaos.sh                       # report to target/chaos.json
 #   scripts/chaos.sh /tmp/r.json --exp 10  # bigger tensor, custom path
+#   scripts/chaos.sh --net                 # process-kill sweep on the
+#                                          # networked backend; report to
+#                                          # BENCH_net.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-target/chaos.json}"
+extra=()
+default_out="target/chaos.json"
+if [[ "${1:-}" == "--net" ]]; then
+  extra+=(--net)
+  default_out="BENCH_net.json"
+  shift
+fi
+
+out="${1:-$default_out}"
 shift || true
 mkdir -p "$(dirname "$out")"
 
-cargo run --release -p dbtf-bench --bin chaos -- --json "$out" "$@"
+cargo run --release -p dbtf-bench --bin chaos -- --json "$out" ${extra[@]+"${extra[@]}"} "$@"
 echo "chaos report: $out"

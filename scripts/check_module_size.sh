@@ -8,7 +8,7 @@ LIMIT=900
 cd "$(dirname "$0")/.."
 
 status=0
-for f in crates/cluster/src/*.rs; do
+for f in crates/cluster/src/*.rs crates/cluster/src/*/*.rs; do
     lines=$(wc -l <"$f")
     if [ "$lines" -gt "$LIMIT" ]; then
         echo "FAIL: $f has $lines lines (limit $LIMIT) — split it instead" >&2
@@ -17,6 +17,6 @@ for f in crates/cluster/src/*.rs; do
 done
 
 if [ "$status" -eq 0 ]; then
-    echo "module size check passed: no crates/cluster/src/*.rs file exceeds $LIMIT lines"
+    echo "module size check passed: no cluster source file exceeds $LIMIT lines"
 fi
 exit "$status"
