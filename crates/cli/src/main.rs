@@ -5,6 +5,7 @@
 //!                  [--sets 1] [--seed 0] [--partitions N] [--v 15]
 //!                  [--compute-threads T] [--pipeline-depth D]
 //!                  [--backend cluster|local|net] [--output PREFIX]
+//!                  [--storage ram|mmap] [--spill-dir DIR]
 //!                  [--net-respawn-budget N]
 //!                  [--checkpoint FILE] [--checkpoint-every K] [--resume]
 //!                  [--fault-crash S:W,…] [--fault-task-failure-rate F]
@@ -37,14 +38,14 @@ use args::{ArgError, ParsedArgs};
 use dbtf::model_selection::select_rank;
 use dbtf::tucker::{tucker_factorize, TuckerConfig};
 use dbtf::tucker_distributed::tucker_factorize_distributed_instrumented;
-use dbtf::{factorize_instrumented, BackendKind, DbtfConfig};
+use dbtf::{factorize_instrumented, BackendKind, DbtfConfig, StorageKind};
 use dbtf_cluster::{
     Cluster, ClusterConfig, ExecutionBackend, FaultPlan, LocalBackend, NetTuning, WorkerHost,
 };
 use dbtf_datagen::proxies::{generate_proxy, proxy_specs};
-use dbtf_datagen::{uniform_random, NoiseSpec, PlantedConfig, PlantedTensor};
+use dbtf_datagen::{stream_uniform_random, NoiseSpec, PlantedConfig, PlantedTensor};
 use dbtf_telemetry::{validate_chrome_trace, write_chrome_trace, Tracer};
-use dbtf_tensor::{io as tio, matrix_io, BoolTensor};
+use dbtf_tensor::{columnar, io as tio, matrix_io, BoolTensor, MmapUnfolding};
 
 const USAGE: &str = "usage: dbtf <factorize|tucker|select-rank|generate|stats> [options]
 run `dbtf help` for the full option list";
@@ -133,6 +134,19 @@ factorize: --rank R [--workers 16] [--iters 10] [--sets 1]
            [--net-respawn-budget N]
                  respawns per worker before a net run degrades to a typed
                  error with a final checkpoint flush (default 3)
+           [--storage ram|mmap]
+                 where the driver materializes the unfolded tensors.
+                 ram (default): on the heap; mmap: spilled once to
+                 on-disk columnar files (bounded sort buffer, see
+                 DBTF_SPILL_BUDGET_MB) and partitioned through a
+                 read-only memory map, bounding driver memory by the
+                 partition size instead of the tensor size. Factors,
+                 errors, and every meter are bit-identical either way.
+                 DBTF_STORAGE also works; the flag wins
+           [--spill-dir DIR]
+                 where --storage mmap spills its unfolding files
+                 (default: the system temp dir); each run uses and
+                 removes its own subdirectory
   checkpointing:
            [--checkpoint FILE]    write factors to FILE every K iterations
            [--checkpoint-every K] (default 1 when --checkpoint is given)
@@ -163,7 +177,10 @@ tucker:    --ranks R1,R2,R3 [--iters 10] [--sets 1] [--workers M]\n           [-
 select-rank: --candidates R1,R2,… [--sets 4]
 stats:     --input X.txt | --trace TRACE.json
                  (--trace validates the trace file and prints a
-                 per-superstep/operator time breakdown)
+                 per-superstep/operator time breakdown; tensor stats
+                 stream the file in constant memory, and DBTFUNFD
+                 columnar-unfolding files are summarized from the
+                 header and row index alone)
 generate random:  --dims I,J,K --density D --output FILE
 generate planted: --dims I,J,K --rank R --factor-density D
                   [--additive A] [--destructive D] --output FILE
@@ -240,6 +257,11 @@ fn cmd_factorize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> 
         checkpoint_path,
         resume: parsed.has_flag("resume"),
         backend: parsed.get("backend", BackendKind::default())?,
+        storage: resolve_storage(
+            parsed.get_str("storage"),
+            std::env::var("DBTF_STORAGE").ok().as_deref(),
+        )?,
+        spill_dir: parsed.get_str("spill-dir").map(str::to_string),
         ..DbtfConfig::default()
     };
     let trace_out = parsed.get_str("trace-out");
@@ -321,6 +343,12 @@ fn cmd_factorize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> 
         result.stats.comm.bytes_broadcast,
         result.stats.comm.bytes_collected
     );
+    if config.storage == StorageKind::Mmap {
+        println!(
+            "storage: mmap (unfoldings spilled under {})",
+            config.spill_dir.as_deref().unwrap_or("the system temp dir")
+        );
+    }
     if let Some(m) = &wire {
         println!(
             "wire: {} B sent, {} B received (payload, equal to the meters \
@@ -358,6 +386,29 @@ fn cmd_factorize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> 
         }
     }
     Ok(())
+}
+
+/// Resolves the unfolding storage backend: the `--storage` flag wins over
+/// the `DBTF_STORAGE` environment variable. A malformed flag is an
+/// argument error; a malformed environment value warns on stderr and
+/// falls back to the default, so a stale environment never breaks an
+/// otherwise-valid invocation.
+fn resolve_storage(flag: Option<&str>, env: Option<&str>) -> Result<StorageKind, ArgError> {
+    if let Some(raw) = flag {
+        return raw
+            .parse()
+            .map_err(|e| ArgError(format!("invalid value for --storage: {e}")));
+    }
+    match env {
+        Some(raw) => match raw.parse() {
+            Ok(kind) => Ok(kind),
+            Err(e) => {
+                eprintln!("dbtf: ignoring DBTF_STORAGE: {e}");
+                Ok(StorageKind::default())
+            }
+        },
+        None => Ok(StorageKind::default()),
+    }
 }
 
 /// Builds a [`FaultPlan`] from the `--fault-*` options, or `None` if no
@@ -527,9 +578,35 @@ fn cmd_generate(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     let seed: u64 = parsed.get("seed", 0)?;
     let tensor = match parsed.command.get(1).map(String::as_str) {
         Some("random") => {
+            // Streamed straight to the output file: the entries go from the
+            // gap sampler into the writer one at a time, so generating a
+            // tensor far larger than memory works — and the bytes are
+            // identical to materializing and saving (the sampler and the
+            // writer both use strictly increasing lexicographic order).
             let dims = parsed.require_triple("dims")?;
             let density: f64 = parsed.require("density")?;
-            uniform_random(dims, density, seed)
+            let path = parsed
+                .get_str("output")
+                .ok_or_else(|| ArgError("missing required option --output".into()))?;
+            let binary = parsed.has_flag("binary") || path.ends_with(".dbtf");
+            let mut writer = tio::StreamingTensorWriter::create(path, dims, binary)?;
+            let mut io_err: Option<std::io::Error> = None;
+            stream_uniform_random(dims, density, seed, |e| {
+                if io_err.is_none() {
+                    if let Err(err) = writer.push(e) {
+                        io_err = Some(err);
+                    }
+                }
+            });
+            if let Some(err) = io_err {
+                return Err(err.into());
+            }
+            let count = writer.finish()?;
+            println!(
+                "wrote BoolTensor[{}×{}×{}, |X| = {count}] to {path}",
+                dims[0], dims[1], dims[2]
+            );
+            return Ok(());
         }
         Some("planted") => {
             let planted = PlantedTensor::generate(PlantedConfig {
@@ -576,22 +653,108 @@ fn cmd_stats(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(path) = parsed.get_str("trace") {
         return trace_stats(path);
     }
-    let x = load_tensor(parsed)?;
-    let [i, j, k] = x.dims();
+    let path = parsed
+        .get_str("input")
+        .ok_or_else(|| ArgError("missing required option --input".into()))?;
+    if is_unfolding_file(path) {
+        return unfolding_stats(path);
+    }
+    // One streaming pass in constant memory: the tensor is never
+    // materialized. Three occupancy bitsets (one bit per index) replace
+    // the hash sets a full load would need, and consecutive duplicates
+    // are skipped so files written by this tool (sorted, unique) report
+    // the exact non-zero count.
+    let mut stream = tio::TensorStream::open(path)?;
+    let [i, j, k] = stream.dims();
+    let mut seen: [dbtf_tensor::BitVec; 3] = [
+        dbtf_tensor::BitVec::zeros(i),
+        dbtf_tensor::BitVec::zeros(j),
+        dbtf_tensor::BitVec::zeros(k),
+    ];
+    let mut nnz = 0u64;
+    let mut last: Option<[u32; 3]> = None;
+    for entry in &mut stream {
+        let e = entry?;
+        if last == Some(e) {
+            continue;
+        }
+        last = Some(e);
+        nnz += 1;
+        for m in 0..3 {
+            seen[m].set(e[m] as usize, true);
+        }
+    }
+    let cells = i as f64 * j as f64 * k as f64;
     println!("shape:    {i} × {j} × {k}");
-    println!("non-zeros: {}", x.nnz());
-    println!("density:  {:.3e}", x.density());
-    println!("‖X‖_F:    {:.3}", x.frobenius_norm());
-    // Per-mode occupancy: how many distinct indices appear.
+    println!("non-zeros: {nnz}");
+    println!(
+        "density:  {:.3e}",
+        if cells > 0.0 { nnz as f64 / cells } else { 0.0 }
+    );
+    println!("‖X‖_F:    {:.3}", (nnz as f64).sqrt());
     for (m, name) in ["i", "j", "k"].iter().enumerate() {
-        let distinct: std::collections::HashSet<u32> = x.iter().map(|e| e[m]).collect();
+        let dim = [i, j, k][m];
+        let distinct = seen[m].count_ones();
         println!(
             "mode {name}:   {} of {} indices used ({:.1}%)",
-            distinct.len(),
-            x.dims()[m],
-            100.0 * distinct.len() as f64 / x.dims()[m].max(1) as f64
+            distinct,
+            dim,
+            100.0 * distinct as f64 / dim.max(1) as f64
         );
     }
+    Ok(())
+}
+
+/// Whether `path` starts with the `DBTFUNFD` columnar-unfolding magic.
+fn is_unfolding_file(path: &str) -> bool {
+    use std::io::Read;
+    let mut magic = [0u8; 8];
+    std::fs::File::open(path)
+        .and_then(|mut f| f.read_exact(&mut magic))
+        .is_ok_and(|_| magic == columnar::UNFOLDING_MAGIC)
+}
+
+/// `dbtf stats` on a spilled columnar unfolding: everything below comes
+/// from the 4 KiB header page and the row index — the column data is
+/// mapped but never faulted in, so this is O(header + index) I/O no matter
+/// how large the unfolding is.
+fn unfolding_stats(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let store = MmapUnfolding::open(std::path::Path::new(path))?;
+    let h = store.header();
+    let [i, j, k] = h.dims;
+    println!(
+        "columnar unfolding (DBTFUNFD v{})",
+        columnar::UNFOLDING_VERSION
+    );
+    println!("mode:     {}", h.mode.index() + 1);
+    println!("tensor:   {i} × {j} × {k}");
+    println!("unfolded: {} × {}", h.nrows, h.ncols);
+    println!("non-zeros: {}", h.nnz);
+    let cells = h.nrows as f64 * h.ncols as f64;
+    println!(
+        "density:  {:.3e}",
+        if cells > 0.0 {
+            h.nnz as f64 / cells
+        } else {
+            0.0
+        }
+    );
+    let index = store.index();
+    let lens = index.windows(2).map(|w| w[1] - w[0]);
+    let longest = lens.clone().max().unwrap_or(0);
+    let occupied = lens.filter(|&l| l > 0).count();
+    println!(
+        "rows:     {} of {} occupied ({:.1}%), longest {longest}",
+        occupied,
+        h.nrows,
+        100.0 * occupied as f64 / h.nrows.max(1) as f64
+    );
+    println!(
+        "layout:   index at {} B, data at {} B, file {} B",
+        h.index_off,
+        h.data_off,
+        std::fs::metadata(path)?.len()
+    );
     Ok(())
 }
 
@@ -630,4 +793,31 @@ fn trace_stats(path: &str) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_flag_wins_over_env() {
+        assert_eq!(
+            resolve_storage(Some("mmap"), Some("ram")).unwrap(),
+            StorageKind::Mmap
+        );
+        assert_eq!(
+            resolve_storage(None, Some("mmap")).unwrap(),
+            StorageKind::Mmap
+        );
+        assert_eq!(resolve_storage(None, None).unwrap(), StorageKind::Ram);
+    }
+
+    #[test]
+    fn malformed_env_warns_and_defaults_but_malformed_flag_errors() {
+        assert_eq!(
+            resolve_storage(None, Some("floppy")).unwrap(),
+            StorageKind::Ram
+        );
+        assert!(resolve_storage(Some("floppy"), None).is_err());
+    }
 }

@@ -20,6 +20,25 @@ pub enum DbtfError {
     /// the variant stores a `String` because this enum is `Clone + Eq` and
     /// the underlying `std::io::Error` is neither.
     Engine(String),
+    /// An out-of-core unfolding file does not start with the `DBTFUNFD`
+    /// magic — it is not a columnar unfolding at all.
+    StorageBadMagic(String),
+    /// An out-of-core unfolding file ends before a declared section (header,
+    /// row index, or column data) — a partial write or external truncation.
+    StorageTruncated(String),
+    /// A checksum over an out-of-core unfolding section did not match the
+    /// stored digest: the bytes on disk were corrupted after the write.
+    StorageChecksum(String),
+    /// An out-of-core unfolding file was written by an unsupported format
+    /// version.
+    StorageVersionSkew(String),
+    /// Reading or writing spilled unfolding files failed at the OS level
+    /// (permissions, disk full, missing spill directory).
+    StorageIo(String),
+    /// A spilled unfolding is structurally inconsistent (geometry or row
+    /// index do not describe a valid unfolding) or the ingest stream was
+    /// malformed.
+    StorageInvalid(String),
 }
 
 impl std::fmt::Display for DbtfError {
@@ -29,6 +48,12 @@ impl std::fmt::Display for DbtfError {
             DbtfError::EmptyTensor => write!(f, "input tensor has a zero-sized mode"),
             DbtfError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
             DbtfError::Engine(msg) => write!(f, "engine error: {msg}"),
+            DbtfError::StorageBadMagic(msg) => write!(f, "storage error: {msg}"),
+            DbtfError::StorageTruncated(msg) => write!(f, "storage error: {msg}"),
+            DbtfError::StorageChecksum(msg) => write!(f, "storage error: {msg}"),
+            DbtfError::StorageVersionSkew(msg) => write!(f, "storage error: {msg}"),
+            DbtfError::StorageIo(msg) => write!(f, "storage error: {msg}"),
+            DbtfError::StorageInvalid(msg) => write!(f, "storage error: {msg}"),
         }
     }
 }
@@ -38,6 +63,30 @@ impl std::error::Error for DbtfError {}
 impl From<dbtf_cluster::ClusterError> for DbtfError {
     fn from(err: dbtf_cluster::ClusterError) -> Self {
         DbtfError::Engine(err.to_string())
+    }
+}
+
+impl From<dbtf_tensor::StoreError> for DbtfError {
+    fn from(err: dbtf_tensor::StoreError) -> Self {
+        use dbtf_tensor::StoreError;
+        let msg = err.to_string();
+        match err {
+            StoreError::BadMagic { .. } => DbtfError::StorageBadMagic(msg),
+            StoreError::Truncated { .. } => DbtfError::StorageTruncated(msg),
+            StoreError::ChecksumMismatch { .. } => DbtfError::StorageChecksum(msg),
+            StoreError::VersionSkew { .. } => DbtfError::StorageVersionSkew(msg),
+            StoreError::Io { .. } => DbtfError::StorageIo(msg),
+            StoreError::Invalid { .. } => DbtfError::StorageInvalid(msg),
+        }
+    }
+}
+
+impl From<dbtf_tensor::stream::IngestError> for DbtfError {
+    fn from(err: dbtf_tensor::stream::IngestError) -> Self {
+        match err {
+            dbtf_tensor::stream::IngestError::Store(e) => e.into(),
+            dbtf_tensor::stream::IngestError::Parse(e) => DbtfError::StorageInvalid(e.to_string()),
+        }
     }
 }
 
@@ -108,6 +157,50 @@ impl std::str::FromStr for BackendKind {
     }
 }
 
+/// Where the driver materializes the three unfolded tensors it partitions
+/// (DESIGN.md §1.2.7).
+///
+/// Both backends produce bit-identical factors, errors, op counts, Lemma
+/// 6/7 byte counters, virtual clocks, and trace fingerprints for the same
+/// configuration: the partitions a run distributes are equal byte for byte
+/// regardless of where the unfolding rows were read from, and file I/O is
+/// never charged to the virtual cost model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum StorageKind {
+    /// Heap-resident unfoldings ([`dbtf_tensor::Unfolding`]): each mode's
+    /// row lists live in memory while the driver partitions them.
+    #[default]
+    Ram,
+    /// Out-of-core unfoldings ([`dbtf_tensor::MmapUnfolding`]): each mode
+    /// is spilled to an on-disk columnar file in one streaming pass with a
+    /// bounded sort buffer, then partitioned through a read-only memory
+    /// map. Peak driver memory is bounded by the partition size instead of
+    /// the tensor size, and lineage recompute re-opens the file instead of
+    /// re-unfolding a heap copy of the tensor.
+    Mmap,
+}
+
+impl std::fmt::Display for StorageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StorageKind::Ram => "ram",
+            StorageKind::Mmap => "mmap",
+        })
+    }
+}
+
+impl std::str::FromStr for StorageKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ram" => Ok(StorageKind::Ram),
+            "mmap" => Ok(StorageKind::Mmap),
+            other => Err(format!("unknown storage {other:?} (ram|mmap)")),
+        }
+    }
+}
+
 /// Configuration of a DBTF factorization run (the paper's Algorithm 2
 /// inputs plus the initialization knobs the paper leaves open).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -164,6 +257,16 @@ pub struct DbtfConfig {
     /// benchmarks) read this field to pick between the simulated cluster
     /// and the local backend.
     pub backend: BackendKind,
+    /// Where the driver materializes the unfolded tensors (see
+    /// [`StorageKind`]). Results are bit-identical across storage kinds.
+    #[serde(default)]
+    pub storage: StorageKind,
+    /// For [`StorageKind::Mmap`]: the directory the spilled unfolding
+    /// files live in. Each run creates (and on completion removes) a
+    /// uniquely named subdirectory, so concurrent runs can share a spill
+    /// directory. `None` uses the system temporary directory.
+    #[serde(default)]
+    pub spill_dir: Option<String>,
 }
 
 impl Default for DbtfConfig {
@@ -182,6 +285,8 @@ impl Default for DbtfConfig {
             checkpoint_path: None,
             resume: false,
             backend: BackendKind::default(),
+            storage: StorageKind::default(),
+            spill_dir: None,
         }
     }
 }
@@ -244,6 +349,11 @@ impl DbtfConfig {
         if (self.checkpoint_every.is_some() || self.resume) && self.checkpoint_path.is_none() {
             return Err(DbtfError::InvalidConfig(
                 "checkpoint_every/resume require checkpoint_path".into(),
+            ));
+        }
+        if self.spill_dir.is_some() && self.storage != StorageKind::Mmap {
+            return Err(DbtfError::InvalidConfig(
+                "spill_dir requires storage = mmap".into(),
             ));
         }
         Ok(())
@@ -341,6 +451,77 @@ mod tests {
         }
         assert!("spark".parse::<BackendKind>().is_err());
         assert_eq!(DbtfConfig::default().backend, BackendKind::Cluster);
+    }
+
+    #[test]
+    fn storage_kind_round_trips_through_str() {
+        for kind in [StorageKind::Ram, StorageKind::Mmap] {
+            assert_eq!(kind.to_string().parse::<StorageKind>(), Ok(kind));
+        }
+        assert!("disk".parse::<StorageKind>().is_err());
+        assert_eq!(DbtfConfig::default().storage, StorageKind::Ram);
+    }
+
+    #[test]
+    fn rejects_spill_dir_without_mmap() {
+        let cfg = DbtfConfig {
+            spill_dir: Some("/tmp/spill".into()),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let ok = DbtfConfig {
+            storage: StorageKind::Mmap,
+            spill_dir: Some("/tmp/spill".into()),
+            ..Default::default()
+        };
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn store_errors_map_to_distinct_variants() {
+        use dbtf_tensor::StoreError;
+        let path = String::from("u.dbtfu");
+        type Check = fn(&DbtfError) -> bool;
+        let cases: [(StoreError, Check); 5] = [
+            (StoreError::BadMagic { path: path.clone() }, |e| {
+                matches!(e, DbtfError::StorageBadMagic(_))
+            }),
+            (
+                StoreError::Truncated {
+                    path: path.clone(),
+                    section: "row index",
+                },
+                |e| matches!(e, DbtfError::StorageTruncated(_)),
+            ),
+            (
+                StoreError::ChecksumMismatch {
+                    path: path.clone(),
+                    section: "header",
+                },
+                |e| matches!(e, DbtfError::StorageChecksum(_)),
+            ),
+            (
+                StoreError::VersionSkew {
+                    path: path.clone(),
+                    found: 9,
+                    supported: 1,
+                },
+                |e| matches!(e, DbtfError::StorageVersionSkew(_)),
+            ),
+            (
+                StoreError::Invalid {
+                    path,
+                    detail: "row index not monotone".into(),
+                },
+                |e| matches!(e, DbtfError::StorageInvalid(_)),
+            ),
+        ];
+        for (err, is_expected) in cases {
+            let rendered = err.to_string();
+            let converted = DbtfError::from(err);
+            assert!(is_expected(&converted), "wrong variant for {converted:?}");
+            assert_eq!(converted.to_string(), format!("storage error: {rendered}"));
+        }
     }
 
     #[test]

@@ -23,13 +23,14 @@ use std::time::Instant;
 
 use dbtf_cluster::{ClusterError, ExecutionBackend, PlanTrace, Scheduler};
 use dbtf_telemetry::{SpanKind, Tracer};
-use dbtf_tensor::{BitMatrix, BoolTensor, FactorTriple, Mode, Unfolding};
+use dbtf_tensor::{BitMatrix, BoolTensor, FactorTriple, MmapUnfolding, Mode, Unfolding};
 
 use crate::checkpoint::Checkpoint;
-use crate::config::{DbtfConfig, DbtfError};
+use crate::config::{DbtfConfig, DbtfError, StorageKind};
 use crate::factors::{initial_factor_sets, FactorSet};
 use crate::net_tasks;
-use crate::partition::partition_unfolding;
+use crate::ooc::RunStores;
+use crate::partition::{partition_unfolding, partition_unfolding_one};
 use crate::stats::DbtfStats;
 use crate::sweep::{column_sweep, SweepLabels};
 use crate::update::PartitionSlot;
@@ -190,9 +191,15 @@ fn run<B: ExecutionBackend>(
     // here degrades to the typed error with nothing to checkpoint.
     let ([px1, px2, px3], partition_bytes) = catch_cluster(|| {
         sched.phase("cp.distribute", |s| {
-            distribute_unfoldings(s, x, n_partitions)
+            distribute_unfoldings(
+                s,
+                x,
+                n_partitions,
+                config.storage,
+                config.spill_dir.as_deref(),
+            )
         })
-    })?;
+    })??;
 
     let threshold = config.convergence_threshold * x.nnz().max(1) as f64;
     let ckpt_path = config.checkpoint_path.as_deref().map(std::path::Path::new);
@@ -359,25 +366,49 @@ fn run<B: ExecutionBackend>(
 /// distributes them across the backend with full shuffle metering. Returns
 /// the three datasets (mode order) and the total metered bytes.
 ///
+/// With [`StorageKind::Ram`] each unfolding is materialized on the heap;
+/// with [`StorageKind::Mmap`] it is spilled once to an on-disk columnar
+/// file and partitioned through a read-only map, so driver memory is
+/// bounded by one partition instead of one unfolding. The partitions (and
+/// therefore every downstream byte, op, and clock meter) are identical
+/// byte for byte either way: the spill pass is real I/O, never charged to
+/// the virtual cost model.
+///
 /// Shared by the CP and the distributed-Tucker drivers — both operate on
 /// exactly this layout.
 pub(crate) fn distribute_unfoldings<B: ExecutionBackend>(
     sched: &Scheduler<'_, B>,
     x: &BoolTensor,
     n_partitions: usize,
-) -> ([B::Dataset<PartitionSlot>; 3], u64) {
-    // The driver keeps the source tensor; it is the root of every
-    // partition's lineage — a lost partition is re-derived by re-unfolding
-    // and re-partitioning (deterministic), exactly Spark's
-    // recompute-from-source contract.
-    let source = Arc::new(x.clone());
+    storage: StorageKind,
+    spill_dir: Option<&str>,
+) -> Result<([B::Dataset<PartitionSlot>; 3], u64), DbtfError> {
+    // The lineage root: a lost partition is re-derived deterministically
+    // (Spark's recompute-from-source contract). RAM runs keep a heap copy
+    // of the source tensor and re-unfold it; mmap runs re-open the spilled
+    // columnar file and re-slice only the lost partition's column range.
+    let (source, stores) = match storage {
+        StorageKind::Ram => (Some(Arc::new(x.clone())), None),
+        StorageKind::Mmap => (None, Some(RunStores::build(x, spill_dir)?)),
+    };
     let mut partition_bytes = 0u64;
     let mut datasets = Vec::with_capacity(3);
     for mode in Mode::ALL {
-        let unfolding = Unfolding::new(x, mode);
-        // The driver-side unfolding map is O(|X|) (Lemma 4 part 1).
-        sched.charge_driver("unfold.map", x.nnz() as u64);
-        let parts = partition_unfolding(&unfolding, n_partitions);
+        // The driver-side unfolding map is O(|X|) (Lemma 4 part 1),
+        // identical on both storage paths — mmap runs paid the same
+        // logical work during the spill pass.
+        let parts = match &stores {
+            None => {
+                let unfolding = Unfolding::new(x, mode);
+                sched.charge_driver("unfold.map", x.nnz() as u64);
+                partition_unfolding(&unfolding, n_partitions)
+            }
+            Some(stores) => {
+                let unfolding = stores.open(mode)?;
+                sched.charge_driver("unfold.map", x.nnz() as u64);
+                partition_unfolding(&unfolding, n_partitions)
+            }
+        };
         let elems: Vec<(PartitionSlot, u64)> = parts
             .into_iter()
             .map(|p| {
@@ -386,12 +417,30 @@ pub(crate) fn distribute_unfoldings<B: ExecutionBackend>(
             })
             .collect();
         partition_bytes += elems.iter().map(|e| e.1).sum::<u64>();
-        let rebuild_src = Arc::clone(&source);
-        let data = sched.distribute_with_lineage("unfold.distribute", elems, move |idx| {
-            let unfolding = Unfolding::new(&rebuild_src, mode);
-            let mut parts = partition_unfolding(&unfolding, n_partitions);
-            PartitionSlot::new(parts.swap_remove(idx))
-        });
+        let data = match (&source, &stores) {
+            (Some(source), _) => {
+                let rebuild_src = Arc::clone(source);
+                sched.distribute_with_lineage("unfold.distribute", elems, move |idx| {
+                    let unfolding = Unfolding::new(&rebuild_src, mode);
+                    let mut parts = partition_unfolding(&unfolding, n_partitions);
+                    PartitionSlot::new(parts.swap_remove(idx))
+                })
+            }
+            (None, Some(stores)) => {
+                // The closure holds the spill-directory guard, so the file
+                // outlives every dataset that could still replay from it.
+                let guard = stores.guard();
+                let path = stores.path(mode).to_path_buf();
+                sched.distribute_with_lineage("unfold.distribute", elems, move |idx| {
+                    let _keep_files = &guard;
+                    let unfolding = MmapUnfolding::open(&path).unwrap_or_else(|e| {
+                        panic!("lineage rebuild lost its spilled unfolding: {e}")
+                    });
+                    PartitionSlot::new(partition_unfolding_one(&unfolding, idx, n_partitions))
+                })
+            }
+            (None, None) => unreachable!("one storage root always exists"),
+        };
         // Distributed block organization (Algorithm 3 line 4): each worker
         // walks its share of the non-zeros once. The driver never reads the
         // result, so the superstep is submitted without waiting — under
@@ -409,7 +458,7 @@ pub(crate) fn distribute_unfoldings<B: ExecutionBackend>(
     let px3 = datasets.pop().expect("three modes");
     let px2 = datasets.pop().expect("three modes");
     let px1 = datasets.pop().expect("three modes");
-    ([px1, px2, px3], partition_bytes)
+    Ok(([px1, px2, px3], partition_bytes))
 }
 
 /// One full `UpdateFactors` round (Algorithm 2 lines 14–18): update A, B, C

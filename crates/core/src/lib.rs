@@ -62,6 +62,7 @@ mod driver;
 mod factors;
 pub mod model_selection;
 pub mod net_tasks;
+mod ooc;
 pub mod partition;
 pub mod reference;
 mod stats;
@@ -71,8 +72,9 @@ pub mod tucker_distributed;
 pub mod update;
 
 pub use checkpoint::Checkpoint;
-pub use config::{BackendKind, DbtfConfig, DbtfError, InitStrategy};
+pub use config::{BackendKind, DbtfConfig, DbtfError, InitStrategy, StorageKind};
 pub use driver::{factorize, factorize_instrumented, factorize_traced, DbtfResult};
 pub use factors::{initial_factor_sets, random_factor_sets, FactorSet};
+pub use ooc::SPILL_BUDGET_ENV;
 pub use stats::DbtfStats;
 pub use update::{PartitionSlot, WorkState};

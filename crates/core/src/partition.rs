@@ -11,7 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dbtf_tensor::Unfolding;
+use dbtf_tensor::UnfoldingStore;
 
 /// The block types of the paper's Figure 5, keyed by how a block sits
 /// inside its PVM slab.
@@ -88,6 +88,40 @@ pub struct ModePartition {
     pub blocks: Vec<Block>,
 }
 
+/// Read access to a partition's geometry and blocks — the only surface the
+/// [`WorkState`](crate::update::WorkState) hot kernels touch.
+///
+/// Kernels are generic over this trait with static dispatch, so they
+/// monomorphize to exactly the pre-refactor code for [`ModePartition`]
+/// (proven flat by the `factor_update` criterion bench) while admitting
+/// alternative block containers (e.g. store-backed or borrowed views)
+/// without another kernel rewrite.
+pub trait PartitionData {
+    /// Row count `P` of the unfolding.
+    fn nrows(&self) -> usize;
+    /// PVM slab width `S`.
+    fn slab_width(&self) -> usize;
+    /// The partition's blocks, in column order.
+    fn blocks(&self) -> &[Block];
+}
+
+impl PartitionData for ModePartition {
+    #[inline]
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    fn slab_width(&self) -> usize {
+        self.slab_width
+    }
+
+    #[inline]
+    fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+}
+
 impl ModePartition {
     /// Number of ones stored in this partition.
     pub fn nnz(&self) -> usize {
@@ -110,28 +144,50 @@ impl ModePartition {
 /// the algorithm's `⌊Q/N⌋ ≤ H ≤ ⌈Q/N⌉`. Partitions with an empty column
 /// range (possible only when `N > Q`) carry no blocks.
 ///
+/// Generic over [`UnfoldingStore`] (static dispatch): the heap `Unfolding`
+/// and the on-disk `MmapUnfolding` yield bit-identical partitions, because
+/// everything here flows through the store's `row_range` contract.
+///
 /// # Panics
 ///
 /// Panics if `n_partitions == 0`.
-pub fn partition_unfolding(unfolding: &Unfolding, n_partitions: usize) -> Vec<ModePartition> {
+pub fn partition_unfolding<S: UnfoldingStore>(
+    unfolding: &S,
+    n_partitions: usize,
+) -> Vec<ModePartition> {
     assert!(n_partitions > 0, "need at least one partition");
+    (0..n_partitions)
+        .map(|p| partition_unfolding_one(unfolding, p, n_partitions))
+        .collect()
+}
+
+/// Builds just partition `index` of the `n_partitions`-way split — the
+/// lineage-recompute entry point: re-opening an unfolding store and
+/// re-slicing one lost partition costs `O(partition)` instead of
+/// rebuilding the whole split.
+///
+/// # Panics
+///
+/// Panics if `index >= n_partitions` or `n_partitions == 0`.
+pub fn partition_unfolding_one<S: UnfoldingStore>(
+    unfolding: &S,
+    index: usize,
+    n_partitions: usize,
+) -> ModePartition {
+    assert!(n_partitions > 0, "need at least one partition");
+    assert!(index < n_partitions, "partition index out of range");
     let q = unfolding.ncols();
     let s = unfolding.mode().slab_width(unfolding.tensor_dims()) as u64;
     let nrows = unfolding.nrows();
     let n = n_partitions as u64;
-    let mut partitions = Vec::with_capacity(n_partitions);
-    for p in 0..n {
-        let col_lo = p * q / n;
-        let col_hi = (p + 1) * q / n;
-        partitions.push(build_partition(
-            unfolding, p as usize, col_lo, col_hi, s, nrows,
-        ));
-    }
-    partitions
+    let p = index as u64;
+    let col_lo = p * q / n;
+    let col_hi = (p + 1) * q / n;
+    build_partition(unfolding, index, col_lo, col_hi, s, nrows)
 }
 
-fn build_partition(
-    unfolding: &Unfolding,
+fn build_partition<S: UnfoldingStore>(
+    unfolding: &S,
     index: usize,
     col_lo: u64,
     col_hi: u64,
@@ -360,6 +416,33 @@ mod tests {
         assert_eq!(nonempty, u.ncols() as usize);
         let total: usize = parts.iter().map(ModePartition::nnz).sum();
         assert_eq!(total, u.nnz());
+    }
+
+    #[test]
+    fn mmap_store_yields_bit_identical_partitions() {
+        use dbtf_tensor::MmapUnfolding;
+        let t = random_tensor([6, 7, 5], 0.25, 11);
+        let dir = std::env::temp_dir().join(format!("dbtf-partition-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for mode in Mode::ALL {
+            let u = Unfolding::new(&t, mode);
+            let path = dir.join(format!("m{}.unf", mode.index()));
+            MmapUnfolding::write_from_store(&u, &path).unwrap();
+            let m = MmapUnfolding::open(&path).unwrap();
+            for n in [1, 2, 3, 7] {
+                let from_heap = partition_unfolding(&u, n);
+                let from_mmap = partition_unfolding(&m, n);
+                assert_eq!(from_heap, from_mmap, "mode {mode:?}, N = {n}");
+                for (idx, expect) in from_heap.iter().enumerate() {
+                    assert_eq!(
+                        &partition_unfolding_one(&m, idx, n),
+                        expect,
+                        "single-partition rebuild, mode {mode:?}, N = {n}, idx = {idx}"
+                    );
+                }
+            }
+            let _ = std::fs::remove_file(&path);
+        }
     }
 
     #[test]

@@ -239,10 +239,14 @@ fn run<B: ExecutionBackend>(
     config: &TuckerConfig,
 ) -> TuckerResult {
     let n_partitions = sched.backend().suggested_partitions();
+    // The Tucker driver is RAM-only: its tensors are the small core-search
+    // workloads, so the out-of-core path adds no value there (DESIGN.md
+    // §1.2.7). RAM distribution is infallible.
     let [px1, px2, px3] = sched
         .phase("tucker.distribute", |s| {
-            distribute_unfoldings(s, x, n_partitions)
+            distribute_unfoldings(s, x, n_partitions, crate::config::StorageKind::Ram, None)
         })
+        .expect("RAM distribution cannot fail")
         .0;
 
     let mut best: Option<(TuckerFactorization, u64)> = None;

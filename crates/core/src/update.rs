@@ -28,7 +28,7 @@
 use dbtf_tensor::{BitMatrix, BitVec};
 
 use crate::cache::{GroupLayout, RowSumCache};
-use crate::partition::{Block, BlockKind, ModePartition};
+use crate::partition::{Block, BlockKind, ModePartition, PartitionData};
 
 /// A partition plus its transient update state; the element type stored in
 /// the cluster's distributed datasets.
@@ -150,8 +150,8 @@ impl WorkState {
     /// per-block `M_f` key masks, converts `a` into the incremental
     /// row-key buffer, and sizes all kernel scratch. Returns the state and
     /// the charged ops.
-    pub fn build(
-        part: &ModePartition,
+    pub fn build<P: PartitionData + ?Sized>(
+        part: &P,
         a: &BitMatrix,
         mf: &BitMatrix,
         ms: &BitMatrix,
@@ -162,20 +162,20 @@ impl WorkState {
         debug_assert_eq!(ms.cols(), rank);
         debug_assert_eq!(
             ms.rows(),
-            part.slab_width,
+            part.slab_width(),
             "M_s height must be the slab width"
         );
         let layout = GroupLayout::new(rank, v_limit);
         let ngroups = layout.num_groups();
 
         let full_cache = RowSumCache::build(ms, &layout);
-        let width_words = part.slab_width.div_ceil(64) as u64;
+        let width_words = part.slab_width().div_ceil(64) as u64;
         let mut ops = full_cache.num_entries() as u64 * width_words;
 
-        let mut mf_masks = Vec::with_capacity(part.blocks.len());
-        let mut block_caches = Vec::with_capacity(part.blocks.len());
-        let mut dense_rows = Vec::with_capacity(part.blocks.len());
-        for block in &part.blocks {
+        let mut mf_masks = Vec::with_capacity(part.blocks().len());
+        let mut block_caches = Vec::with_capacity(part.blocks().len());
+        let mut dense_rows = Vec::with_capacity(part.blocks().len());
+        for block in part.blocks() {
             let mut masks = vec![0u64; ngroups];
             layout.row_masks(mf, block.slab, &mut masks);
             mf_masks.push(masks);
@@ -191,8 +191,8 @@ impl WorkState {
                     block_caches.push(BlockCache::Sliced(sliced));
                 }
             }
-            if use_dense(block, part.nrows) {
-                let dense = DenseRows::build(block, part.nrows);
+            if use_dense(block, part.nrows()) {
+                let dense = DenseRows::build(block, part.nrows());
                 ops += dense.data.len() as u64 * cost::WORD;
                 dense_rows.push(Some(dense));
             } else {
@@ -201,16 +201,16 @@ impl WorkState {
         }
 
         // Seed the incremental key buffer from the initial factor copy.
-        let mut row_masks = vec![0u64; part.nrows * ngroups];
-        for r in 0..part.nrows {
+        let mut row_masks = vec![0u64; part.nrows() * ngroups];
+        for r in 0..part.nrows() {
             layout.row_masks(a, r, &mut row_masks[r * ngroups..(r + 1) * ngroups]);
         }
-        ops += (part.nrows * ngroups) as u64 * cost::KEY;
+        ops += (part.nrows() * ngroups) as u64 * cost::KEY;
 
-        let scratch_words = part.slab_width.div_ceil(64).max(1);
+        let scratch_words = part.slab_width().div_ceil(64).max(1);
         let state = WorkState {
             layout,
-            nrows: part.nrows,
+            nrows: part.nrows(),
             row_masks,
             mf_masks,
             full_cache,
@@ -283,15 +283,19 @@ impl WorkState {
     ///
     /// Aside from the returned vector (the task's result payload), this
     /// performs no heap allocation: all scratch lives in the state.
-    pub fn column_errors(&mut self, part: &ModePartition, col: usize) -> (Vec<(u64, u64)>, u64) {
-        let nrows = part.nrows;
+    pub fn column_errors<P: PartitionData + ?Sized>(
+        &mut self,
+        part: &P,
+        col: usize,
+    ) -> (Vec<(u64, u64)>, u64) {
+        let nrows = part.nrows();
         let ngroups = self.layout.num_groups();
         let (gc, off) = self.layout.locate(col);
         let col_bit = 1u64 << off;
         let mut ops = 0u64;
         let mut errs = vec![(0u64, 0u64); nrows];
 
-        for (b, block) in part.blocks.iter().enumerate() {
+        for (b, block) in part.blocks().iter().enumerate() {
             let mf = &self.mf_masks[b];
             if (mf[gc] & col_bit) == 0 {
                 continue; // irrelevant: both candidates reconstruct equally
@@ -416,12 +420,12 @@ impl WorkState {
     /// Exact reconstruction error of this partition's column range under
     /// the *current* working factor copy:
     /// `Σ_rows |[X_(n)]_{r, lo..hi} ⊕ [A ∘ (M_f ⊙ M_s)ᵀ]_{r, lo..hi}|`.
-    pub fn partition_error(&mut self, part: &ModePartition) -> (u64, u64) {
-        let nrows = part.nrows;
+    pub fn partition_error<P: PartitionData + ?Sized>(&mut self, part: &P) -> (u64, u64) {
+        let nrows = part.nrows();
         let ngroups = self.layout.num_groups();
         let mut ops = 0u64;
         let mut err = 0u64;
-        for (b, block) in part.blocks.iter().enumerate() {
+        for (b, block) in part.blocks().iter().enumerate() {
             let mf = &self.mf_masks[b];
             let cache = match &self.block_caches[b] {
                 BlockCache::Full => &self.full_cache,

@@ -29,4 +29,4 @@ pub use metamorphic::{mode_permutations, permute_factors, Family};
 pub use noise::{add_noise, NoiseSpec};
 pub use planted::{PlantedConfig, PlantedTensor};
 pub use proxies::{generate_proxy, proxy_specs, DatasetSpec};
-pub use random::uniform_random;
+pub use random::{stream_uniform_random, uniform_random};

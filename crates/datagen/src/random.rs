@@ -19,24 +19,45 @@ use rand::{Rng, SeedableRng};
 ///
 /// Panics if `density` is outside `[0, 1]`.
 pub fn uniform_random(dims: [usize; 3], density: f64, seed: u64) -> BoolTensor {
+    let cells = dims[0] as u128 * dims[1] as u128 * dims[2] as u128;
+    let expected = (cells as f64 * density) as usize;
+    let mut builder = TensorBuilder::with_capacity(dims, expected + expected / 16 + 16);
+    stream_uniform_random(dims, density, seed, |[i, j, k]| builder.insert(i, j, k));
+    builder.build()
+}
+
+/// Streaming form of [`uniform_random`]: invokes `sink` once per one-cell,
+/// in strictly increasing lexicographic order, without materializing the
+/// tensor. For a given `(dims, density, seed)` the entry sequence is
+/// identical to the entries of the tensor [`uniform_random`] returns, so
+/// piping this into a streaming writer reproduces the materialized output
+/// byte for byte.
+///
+/// # Panics
+///
+/// Panics if `density` is outside `[0, 1]`.
+pub fn stream_uniform_random<F: FnMut([u32; 3])>(
+    dims: [usize; 3],
+    density: f64,
+    seed: u64,
+    mut sink: F,
+) {
     assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
     let cells = dims[0] as u128 * dims[1] as u128 * dims[2] as u128;
     let mut rng = StdRng::seed_from_u64(seed);
     if cells == 0 || density == 0.0 {
-        return BoolTensor::empty(dims);
+        return;
     }
-    let expected = (cells as f64 * density) as usize;
-    let mut builder = TensorBuilder::with_capacity(dims, expected + expected / 16 + 16);
     let (dj, dk) = (dims[1] as u128, dims[2] as u128);
     if density >= 1.0 {
         for i in 0..dims[0] as u32 {
             for j in 0..dims[1] as u32 {
                 for k in 0..dims[2] as u32 {
-                    builder.insert(i, j, k);
+                    sink([i, j, k]);
                 }
             }
         }
-        return builder.build();
+        return;
     }
     // Geometric gap sampling: successive one-cells are `1 + Geom(p)` apart
     // in the linearized index space.
@@ -53,10 +74,9 @@ pub fn uniform_random(dims: [usize; 3], density: f64, seed: u64) -> BoolTensor {
         let rem = pos % (dj * dk);
         let j = (rem / dk) as u32;
         let k = (rem % dk) as u32;
-        builder.insert(i, j, k);
+        sink([i, j, k]);
         pos += 1;
     }
-    builder.build()
 }
 
 #[cfg(test)]
@@ -105,5 +125,18 @@ mod tests {
     fn tiny_dims() {
         let t = uniform_random([1, 1, 1], 0.5, 9);
         assert!(t.nnz() <= 1);
+    }
+
+    #[test]
+    fn stream_matches_materialized_entries_exactly() {
+        let dims = [24, 18, 12];
+        let t = uniform_random(dims, 0.08, 42);
+        let mut streamed = Vec::new();
+        stream_uniform_random(dims, 0.08, 42, |e| streamed.push(e));
+        assert_eq!(streamed, t.iter().collect::<Vec<_>>());
+        assert!(
+            streamed.windows(2).all(|w| w[0] < w[1]),
+            "stream must be strictly increasing"
+        );
     }
 }

@@ -27,7 +27,7 @@
 use dbtf::reference::factorize_reference;
 use dbtf::tucker::TuckerConfig;
 use dbtf::tucker_distributed::tucker_factorize_distributed_traced;
-use dbtf::{factorize_instrumented, factorize_traced, DbtfConfig, DbtfResult};
+use dbtf::{factorize_instrumented, factorize_traced, DbtfConfig, DbtfResult, StorageKind};
 use dbtf_cluster::{Cluster, ClusterConfig, FaultPlan, LocalBackend, MetricsSnapshot, PlanTrace};
 use dbtf_datagen::Family;
 use dbtf_telemetry::Tracer;
@@ -98,6 +98,20 @@ impl SamplePoint {
         } else {
             None
         };
+        // Storage axis, drawn after every other coordinate so adding it
+        // did not perturb the historically sampled points: half the points
+        // run the whole pipeline (including the fault-injected replica)
+        // over out-of-core mmap unfoldings. run_point additionally runs
+        // the opposite storage as a differential, so every point checks
+        // ram-vs-mmap bit-identity regardless of which side it sampled.
+        let config = DbtfConfig {
+            storage: if rng.gen_bool(0.5) {
+                StorageKind::Mmap
+            } else {
+                StorageKind::Ram
+            },
+            ..config
+        };
         SamplePoint {
             seed,
             family,
@@ -114,7 +128,7 @@ impl SamplePoint {
     /// Short human-readable descriptor for reports.
     pub fn describe(&self) -> String {
         format!(
-            "{} rank={} iters={} sets={} parts={:?} {}w×{}c threads={:?} faults={} ckpt={} tucker={}",
+            "{} rank={} iters={} sets={} parts={:?} {}w×{}c threads={:?} storage={} faults={} ckpt={} tucker={}",
             self.family.describe(),
             self.config.rank,
             self.config.max_iters,
@@ -123,6 +137,7 @@ impl SamplePoint {
             self.workers,
             self.cores_per_worker,
             self.compute_threads,
+            self.config.storage,
             self.fault_plan.is_some(),
             self.check_checkpoint,
             self.check_tucker,
@@ -211,7 +226,13 @@ pub fn run_point(point: &SamplePoint) -> PointReport {
         Err(e) => v.push(format!("local factorization failed: {e}")),
     }
 
+    // Storage differential: the opposite unfolding storage must reproduce
+    // the run bit for bit, down to the executed plan (DESIGN.md §1.2.7).
+    check_storage_differential(&mut v, point, &x, &reference, &trace);
+
     // Fault-injected replica: recovery must be invisible in the results.
+    // The replica inherits the point's sampled storage, so fault points
+    // that drew mmap exercise lineage recompute through re-opened maps.
     if let Some(plan) = &point.fault_plan {
         run_faulty_replica(&mut v, point, plan, &x, &reference, &trace);
     }
@@ -302,6 +323,54 @@ fn check_result_oracles(v: &mut Vec<String>, x: &BoolTensor, result: &DbtfResult
 fn check_traces_agree(v: &mut Vec<String>, what: &str, lhs: &PlanTrace, rhs: &PlanTrace) {
     if lhs.fingerprint() != rhs.fingerprint() {
         v.push(format!("{what}: plan-trace fingerprints differ"));
+    }
+}
+
+/// Runs the point once more with the *other* storage backend (ram if the
+/// point sampled mmap and vice versa): factors, error, iteration history,
+/// and plan-trace fingerprint must all match the main run, and under a
+/// sampled fault plan the crash-recovery replica must match too — lineage
+/// recompute through a re-opened mmap must be as invisible as recompute
+/// from a heap copy.
+fn check_storage_differential(
+    v: &mut Vec<String>,
+    point: &SamplePoint,
+    x: &BoolTensor,
+    reference: &dbtf::reference::ReferenceResult,
+    clean_trace: &PlanTrace,
+) {
+    let other = match point.config.storage {
+        StorageKind::Ram => StorageKind::Mmap,
+        StorageKind::Mmap => StorageKind::Ram,
+    };
+    let config = DbtfConfig {
+        storage: other,
+        ..point.config.clone()
+    };
+    let mut shapes: Vec<(&str, Option<FaultPlan>)> = vec![("", None)];
+    if let Some(plan) = &point.fault_plan {
+        shapes.push((" under faults", Some(plan.clone())));
+    }
+    for (suffix, fault_plan) in shapes {
+        let cluster = Cluster::new(ClusterConfig {
+            workers: point.workers,
+            cores_per_worker: point.cores_per_worker,
+            compute_threads: point.compute_threads,
+            fault_plan,
+            ..ClusterConfig::default()
+        });
+        match factorize_traced(&cluster, x, &config) {
+            Ok((result, trace)) => {
+                check_against_reference(v, &format!("storage={other}{suffix}"), &result, reference);
+                check_traces_agree(
+                    v,
+                    &format!("storage {} vs {other}{suffix}", point.config.storage),
+                    clean_trace,
+                    &trace,
+                );
+            }
+            Err(e) => v.push(format!("storage={other}{suffix} factorization failed: {e}")),
+        }
     }
 }
 
@@ -530,6 +599,11 @@ mod tests {
         assert!(points.iter().any(|p| p.compute_threads.is_none()));
         assert!(points.iter().any(|p| p.check_tucker));
         assert!(points.iter().any(|p| p.check_checkpoint));
+        assert!(points.iter().any(|p| p.config.storage == StorageKind::Mmap));
+        assert!(points.iter().any(|p| p.config.storage == StorageKind::Ram));
+        assert!(points
+            .iter()
+            .any(|p| p.config.storage == StorageKind::Mmap && p.fault_plan.is_some()));
         assert!(points.iter().any(|p| p
             .fault_plan
             .as_ref()

@@ -196,6 +196,301 @@ pub fn read_tensor_file<P: AsRef<Path>>(path: P) -> Result<BoolTensor, ParseErro
     read_tensor(std::fs::File::open(path)?)
 }
 
+/// A bounded-memory streaming reader over the entries of a tensor file.
+///
+/// Detects the binary (`DBTFBIN1`) versus text format from the magic bytes.
+/// Binary files stream in one pass (shape and count come from the header);
+/// text files pay one cheap pre-scan pass to resolve the shape (`# dims`
+/// header, or `max+1` inference) and count, then stream entries on the
+/// second pass. Nothing is ever materialized: peak memory is one line
+/// buffer, regardless of tensor size.
+pub struct TensorStream {
+    dims: [usize; 3],
+    nnz: u64,
+    inner: StreamInner,
+}
+
+enum StreamInner {
+    Text {
+        reader: BufReader<std::fs::File>,
+        line_no: usize,
+        buf: String,
+    },
+    Binary {
+        reader: BufReader<std::fs::File>,
+        remaining: u64,
+    },
+}
+
+impl TensorStream {
+    /// Opens `path` for streaming, resolving shape and entry count up front.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<TensorStream, ParseError> {
+        let path = path.as_ref();
+        let mut file = std::fs::File::open(path)?;
+        let mut magic = [0u8; 8];
+        let mut got = 0;
+        while got < 8 {
+            let n = file.read(&mut magic[got..])?;
+            if n == 0 {
+                break;
+            }
+            got += n;
+        }
+        if got == 8 && &magic == BINARY_MAGIC {
+            let mut reader = BufReader::new(file);
+            let mut head = [0u8; 32];
+            reader
+                .read_exact(&mut head)
+                .map_err(|_| ParseError::Malformed(0, "truncated DBTFBIN1 header".to_string()))?;
+            let rd = |i: usize| u64::from_le_bytes(head[i..i + 8].try_into().unwrap());
+            let dims = [rd(0) as usize, rd(8) as usize, rd(16) as usize];
+            let nnz = rd(24);
+            return Ok(TensorStream {
+                dims,
+                nnz,
+                inner: StreamInner::Binary {
+                    reader,
+                    remaining: nnz,
+                },
+            });
+        }
+        // Text: pre-scan for declared dims / max coordinates and the count.
+        drop(file);
+        let mut declared: Option<[usize; 3]> = None;
+        let mut max = [0u32; 3];
+        let mut nnz = 0u64;
+        let mut any = false;
+        scan_text(std::fs::File::open(path)?, |parsed| {
+            match parsed {
+                TextLine::Dims(d) => declared = Some(d),
+                TextLine::Entry(e) => {
+                    any = true;
+                    nnz += 1;
+                    for m in 0..3 {
+                        max[m] = max[m].max(e[m]);
+                    }
+                }
+            }
+            Ok(())
+        })?;
+        let dims = declared.unwrap_or(if any {
+            [
+                max[0] as usize + 1,
+                max[1] as usize + 1,
+                max[2] as usize + 1,
+            ]
+        } else {
+            [0, 0, 0]
+        });
+        Ok(TensorStream {
+            dims,
+            nnz,
+            inner: StreamInner::Text {
+                reader: BufReader::new(std::fs::File::open(path)?),
+                line_no: 0,
+                buf: String::new(),
+            },
+        })
+    }
+
+    /// The tensor shape (declared or inferred).
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// Number of entry records in the file (duplicates counted).
+    pub fn nnz(&self) -> u64 {
+        self.nnz
+    }
+}
+
+impl Iterator for TensorStream {
+    type Item = Result<[u32; 3], ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.inner {
+            StreamInner::Binary { reader, remaining } => {
+                if *remaining == 0 {
+                    return None;
+                }
+                let mut rec = [0u8; 12];
+                if let Err(e) = reader.read_exact(&mut rec) {
+                    *remaining = 0;
+                    return Some(Err(ParseError::Io(e)));
+                }
+                *remaining -= 1;
+                let coord = |i: usize| u32::from_le_bytes(rec[i..i + 4].try_into().unwrap());
+                let e = [coord(0), coord(4), coord(8)];
+                if (0..3).any(|m| e[m] as usize >= self.dims[m]) {
+                    *remaining = 0;
+                    return Some(Err(ParseError::OutOfRange(0, format!("{e:?}"))));
+                }
+                Some(Ok(e))
+            }
+            StreamInner::Text {
+                reader,
+                line_no,
+                buf,
+            } => loop {
+                buf.clear();
+                match reader.read_line(buf) {
+                    Err(e) => return Some(Err(ParseError::Io(e))),
+                    Ok(0) => return None,
+                    Ok(_) => {}
+                }
+                *line_no += 1;
+                let line = buf.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                match parse_entry_line(line, *line_no) {
+                    Err(e) => return Some(Err(e)),
+                    Ok(e) => {
+                        if (0..3).any(|m| e[m] as usize >= self.dims[m]) {
+                            return Some(Err(ParseError::OutOfRange(*line_no, line.to_string())));
+                        }
+                        return Some(Ok(e));
+                    }
+                }
+            },
+        }
+    }
+}
+
+enum TextLine {
+    Dims([usize; 3]),
+    Entry([u32; 3]),
+}
+
+fn parse_entry_line(line: &str, line_no: usize) -> Result<[u32; 3], ParseError> {
+    let mut parts = line.split_whitespace();
+    let mut triple = [0u32; 3];
+    for t in &mut triple {
+        *t = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| ParseError::Malformed(line_no, line.to_string()))?;
+    }
+    if parts.next().is_some() {
+        return Err(ParseError::Malformed(line_no, line.to_string()));
+    }
+    Ok(triple)
+}
+
+fn scan_text<F>(file: std::fs::File, mut sink: F) -> Result<(), ParseError>
+where
+    F: FnMut(TextLine) -> Result<(), ParseError>,
+{
+    let mut reader = BufReader::new(file);
+    let mut buf = String::new();
+    let mut line_no = 0usize;
+    loop {
+        buf.clear();
+        if reader.read_line(&mut buf)? == 0 {
+            return Ok(());
+        }
+        line_no += 1;
+        let line = buf.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            if let Some(dims_str) = rest.trim().strip_prefix("dims") {
+                let parsed: Vec<usize> = dims_str
+                    .split_whitespace()
+                    .map(str::parse)
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| ParseError::Malformed(line_no, line.to_string()))?;
+                if parsed.len() != 3 {
+                    return Err(ParseError::Malformed(line_no, line.to_string()));
+                }
+                sink(TextLine::Dims([parsed[0], parsed[1], parsed[2]]))?;
+            }
+            continue;
+        }
+        sink(TextLine::Entry(parse_entry_line(line, line_no)?))?;
+    }
+}
+
+/// Incrementally writes a tensor file entry by entry — text or binary —
+/// without ever holding the tensor in memory.
+///
+/// Entries must arrive in strictly increasing lexicographic order (the
+/// order [`BoolTensor::iter`] and the datagen samplers produce), so the
+/// resulting file is byte-identical to saving the materialized tensor. The
+/// binary header's count field is patched in on [`StreamingTensorWriter::finish`].
+pub struct StreamingTensorWriter {
+    file: BufWriter<std::fs::File>,
+    binary: bool,
+    dims: [usize; 3],
+    count: u64,
+    last: Option<[u32; 3]>,
+}
+
+impl StreamingTensorWriter {
+    /// Creates `path` and writes the format header for shape `dims`.
+    pub fn create<P: AsRef<Path>>(
+        path: P,
+        dims: [usize; 3],
+        binary: bool,
+    ) -> io::Result<StreamingTensorWriter> {
+        let mut file = BufWriter::new(std::fs::File::create(path)?);
+        if binary {
+            file.write_all(BINARY_MAGIC)?;
+            for d in dims {
+                file.write_all(&(d as u64).to_le_bytes())?;
+            }
+            // Count placeholder, patched by finish().
+            file.write_all(&0u64.to_le_bytes())?;
+        } else {
+            writeln!(file, "# dims {} {} {}", dims[0], dims[1], dims[2])?;
+        }
+        Ok(StreamingTensorWriter {
+            file,
+            binary,
+            dims,
+            count: 0,
+            last: None,
+        })
+    }
+
+    /// Appends one entry; entries must be strictly increasing and in range.
+    pub fn push(&mut self, e: [u32; 3]) -> io::Result<()> {
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidInput, msg);
+        if (0..3).any(|m| e[m] as usize >= self.dims[m]) {
+            return Err(bad(format!("entry {e:?} out of range for {:?}", self.dims)));
+        }
+        if let Some(last) = self.last {
+            if e <= last {
+                return Err(bad(format!("entry {e:?} not after {last:?}")));
+            }
+        }
+        if self.binary {
+            for c in e {
+                self.file.write_all(&c.to_le_bytes())?;
+            }
+        } else {
+            writeln!(self.file, "{} {} {}", e[0], e[1], e[2])?;
+        }
+        self.last = Some(e);
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Flushes and (for binary files) patches the entry count. Returns the
+    /// number of entries written.
+    pub fn finish(self) -> io::Result<u64> {
+        use std::io::Seek;
+        let mut file = self.file.into_inner().map_err(|e| e.into_error())?;
+        if self.binary {
+            file.seek(io::SeekFrom::Start(32))?;
+            file.write_all(&self.count.to_le_bytes())?;
+        }
+        file.flush()?;
+        Ok(self.count)
+    }
+}
+
 /// Writes a tensor to a file path.
 pub fn write_tensor_file<P: AsRef<Path>>(tensor: &BoolTensor, path: P) -> io::Result<()> {
     write_tensor(tensor, std::fs::File::create(path)?)
@@ -321,5 +616,96 @@ mod tests {
         let t = BoolTensor::empty([3, 3, 3]);
         let back = read_tensor_binary_buf(&write_tensor_binary_buf(&t)).unwrap();
         assert_eq!(back, t);
+    }
+
+    fn stream_tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dbtf_io_stream_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn tensor_stream_matches_full_read_text_and_binary() {
+        let t = BoolTensor::from_entries(
+            [6, 5, 4],
+            vec![[0, 0, 0], [5, 4, 3], [2, 2, 2], [0, 4, 1], [3, 0, 2]],
+        );
+        let text = stream_tmp("s.tsv");
+        let bin = stream_tmp("s.dbtf");
+        write_tensor_file(&t, &text).unwrap();
+        write_tensor_binary_file(&t, &bin).unwrap();
+        for path in [&text, &bin] {
+            let s = TensorStream::open(path).unwrap();
+            assert_eq!(s.dims(), t.dims());
+            assert_eq!(s.nnz(), t.nnz() as u64);
+            let entries: Vec<[u32; 3]> = s.map(Result::unwrap).collect();
+            assert_eq!(entries, t.iter().collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn tensor_stream_infers_dims_without_header() {
+        let path = stream_tmp("noheader.tsv");
+        std::fs::write(&path, "0 0 0\n2 3 4\n2 3 4\n").unwrap();
+        let s = TensorStream::open(&path).unwrap();
+        assert_eq!(s.dims(), [3, 4, 5]);
+        assert_eq!(s.nnz(), 3); // duplicates counted at the record level
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn tensor_stream_propagates_parse_errors() {
+        let path = stream_tmp("bad.tsv");
+        std::fs::write(&path, "# dims 2 2 2\n0 0 0\nnot a triple\n").unwrap();
+        // The pre-scan already trips over the malformed line.
+        assert!(matches!(
+            TensorStream::open(&path),
+            Err(ParseError::Malformed(3, _))
+        ));
+        let path = stream_tmp("oor.tsv");
+        std::fs::write(&path, "# dims 2 2 2\n0 0 5\n").unwrap();
+        assert!(matches!(
+            TensorStream::open(&path).unwrap().next(),
+            Some(Err(ParseError::OutOfRange(2, _)))
+        ));
+    }
+
+    #[test]
+    fn streaming_writer_is_byte_identical_to_bulk_save() {
+        let t = BoolTensor::from_entries(
+            [7, 3, 9],
+            vec![[0, 1, 8], [6, 2, 0], [3, 0, 4], [0, 0, 0], [6, 2, 8]],
+        );
+        for binary in [false, true] {
+            let bulk = stream_tmp(if binary { "bulk.dbtf" } else { "bulk.tsv" });
+            let streamed = stream_tmp(if binary { "str.dbtf" } else { "str.tsv" });
+            if binary {
+                write_tensor_binary_file(&t, &bulk).unwrap();
+            } else {
+                write_tensor_file(&t, &bulk).unwrap();
+            }
+            let mut w = StreamingTensorWriter::create(&streamed, t.dims(), binary).unwrap();
+            for e in t.iter() {
+                w.push(e).unwrap();
+            }
+            assert_eq!(w.finish().unwrap(), t.nnz() as u64);
+            assert_eq!(
+                std::fs::read(&bulk).unwrap(),
+                std::fs::read(&streamed).unwrap(),
+                "binary={binary}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_writer_rejects_disorder_and_range() {
+        let path = stream_tmp("reject.dbtf");
+        let mut w = StreamingTensorWriter::create(&path, [2, 2, 2], true).unwrap();
+        w.push([1, 0, 0]).unwrap();
+        assert!(w.push([1, 0, 0]).is_err()); // duplicate
+        assert!(w.push([0, 1, 1]).is_err()); // backwards
+        assert!(w.push([1, 2, 0]).is_err()); // out of range
+        w.push([1, 1, 1]).unwrap();
+        assert_eq!(w.finish().unwrap(), 2);
     }
 }

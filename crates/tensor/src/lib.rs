@@ -17,6 +17,10 @@
 //! - [`reconstruct`]: rank-R Boolean CP reconstruction
 //!   `X̃ = ⊕_r a_r ∘ b_r ∘ c_r` (Eq. 10) and the reconstruction error
 //!   `|X ⊕ X̃|` used throughout the paper's Section IV-D.
+//! - [`UnfoldingStore`]: the row-access abstraction both the heap
+//!   [`Unfolding`] and the on-disk [`MmapUnfolding`] implement, plus the
+//!   [`columnar`] `DBTFUNFD` file format and the [`stream`] bounded-memory
+//!   COO → unfolding external sort that feeds it.
 //!
 //! # Conventions
 //!
@@ -52,16 +56,23 @@
 
 mod bitmatrix;
 mod bitvec;
+pub mod columnar;
 pub mod io;
 pub mod matrix_io;
+#[cfg(all(unix, target_endian = "little"))]
+mod mmap_sys;
 pub mod ops;
 pub mod reconstruct;
+mod store;
+pub mod stream;
 mod tensor;
 mod unfold;
 mod wire_impls;
 
 pub use bitmatrix::BitMatrix;
 pub use bitvec::BitVec;
+pub use columnar::{MmapUnfolding, UnfoldingHeader, UnfoldingWriter};
+pub use store::{StoreError, UnfoldingStore};
 pub use tensor::{BoolTensor, TensorBuilder};
 pub use unfold::{Mode, Unfolding};
 pub use wire_impls::{ColumnDecision, FactorTriple};

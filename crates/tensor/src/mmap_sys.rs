@@ -1,0 +1,80 @@
+//! Raw read-only memory map (little-endian unix only): the
+//! `extern "C"` mmap/munmap/madvise bindings behind
+//! [`crate::columnar::MmapUnfolding`]'s zero-copy backing.
+
+use std::os::unix::io::AsRawFd;
+
+const PROT_READ: i32 = 0x1;
+const MAP_PRIVATE: i32 = 0x02;
+const MADV_DONTNEED: i32 = 4;
+
+// Declared against the libc every Rust std binary already links —
+// avoids a vendored mmap crate the offline build cannot add.
+extern "C" {
+    fn mmap(
+        addr: *mut core::ffi::c_void,
+        len: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut core::ffi::c_void;
+    fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    fn madvise(addr: *mut core::ffi::c_void, len: usize, advice: i32) -> i32;
+}
+
+/// A read-only, private, file-backed mapping of the first `len` bytes.
+pub(crate) struct Map {
+    ptr: *mut core::ffi::c_void,
+    len: usize,
+}
+
+// The mapping is immutable for its whole lifetime (PROT_READ, private),
+// so shared references to it are safe to send and share.
+unsafe impl Send for Map {}
+unsafe impl Sync for Map {}
+
+impl Map {
+    pub(crate) fn new(file: &std::fs::File, len: usize) -> std::io::Result<Map> {
+        debug_assert!(len > 0);
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Map { ptr, len })
+    }
+
+    /// The mapped bytes viewed as little-endian words. `len` is always a
+    /// multiple of 8 here (header, index and data are all word-aligned).
+    pub(crate) fn words(&self) -> &[u64] {
+        debug_assert_eq!(self.len % 8, 0);
+        // Safety: the mapping is page-aligned (so u64-aligned), spans
+        // `len` readable bytes, and outlives the returned borrow.
+        unsafe { std::slice::from_raw_parts(self.ptr as *const u64, self.len / 8) }
+    }
+
+    /// Tells the kernel the pages are no longer needed; they are
+    /// re-faulted from the file on next access. Best-effort.
+    pub(crate) fn evict(&self) {
+        unsafe {
+            madvise(self.ptr, self.len, MADV_DONTNEED);
+        }
+    }
+}
+
+impl Drop for Map {
+    fn drop(&mut self) {
+        unsafe {
+            munmap(self.ptr, self.len);
+        }
+    }
+}

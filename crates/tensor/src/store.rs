@@ -1,0 +1,277 @@
+//! Row-access abstraction over mode-n unfoldings.
+//!
+//! The DBTF partitioner and kernels only ever read an unfolding row by row
+//! (whole rows or a `[lo, hi)` column window). [`UnfoldingStore`] captures
+//! exactly that contract so the same partitioning code runs against the
+//! heap-resident [`Unfolding`](crate::Unfolding) and the on-disk
+//! [`MmapUnfolding`](crate::MmapUnfolding) without dynamic dispatch.
+//!
+//! The contract pinned by the property tests in `unfold.rs`:
+//!
+//! - `row(r)` returns the strictly increasing column indices of row `r`,
+//!   each in `[0, ncols)`.
+//! - `row_range(r, lo, hi)` returns exactly the entries of `row(r)` in
+//!   `[lo, hi)`; it is empty when `lo >= hi` and equals `row(r)` for the
+//!   full range `[0, ncols)`.
+//! - `nnz()` is the sum of all row lengths.
+
+use crate::unfold::{Mode, Unfolding};
+
+/// Read-only row access to a mode-n unfolding `X_(n)`.
+///
+/// Implementations must return rows as sorted, duplicate-free `u64` column
+/// indices. Borrowed slices let both the heap store and the mmap store hand
+/// out views without copying, which keeps the partition-build hot loop
+/// allocation-free regardless of backing.
+pub trait UnfoldingStore {
+    /// The mode this unfolding was taken along.
+    fn mode(&self) -> Mode;
+
+    /// The shape of the original tensor.
+    fn tensor_dims(&self) -> [usize; 3];
+
+    /// Number of rows (`P` in Algorithm 4). Equals `tensor_dims()[mode]`.
+    fn nrows(&self) -> usize;
+
+    /// Number of columns (the product of the two non-mode dimensions).
+    fn ncols(&self) -> u64;
+
+    /// Total number of ones (equals `|X|`).
+    fn nnz(&self) -> u64;
+
+    /// The sorted one-column indices of row `r`.
+    fn row(&self, r: usize) -> &[u64];
+
+    /// The one-column indices of row `r` that fall in `[lo, hi)`, found by
+    /// binary search (`O(log nnz_row + output)`). Empty when `lo >= hi`.
+    fn row_range(&self, r: usize, lo: u64, hi: u64) -> &[u64] {
+        let row = self.row(r);
+        let a = row.partition_point(|&c| c < lo);
+        let b = row.partition_point(|&c| c < hi);
+        &row[a..b.max(a)]
+    }
+
+    /// Tests whether the unfolded matrix has a one at `(r, c)`.
+    fn get(&self, r: usize, c: u64) -> bool {
+        self.row(r).binary_search(&c).is_ok()
+    }
+}
+
+impl UnfoldingStore for Unfolding {
+    #[inline]
+    fn mode(&self) -> Mode {
+        Unfolding::mode(self)
+    }
+
+    #[inline]
+    fn tensor_dims(&self) -> [usize; 3] {
+        Unfolding::tensor_dims(self)
+    }
+
+    #[inline]
+    fn nrows(&self) -> usize {
+        Unfolding::nrows(self)
+    }
+
+    #[inline]
+    fn ncols(&self) -> u64 {
+        Unfolding::ncols(self)
+    }
+
+    #[inline]
+    fn nnz(&self) -> u64 {
+        Unfolding::nnz(self) as u64
+    }
+
+    #[inline]
+    fn row(&self, r: usize) -> &[u64] {
+        Unfolding::row(self, r)
+    }
+
+    #[inline]
+    fn row_range(&self, r: usize, lo: u64, hi: u64) -> &[u64] {
+        Unfolding::row_range(self, r, lo, hi)
+    }
+
+    #[inline]
+    fn get(&self, r: usize, c: u64) -> bool {
+        Unfolding::get(self, r, c)
+    }
+}
+
+impl<S: UnfoldingStore + ?Sized> UnfoldingStore for &S {
+    #[inline]
+    fn mode(&self) -> Mode {
+        (**self).mode()
+    }
+
+    #[inline]
+    fn tensor_dims(&self) -> [usize; 3] {
+        (**self).tensor_dims()
+    }
+
+    #[inline]
+    fn nrows(&self) -> usize {
+        (**self).nrows()
+    }
+
+    #[inline]
+    fn ncols(&self) -> u64 {
+        (**self).ncols()
+    }
+
+    #[inline]
+    fn nnz(&self) -> u64 {
+        (**self).nnz()
+    }
+
+    #[inline]
+    fn row(&self, r: usize) -> &[u64] {
+        (**self).row(r)
+    }
+
+    #[inline]
+    fn row_range(&self, r: usize, lo: u64, hi: u64) -> &[u64] {
+        (**self).row_range(r, lo, hi)
+    }
+
+    #[inline]
+    fn get(&self, r: usize, c: u64) -> bool {
+        (**self).get(r, c)
+    }
+}
+
+/// Errors from reading or writing the on-disk columnar unfolding format.
+///
+/// Every corruption mode is a distinct variant so callers (and the
+/// error-path test suite) can tell *what* is wrong with a file, mirroring
+/// the checkpoint error taxonomy. All variants carry the offending path.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed (open, read, write, seek).
+    Io {
+        /// Path of the file being accessed.
+        path: String,
+        /// Stringified OS error.
+        detail: String,
+    },
+    /// The file does not start with the `DBTFUNFD` magic bytes.
+    BadMagic {
+        /// Path of the rejected file.
+        path: String,
+    },
+    /// The file is shorter than a section the header declares.
+    Truncated {
+        /// Path of the rejected file.
+        path: String,
+        /// Which section was cut off (`"header"`, `"row index"`, `"column data"`).
+        section: &'static str,
+    },
+    /// A stored checksum does not match the recomputed one.
+    ChecksumMismatch {
+        /// Path of the rejected file.
+        path: String,
+        /// Which section failed (`"header"`, `"row index"`, `"column data"`).
+        section: &'static str,
+    },
+    /// The file is a columnar unfolding, but of an unsupported version.
+    VersionSkew {
+        /// Path of the rejected file.
+        path: String,
+        /// Version number found in the header.
+        found: u32,
+        /// The single version this build reads.
+        supported: u32,
+    },
+    /// Header fields are internally inconsistent (bad mode, offsets out of
+    /// order, row index not monotone, …).
+    Invalid {
+        /// Path of the rejected file.
+        path: String,
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, detail } => write!(f, "{path}: io error: {detail}"),
+            StoreError::BadMagic { path } => {
+                write!(f, "{path}: not a DBTF columnar unfolding (bad magic)")
+            }
+            StoreError::Truncated { path, section } => {
+                write!(f, "{path}: truncated {section}")
+            }
+            StoreError::ChecksumMismatch { path, section } => {
+                write!(f, "{path}: {section} checksum mismatch")
+            }
+            StoreError::VersionSkew {
+                path,
+                found,
+                supported,
+            } => write!(
+                f,
+                "{path}: unfolding format version {found} (this build reads only v{supported})"
+            ),
+            StoreError::Invalid { path, detail } => {
+                write!(f, "{path}: invalid unfolding file: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl StoreError {
+    pub(crate) fn io(path: &std::path::Path, err: std::io::Error) -> Self {
+        StoreError::Io {
+            path: path.display().to_string(),
+            detail: err.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BoolTensor;
+
+    #[test]
+    fn heap_unfolding_satisfies_the_trait() {
+        let t = BoolTensor::from_entries(
+            [2, 3, 4],
+            vec![[0, 0, 0], [1, 2, 3], [0, 1, 2], [1, 0, 0], [0, 2, 1]],
+        );
+        let u = Unfolding::new(&t, Mode::One);
+        let s: &dyn UnfoldingStore = &u;
+        assert_eq!(s.mode(), Mode::One);
+        assert_eq!(s.tensor_dims(), [2, 3, 4]);
+        assert_eq!(s.nrows(), 2);
+        assert_eq!(s.ncols(), 12);
+        assert_eq!(s.nnz(), 5);
+        assert_eq!(s.row(0), &[0, 5, 7]);
+        assert_eq!(s.row_range(0, 1, 7), &[5]);
+        assert!(s.get(0, 5));
+        assert!(!s.get(0, 6));
+    }
+
+    #[test]
+    fn store_errors_display_their_path_and_kind() {
+        let e = StoreError::BadMagic {
+            path: "x.unf".into(),
+        };
+        assert!(e.to_string().contains("bad magic"));
+        let e = StoreError::VersionSkew {
+            path: "x.unf".into(),
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
+        let e = StoreError::Truncated {
+            path: "x.unf".into(),
+            section: "row index",
+        };
+        assert!(e.to_string().contains("truncated row index"));
+    }
+}

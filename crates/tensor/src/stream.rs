@@ -1,0 +1,392 @@
+//! Bounded-memory COO → columnar-unfolding conversion.
+//!
+//! [`write_unfolding_from_entries`] turns a stream of tensor entries into an
+//! on-disk [`columnar`](crate::columnar) unfolding file without ever holding
+//! the unfolding (or the entry list) in memory: entries are matricized into
+//! `(row, col)` pairs, sorted in fixed-size chunks that spill to run files
+//! in a spill directory, then k-way merged (with duplicate elimination)
+//! straight into the single-pass [`UnfoldingWriter`].
+//! Peak memory is one chunk buffer plus one buffered reader per run — the
+//! configured [`SpillConfig::chunk_bytes`], never the nonzero count.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::columnar::UnfoldingWriter;
+use crate::io::ParseError;
+use crate::store::StoreError;
+use crate::unfold::Mode;
+
+/// Where and how large the external-sort scratch space is.
+#[derive(Clone, Debug)]
+pub struct SpillConfig {
+    /// Directory run files are written to (created if absent, runs deleted
+    /// after the merge).
+    pub dir: PathBuf,
+    /// In-memory sort buffer budget in bytes. Each buffered entry costs 16
+    /// bytes; values below one page are rounded up to a small minimum.
+    pub chunk_bytes: usize,
+}
+
+/// Default in-memory sort budget: 64 MiB, i.e. ~4M entries per run.
+pub const DEFAULT_CHUNK_BYTES: usize = 64 << 20;
+
+impl SpillConfig {
+    /// A spill config with the default chunk budget.
+    pub fn new<P: Into<PathBuf>>(dir: P) -> SpillConfig {
+        SpillConfig {
+            dir: dir.into(),
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
+        }
+    }
+
+    /// Overrides the chunk budget (useful for tests and the memory bench).
+    pub fn with_chunk_bytes(mut self, bytes: usize) -> SpillConfig {
+        self.chunk_bytes = bytes;
+        self
+    }
+
+    fn chunk_capacity(&self) -> usize {
+        (self.chunk_bytes / 16).max(64)
+    }
+}
+
+/// Errors from the streaming ingest pipeline: either the entry source
+/// failed to parse, or the unfolding writer / spill files failed.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The COO entry source produced an error.
+    Parse(ParseError),
+    /// Writing the unfolding file or the spill runs failed.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Parse(e) => write!(f, "entry source: {e}"),
+            IngestError::Store(e) => write!(f, "unfolding store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<ParseError> for IngestError {
+    fn from(e: ParseError) -> Self {
+        IngestError::Parse(e)
+    }
+}
+
+impl From<StoreError> for IngestError {
+    fn from(e: StoreError) -> Self {
+        IngestError::Store(e)
+    }
+}
+
+fn spill_io(path: &Path, e: std::io::Error) -> IngestError {
+    IngestError::Store(StoreError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    })
+}
+
+/// One spilled run of sorted `(row, col)` records, 12 bytes each.
+struct Run {
+    path: PathBuf,
+    reader: BufReader<File>,
+    remaining: u64,
+}
+
+impl Run {
+    fn next(&mut self) -> Result<Option<(u32, u64)>, IngestError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let mut rec = [0u8; 12];
+        self.reader
+            .read_exact(&mut rec)
+            .map_err(|e| spill_io(&self.path, e))?;
+        self.remaining -= 1;
+        Ok(Some((
+            u32::from_le_bytes(rec[..4].try_into().unwrap()),
+            u64::from_le_bytes(rec[4..].try_into().unwrap()),
+        )))
+    }
+}
+
+fn spill_run(
+    dir: &Path,
+    tag: &str,
+    seq: usize,
+    chunk: &mut Vec<(u32, u64)>,
+) -> Result<Run, IngestError> {
+    chunk.sort_unstable();
+    chunk.dedup();
+    let path = dir.join(format!("{}-{}-{}.run", tag, std::process::id(), seq));
+    let file = File::create(&path).map_err(|e| spill_io(&path, e))?;
+    let mut w = BufWriter::new(file);
+    for &(r, c) in chunk.iter() {
+        w.write_all(&r.to_le_bytes())
+            .map_err(|e| spill_io(&path, e))?;
+        w.write_all(&c.to_le_bytes())
+            .map_err(|e| spill_io(&path, e))?;
+    }
+    let file = w
+        .into_inner()
+        .map_err(|e| spill_io(&path, e.into_error()))?;
+    drop(file);
+    let count = chunk.len() as u64;
+    chunk.clear();
+    let reader = BufReader::new(File::open(&path).map_err(|e| spill_io(&path, e))?);
+    Ok(Run {
+        path,
+        reader,
+        remaining: count,
+    })
+}
+
+/// Streams COO entries into a columnar unfolding file for `mode`.
+///
+/// `entries` may arrive in any order and contain duplicates; the external
+/// sort produces the same sorted, duplicate-free rows as
+/// [`Unfolding::new`](crate::Unfolding::new), so the resulting file is
+/// byte-identical to serializing the heap unfolding. Returns the number of
+/// distinct entries written.
+pub fn write_unfolding_from_entries<I>(
+    entries: I,
+    dims: [usize; 3],
+    mode: Mode,
+    out: &Path,
+    spill: &SpillConfig,
+) -> Result<u64, IngestError>
+where
+    I: IntoIterator<Item = Result<[u32; 3], ParseError>>,
+{
+    std::fs::create_dir_all(&spill.dir).map_err(|e| spill_io(&spill.dir, e))?;
+    let tag = out
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unfolding".to_string());
+    let cap = spill.chunk_capacity();
+    let mut chunk: Vec<(u32, u64)> = Vec::with_capacity(cap.min(1 << 20));
+    let mut runs: Vec<Run> = Vec::new();
+    for entry in entries {
+        let e = entry?;
+        let (r, c) = mode.matricize(dims, e);
+        chunk.push((r, c));
+        if chunk.len() >= cap {
+            let run = spill_run(&spill.dir, &tag, runs.len(), &mut chunk)?;
+            runs.push(run);
+        }
+    }
+
+    let mut writer = UnfoldingWriter::create(out, mode, dims)?;
+    let mut written = 0u64;
+    let result: Result<(), IngestError> = if runs.is_empty() {
+        // Everything fit in one chunk: sort in place and stream it out.
+        chunk.sort_unstable();
+        chunk.dedup();
+        (|| -> Result<(), StoreError> {
+            for &(r, c) in &chunk {
+                writer.push(r, c)?;
+                written += 1;
+            }
+            Ok(())
+        })()
+        .map_err(IngestError::Store)
+    } else {
+        if !chunk.is_empty() {
+            let run = spill_run(&spill.dir, &tag, runs.len(), &mut chunk)?;
+            runs.push(run);
+        }
+        drop(chunk);
+        merge_runs(&mut runs, |r, c| {
+            writer.push(r, c)?;
+            written += 1;
+            Ok(())
+        })
+    };
+    for run in &runs {
+        let _ = std::fs::remove_file(&run.path);
+    }
+    result?;
+    writer.finish()?;
+    Ok(written)
+}
+
+/// K-way merge of sorted runs with duplicate elimination.
+fn merge_runs<F>(runs: &mut [Run], mut sink: F) -> Result<(), IngestError>
+where
+    F: FnMut(u32, u64) -> Result<(), StoreError>,
+{
+    let mut heap: BinaryHeap<Reverse<(u32, u64, usize)>> = BinaryHeap::with_capacity(runs.len());
+    for (i, run) in runs.iter_mut().enumerate() {
+        if let Some((r, c)) = run.next()? {
+            heap.push(Reverse((r, c, i)));
+        }
+    }
+    let mut last: Option<(u32, u64)> = None;
+    while let Some(Reverse((r, c, i))) = heap.pop() {
+        if last != Some((r, c)) {
+            sink(r, c).map_err(IngestError::Store)?;
+            last = Some((r, c));
+        }
+        if let Some((nr, nc)) = runs[i].next()? {
+            heap.push(Reverse((nr, nc, i)));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::columnar::MmapUnfolding;
+    use crate::store::UnfoldingStore;
+    use crate::{BoolTensor, Unfolding};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dbtf-stream-{}-{}", tag, std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn scrambled_entries() -> (BoolTensor, Vec<[u32; 3]>) {
+        // Deterministic pseudo-random entries in arrival order, with
+        // duplicates, covering a 9 x 11 x 7 tensor.
+        let dims = [9usize, 11, 7];
+        let mut raw = Vec::new();
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        for _ in 0..400 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let i = ((state >> 33) % dims[0] as u64) as u32;
+            let j = ((state >> 13) % dims[1] as u64) as u32;
+            let k = (state % dims[2] as u64) as u32;
+            raw.push([i, j, k]);
+        }
+        (BoolTensor::from_entries(dims, raw.clone()), raw)
+    }
+
+    #[test]
+    fn external_sort_matches_heap_unfolding_for_every_mode() {
+        let (t, raw) = scrambled_entries();
+        let dir = tmp_dir("extsort");
+        for mode in Mode::ALL {
+            // Budget small enough to force many runs (64-entry chunks).
+            let spill = SpillConfig::new(&dir).with_chunk_bytes(1);
+            let out = dir.join(format!("m{}.unf", mode.index()));
+            let written = write_unfolding_from_entries(
+                raw.iter().map(|&e| Ok(e)),
+                t.dims(),
+                mode,
+                &out,
+                &spill,
+            )
+            .unwrap();
+            assert_eq!(written, t.nnz() as u64, "mode {mode:?}");
+            let m = MmapUnfolding::open(&out).unwrap();
+            let u = Unfolding::new(&t, mode);
+            for r in 0..u.nrows() {
+                assert_eq!(
+                    UnfoldingStore::row(&m, r),
+                    u.row(r),
+                    "mode {mode:?} row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn in_memory_and_spilled_paths_produce_identical_files() {
+        let (t, raw) = scrambled_entries();
+        let dir = tmp_dir("identical");
+        let big = dir.join("big.unf");
+        let small = dir.join("small.unf");
+        write_unfolding_from_entries(
+            raw.iter().map(|&e| Ok(e)),
+            t.dims(),
+            Mode::Two,
+            &big,
+            &SpillConfig::new(&dir), // default budget: single chunk
+        )
+        .unwrap();
+        write_unfolding_from_entries(
+            raw.iter().map(|&e| Ok(e)),
+            t.dims(),
+            Mode::Two,
+            &small,
+            &SpillConfig::new(&dir).with_chunk_bytes(1), // many runs
+        )
+        .unwrap();
+        assert_eq!(std::fs::read(&big).unwrap(), std::fs::read(&small).unwrap());
+        // And identical to serializing the heap unfolding directly.
+        let heap = dir.join("heap.unf");
+        MmapUnfolding::write_from_store(&Unfolding::new(&t, Mode::Two), &heap).unwrap();
+        assert_eq!(std::fs::read(&big).unwrap(), std::fs::read(&heap).unwrap());
+    }
+
+    #[test]
+    fn run_files_are_cleaned_up() {
+        let (t, raw) = scrambled_entries();
+        let dir = tmp_dir("cleanup");
+        let out = dir.join("out.unf");
+        write_unfolding_from_entries(
+            raw.iter().map(|&e| Ok(e)),
+            t.dims(),
+            Mode::One,
+            &out,
+            &SpillConfig::new(&dir).with_chunk_bytes(1),
+        )
+        .unwrap();
+        let leftover: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "run"))
+            .collect();
+        assert!(leftover.is_empty(), "run files left behind: {leftover:?}");
+    }
+
+    #[test]
+    fn source_errors_propagate() {
+        let dir = tmp_dir("err");
+        let out = dir.join("out.unf");
+        let entries = vec![
+            Ok([0u32, 0, 0]),
+            Err(ParseError::Malformed(2, "bad".into())),
+        ];
+        assert!(matches!(
+            write_unfolding_from_entries(
+                entries,
+                [2, 2, 2],
+                Mode::One,
+                &out,
+                &SpillConfig::new(&dir)
+            ),
+            Err(IngestError::Parse(ParseError::Malformed(2, _)))
+        ));
+    }
+
+    #[test]
+    fn empty_source_produces_valid_empty_file() {
+        let dir = tmp_dir("empty");
+        let out = dir.join("out.unf");
+        let written = write_unfolding_from_entries(
+            std::iter::empty(),
+            [3, 4, 5],
+            Mode::Three,
+            &out,
+            &SpillConfig::new(&dir),
+        )
+        .unwrap();
+        assert_eq!(written, 0);
+        let m = MmapUnfolding::open(&out).unwrap();
+        assert_eq!(UnfoldingStore::nnz(&m), 0);
+        assert_eq!(UnfoldingStore::nrows(&m), 5);
+    }
+}

@@ -182,12 +182,12 @@ impl Unfolding {
     }
 
     /// The one-column indices of row `r` that fall in `[lo, hi)`, found by
-    /// binary search (`O(log nnz_row + output)`).
+    /// binary search (`O(log nnz_row + output)`). Empty when `lo >= hi`.
     pub fn row_range(&self, r: usize, lo: u64, hi: u64) -> &[u64] {
         let row = &self.rows[r];
         let a = row.partition_point(|&c| c < lo);
         let b = row.partition_point(|&c| c < hi);
-        &row[a..b]
+        &row[a..b.max(a)]
     }
 
     /// Tests whether the unfolded matrix has a one at `(r, c)`.
@@ -206,6 +206,71 @@ impl Unfolding {
         }
         BoolTensor::from_entries(self.dims, entries)
     }
+}
+
+/// Exhaustively checks the [`UnfoldingStore`](crate::UnfoldingStore)
+/// `row`/`row_range` contract for one store against a naive filter, probing
+/// every window whose endpoints sit on or around 64-bit word boundaries, on
+/// actual entries ± 1, at the extremes, and in degenerate (`lo >= hi`)
+/// positions. Shared by the heap and mmap store tests so both
+/// implementations pin the same contract.
+#[cfg(test)]
+pub(crate) fn row_range_contract_check<S: crate::UnfoldingStore>(s: &S, label: &str) {
+    let ncols = s.ncols();
+    let mut total = 0u64;
+    for r in 0..s.nrows() {
+        let row = s.row(r).to_vec();
+        total += row.len() as u64;
+        assert!(
+            row.windows(2).all(|w| w[0] < w[1]),
+            "{label}: row {r} is not strictly increasing"
+        );
+        assert!(
+            row.iter().all(|&c| c < ncols),
+            "{label}: row {r} has a column out of range"
+        );
+        // Full row and empty windows.
+        assert_eq!(s.row_range(r, 0, ncols), &row[..], "{label}: full row {r}");
+        assert!(s.row_range(r, 0, 0).is_empty(), "{label}: empty lo=hi=0");
+        assert!(
+            s.row_range(r, ncols, ncols).is_empty(),
+            "{label}: empty at ncols"
+        );
+        // Probe points: word edges, entries ± 1, extremes.
+        let mut probes: Vec<u64> = vec![0, 1, 63, 64, 65, 126, 127, 128, 129];
+        probes.push(ncols.saturating_sub(1));
+        probes.push(ncols);
+        for &c in &row {
+            probes.push(c.saturating_sub(1));
+            probes.push(c);
+            probes.push(c + 1);
+        }
+        probes.retain(|&x| x <= ncols);
+        probes.sort_unstable();
+        probes.dedup();
+        for &lo in &probes {
+            for &hi in &probes {
+                let got = s.row_range(r, lo, hi);
+                if lo >= hi {
+                    assert!(
+                        got.is_empty(),
+                        "{label}: row {r} window [{lo}, {hi}) must be empty"
+                    );
+                    continue;
+                }
+                let want: Vec<u64> = row.iter().copied().filter(|&c| c >= lo && c < hi).collect();
+                assert_eq!(got, &want[..], "{label}: row {r} window [{lo}, {hi})");
+                for &c in got {
+                    assert!(s.get(r, c), "{label}: get({r}, {c}) disagrees with row");
+                }
+            }
+        }
+    }
+    assert_eq!(
+        s.nnz(),
+        total,
+        "{label}: nnz must equal the sum of row lengths"
+    );
 }
 
 #[cfg(test)]
@@ -315,6 +380,31 @@ mod tests {
         assert_eq!(u.row_range(0, 0, 6), &[0, 5]);
         assert_eq!(u.row_range(0, 5, 6), &[5]);
         assert_eq!(u.row_range(0, 8, 12), &[] as &[u64]);
+        // Degenerate windows are empty, not a panic.
+        assert_eq!(u.row_range(0, 5, 5), &[] as &[u64]);
+        assert_eq!(u.row_range(0, 7, 2), &[] as &[u64]);
+    }
+
+    #[test]
+    fn row_range_word_edges_both_stores() {
+        // Columns planted exactly on and around the 64-bit word boundaries
+        // (63/64/65, 126/127/128) plus the extremes of a 135-column row.
+        let dims = [2usize, 9, 15];
+        let cols: [u64; 9] = [0, 62, 63, 64, 65, 126, 127, 128, 134];
+        let entries: Vec<[u32; 3]> = cols
+            .iter()
+            .map(|&c| Mode::One.dematricize(dims, 0, c))
+            .collect();
+        let t = BoolTensor::from_entries(dims, entries);
+        let u = Unfolding::new(&t, Mode::One);
+        assert_eq!(u.row(0), &cols);
+        let path =
+            std::env::temp_dir().join(format!("dbtf-unfold-word-edges-{}.unf", std::process::id()));
+        crate::MmapUnfolding::write_from_store(&u, &path).unwrap();
+        let m = crate::MmapUnfolding::open(&path).unwrap();
+        super::row_range_contract_check(&u, "heap");
+        super::row_range_contract_check(&m, "mmap");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -334,6 +424,56 @@ mod tests {
                         mode.dematricize(t.dims(), 0, u.ncols() - 1)[2],
                     )
             );
+        }
+    }
+}
+
+#[cfg(test)]
+mod row_range_contract_props {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static FILE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    /// Dims chosen so mode-1 unfoldings span 135 columns — both 64-bit word
+    /// boundaries (63/64, 127/128) fall inside the probed range.
+    const DIMS: [usize; 3] = [2, 9, 15];
+
+    fn tensor_strategy() -> impl Strategy<Value = BoolTensor> {
+        proptest::collection::vec(
+            (0..DIMS[0] as u32, 0..DIMS[1] as u32, 0..DIMS[2] as u32)
+                .prop_map(|(a, b, c)| [a, b, c]),
+            0..=80,
+        )
+        .prop_map(|entries| BoolTensor::from_entries(DIMS, entries))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Both store implementations satisfy the shared `row`/`row_range`
+        /// contract and agree with each other slice-for-slice.
+        #[test]
+        fn both_stores_pin_the_row_range_contract(t in tensor_strategy()) {
+            let seq = FILE_SEQ.fetch_add(1, Ordering::Relaxed);
+            for mode in Mode::ALL {
+                let u = Unfolding::new(&t, mode);
+                let path = std::env::temp_dir().join(format!(
+                    "dbtf-unfold-prop-{}-{}-{}.unf",
+                    std::process::id(),
+                    seq,
+                    mode.index()
+                ));
+                crate::MmapUnfolding::write_from_store(&u, &path).unwrap();
+                let m = crate::MmapUnfolding::open(&path).unwrap();
+                super::row_range_contract_check(&u, "heap");
+                super::row_range_contract_check(&m, "mmap");
+                for r in 0..u.nrows() {
+                    prop_assert_eq!(u.row(r), crate::UnfoldingStore::row(&m, r));
+                }
+                let _ = std::fs::remove_file(&path);
+            }
         }
     }
 }

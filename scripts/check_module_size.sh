@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
-# Guard against the cluster engine re-congealing into a monolith: the
+# Guard against engine crates re-congealing into monoliths: the
 # dataflow-plan refactor split engine.rs (once ~1,750 lines) into focused
-# modules, and CI fails if any of them creeps past the limit again.
+# modules, and the out-of-core refactor kept the tensor crate's storage
+# layer similarly decomposed. CI fails if any file creeps past the limit.
 set -euo pipefail
 
 LIMIT=900
 cd "$(dirname "$0")/.."
 
 status=0
-for f in crates/cluster/src/*.rs crates/cluster/src/*/*.rs; do
+for f in crates/cluster/src/*.rs crates/cluster/src/*/*.rs crates/tensor/src/*.rs; do
     lines=$(wc -l <"$f")
     if [ "$lines" -gt "$LIMIT" ]; then
         echo "FAIL: $f has $lines lines (limit $LIMIT) — split it instead" >&2
@@ -17,6 +18,6 @@ for f in crates/cluster/src/*.rs crates/cluster/src/*/*.rs; do
 done
 
 if [ "$status" -eq 0 ]; then
-    echo "module size check passed: no cluster source file exceeds $LIMIT lines"
+    echo "module size check passed: no cluster or tensor source file exceeds $LIMIT lines"
 fi
 exit "$status"
