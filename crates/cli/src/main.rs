@@ -31,6 +31,7 @@
 //! for Tucker) in the sparse matrix text format.
 
 mod args;
+mod serve_cmd;
 
 use std::process::ExitCode;
 
@@ -47,10 +48,30 @@ use dbtf_datagen::{stream_uniform_random, NoiseSpec, PlantedConfig, PlantedTenso
 use dbtf_telemetry::{validate_chrome_trace, write_chrome_trace, Tracer};
 use dbtf_tensor::{columnar, io as tio, matrix_io, BoolTensor, MmapUnfolding};
 
-const USAGE: &str = "usage: dbtf <factorize|tucker|select-rank|generate|stats> [options]
+const USAGE: &str =
+    "usage: dbtf <factorize|tucker|select-rank|generate|stats|serve|export-factors|query> [options]
 run `dbtf help` for the full option list";
 
+/// Rust ignores `SIGPIPE` by default, turning `dbtf stats | head` into a
+/// broken-pipe panic; restore the default disposition so piped output
+/// ends the process quietly like any Unix CLI.
+#[cfg(unix)]
+fn restore_sigpipe() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+#[cfg(not(unix))]
+fn restore_sigpipe() {}
+
 fn main() -> ExitCode {
+    restore_sigpipe();
     // `ClusterError` panics are typed control flow: the engine unwinds to
     // the driver's catch, which flushes a final checkpoint and converts
     // them into `DbtfError`. The default hook's backtrace would dress
@@ -90,6 +111,9 @@ fn run(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
         Some("select-rank") => cmd_select_rank(&parsed),
         Some("generate") => cmd_generate(&parsed),
         Some("stats") => cmd_stats(&parsed),
+        Some("serve") => serve_cmd::cmd_serve(&parsed),
+        Some("export-factors") => serve_cmd::cmd_export_factors(&parsed),
+        Some("query") => serve_cmd::cmd_query(&parsed),
         Some("help") | None => {
             println!("{}", long_help());
             Ok(())
@@ -107,7 +131,10 @@ commands:
   tucker       Boolean Tucker factorization (single machine)
   select-rank  MDL sweep over candidate ranks
   generate     synthetic workloads: random | planted | proxy
-  stats        shape/density summary of a tensor file
+  stats        shape/density summary of a tensor, checkpoint, or store file
+  serve        answer reconstruction queries from a factor store over TCP
+  export-factors  convert a checkpoint into a binary DBTFFSET factor store
+  query        one-shot client for a running `dbtf serve`
 
 common options:
   --input FILE     input tensor (text format; --binary for DBTFBIN1)
@@ -181,6 +208,30 @@ stats:     --input X.txt | --trace TRACE.json
                  stream the file in constant memory, and DBTFUNFD
                  columnar-unfolding files are summarized from the
                  header and row index alone)
+serve:     --store FILE (DBTFFSET export or DBTFCKPT checkpoint)
+           [--addr HOST:PORT]    listen address (default 127.0.0.1:7450)
+           [--source ram|mmap]   factor rows on the heap or served from a
+                 read-only map of the DBTFFSET file (checkpoints: ram only)
+           [--cache-fibers N]    LRU fiber-cache entries (default 1024;
+                 0 disables caching)
+           [--max-line-bytes N] [--max-batch N]  protocol limits
+                 the protocol is line-delimited JSON; each line is one
+                 request object or an array of them (a batch), answered
+                 in order with typed errors, never dropped connections.
+                 a client `shutdown` request drains the server: in-flight
+                 requests are answered, then every connection closes
+export-factors: --checkpoint CKPT --output FILE [--set-version N]
+                 (default set version: the checkpoint's iteration count)
+query:     --connect ADDR, plus exactly one of
+           --point i,j,k         print true/false for cell X̃[i,j,k]
+           --slice MODE:LO,HI    nonzero indices of a fiber; MODE is the
+                 free axis (1=i 2=j 3=k), LO,HI the fixed indices in
+                 ascending mode order
+           --topk MODE:ENTITY:K  strongest factor columns for an entity
+           --ping | --info | --stats | --shutdown-server
+           --oracle-check FACTORS [--seed N] [--count N]
+                 replay a seeded query sweep and compare every answer
+                 against the oracle reconstruction of FACTORS
 generate random:  --dims I,J,K --density D --output FILE
 generate planted: --dims I,J,K --rank R --factor-density D
                   [--additive A] [--destructive D] --output FILE
@@ -658,6 +709,14 @@ fn cmd_stats(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
         .ok_or_else(|| ArgError("missing required option --input".into()))?;
     if is_unfolding_file(path) {
         return unfolding_stats(path);
+    }
+    // Checkpoints and factor stores are self-describing; summarize them
+    // as what they are instead of failing to parse them as tensors.
+    if serve_cmd::is_checkpoint_file(path) {
+        return serve_cmd::checkpoint_stats(path);
+    }
+    if serve_cmd::is_store_file(path) {
+        return serve_cmd::store_stats(path);
     }
     // One streaming pass in constant memory: the tensor is never
     // materialized. Three occupancy bitsets (one bit per index) replace

@@ -1,0 +1,278 @@
+//! End-to-end tests of the serving subcommands against the real binary:
+//! `export-factors` round-trips a checkpoint into a `DBTFFSET` store,
+//! `stats` recognizes both file kinds, and a spawned `dbtf serve`
+//! process answers a scripted `dbtf query` session — including the
+//! oracle-backed agreement sweep — before draining cleanly.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+fn dbtf(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dbtf"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbtf_serve_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stdout(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Generates a planted tensor, factorizes it with checkpointing on, and
+/// returns the checkpoint path.
+fn make_checkpoint(dir: &std::path::Path) -> String {
+    let x = dir.join("x.txt");
+    let out = dbtf(&[
+        "generate",
+        "planted",
+        "--dims",
+        "24,20,16",
+        "--rank",
+        "3",
+        "--factor-density",
+        "0.4",
+        "--additive",
+        "0.05",
+        "--seed",
+        "7",
+        "--output",
+        x.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let prefix = dir.join("run");
+    let ck = dir.join("run.ckpt");
+    let out = dbtf(&[
+        "factorize",
+        "--input",
+        x.to_str().unwrap(),
+        "--rank",
+        "3",
+        "--iters",
+        "2",
+        "--seed",
+        "3",
+        "--output",
+        prefix.to_str().unwrap(),
+        "--checkpoint",
+        ck.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    ck.to_str().unwrap().to_string()
+}
+
+/// Exports the checkpoint to a binary store and returns the store path.
+fn export(dir: &std::path::Path, ck: &str) -> String {
+    let store = dir.join("factors.dbtfs");
+    let text = stdout(&dbtf(&[
+        "export-factors",
+        "--checkpoint",
+        ck,
+        "--output",
+        store.to_str().unwrap(),
+    ]));
+    assert!(text.contains("exported factor set"), "{text}");
+    store.to_str().unwrap().to_string()
+}
+
+#[test]
+fn export_factors_round_trip_and_stats_recognize_both_formats() {
+    let dir = tempdir("export");
+    let ck = make_checkpoint(&dir);
+    let store = export(&dir, &ck);
+
+    // `stats` must recognize both serving formats by magic, not suffix.
+    let text = stdout(&dbtf(&["stats", "--input", &ck]));
+    assert!(text.contains("checkpoint (DBTFCKPT v1)"), "{text}");
+    assert!(text.contains("24 × 20 × 16, rank 3"), "{text}");
+    assert!(text.contains("iteration: 2"), "{text}");
+
+    let text = stdout(&dbtf(&["stats", "--input", &store]));
+    assert!(text.contains("factor store (DBTFFSET v1)"), "{text}");
+    assert!(text.contains("24 × 20 × 16, rank 3"), "{text}");
+    assert!(text.contains("set version: 2"), "{text}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Piping CLI output into a consumer that closes early (`| head`) must
+/// end the process via the default SIGPIPE disposition, not a panic.
+#[cfg(unix)]
+#[test]
+fn closed_stdout_pipe_kills_quietly_instead_of_panicking() {
+    use std::os::unix::process::ExitStatusExt;
+    let dir = tempdir("sigpipe");
+    let ck = make_checkpoint(&dir);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dbtf"))
+        .args(["stats", "--input", &ck])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dbtf stats");
+    // Close the read end immediately; the first flushed write after
+    // that raises SIGPIPE.
+    drop(child.stdout.take());
+    let out = child.wait_with_output().unwrap();
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(!err.contains("panicked"), "{err}");
+    assert!(
+        out.status.code().is_none() && out.status.signal() == Some(13) || out.status.success(),
+        "expected SIGPIPE death or clean exit, got {:?} ({err})",
+        out.status
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stats_refuses_future_checkpoint_version_with_clear_message() {
+    let dir = tempdir("future");
+    let path = dir.join("future.ckpt");
+    std::fs::write(&path, "DBTFCKPT v3\nwhatever follows\n").unwrap();
+    let out = dbtf(&["stats", "--input", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("checkpoint format v3 is newer than this build"),
+        "{err}"
+    );
+    assert!(err.contains("max v1"), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn serve_on_checkpoint_with_mmap_points_at_export_factors() {
+    let dir = tempdir("mmapck");
+    let ck = make_checkpoint(&dir);
+    let out = dbtf(&[
+        "serve",
+        "--store",
+        &ck,
+        "--source",
+        "mmap",
+        "--addr",
+        "127.0.0.1:0",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("export-factors"), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The full scripted session: serve in the background on an ephemeral
+/// port, run every query subcommand against it, gate on the oracle
+/// sweep, then shut the server down and check it drained.
+#[test]
+fn serve_process_answers_scripted_query_session() {
+    let dir = tempdir("session");
+    let ck = make_checkpoint(&dir);
+    let store = export(&dir, &ck);
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_dbtf"))
+        .args([
+            "serve",
+            "--store",
+            &store,
+            "--addr",
+            "127.0.0.1:0",
+            "--cache-fibers",
+            "64",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn dbtf serve");
+    let mut lines = BufReader::new(server.stdout.take().unwrap()).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve exited before listening")
+            .unwrap();
+        if let Some(addr) = line.strip_prefix("listening on ") {
+            break addr.to_string();
+        }
+    };
+
+    let query = |extra: &[&str]| {
+        let mut args = vec!["query", "--connect", addr.as_str()];
+        args.extend_from_slice(extra);
+        dbtf(&args)
+    };
+
+    assert_eq!(stdout(&query(&["--ping"])).trim(), "pong");
+
+    let info = stdout(&query(&["--info"]));
+    assert!(
+        info.contains("factor set v2 24 × 20 × 16 rank 3 (ram)"),
+        "{info}"
+    );
+
+    let point = stdout(&query(&["--point", "0,0,0"]));
+    assert!(point.trim() == "true" || point.trim() == "false", "{point}");
+
+    // Slice indices are in-range for the free mode.
+    let slice = stdout(&query(&["--slice", "3:1,2"]));
+    for index in slice.split_whitespace() {
+        assert!(index.parse::<usize>().unwrap() < 16, "{slice}");
+    }
+
+    let topk = stdout(&query(&["--topk", "1:0:3"]));
+    assert!(topk.lines().count() <= 3, "{topk}");
+
+    let stats = stdout(&query(&["--stats"]));
+    assert!(stats.contains("serve.point.queries 1"), "{stats}");
+    assert!(stats.contains("serve.conns.opened"), "{stats}");
+
+    // A bad query spec is an argument error (exit 2), not a crash.
+    let out = query(&["--slice", "5:0,0"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The agreement gate the CI smoke script relies on.
+    let check = stdout(&query(&[
+        "--oracle-check",
+        &store,
+        "--seed",
+        "42",
+        "--count",
+        "200",
+    ]));
+    assert!(
+        check.contains("oracle-check: 200 queries agree (seed 42)"),
+        "{check}"
+    );
+
+    assert_eq!(
+        stdout(&query(&["--shutdown-server"])).trim(),
+        "server draining"
+    );
+    let status = server.wait().expect("serve exits");
+    assert!(status.success(), "serve exited {status:?}");
+    let rest: Vec<String> = lines.map(|l| l.unwrap()).collect();
+    assert!(
+        rest.iter().any(|l| l == "drained cleanly"),
+        "missing drain message in {rest:?}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -35,6 +35,11 @@ use crate::factors::FactorSet;
 
 const MAGIC: &str = "DBTFCKPT v1";
 
+/// The checkpoint format version this build writes and the newest it
+/// reads. Files announcing a higher version in their magic line are
+/// refused with a version-specific [`DbtfError::Checkpoint`] message.
+pub const CHECKPOINT_FORMAT_VERSION: u64 = 1;
+
 /// The resumable state of a [`crate::factorize`] run after a completed
 /// iteration.
 #[derive(Clone, Debug, PartialEq)]
@@ -145,7 +150,24 @@ impl Checkpoint {
                 None => Err(ck_err(path, format!("truncated: missing {what}"))),
             }
         };
-        if next("magic header")? != MAGIC {
+        let magic_line = next("magic header")?;
+        if magic_line != MAGIC {
+            // A future-versioned checkpoint ("DBTFCKPT v3") is a distinct
+            // failure from a random file: the user needs a newer build,
+            // not a different file.
+            if let Some(version) = magic_line
+                .strip_prefix("DBTFCKPT v")
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&v| v > CHECKPOINT_FORMAT_VERSION)
+            {
+                return Err(ck_err(
+                    path,
+                    format!(
+                        "checkpoint format v{version} is newer than this build supports \
+                         (max v{CHECKPOINT_FORMAT_VERSION}); upgrade dbtf to read it"
+                    ),
+                ));
+            }
             return Err(ck_err(path, "not a DBTFCKPT v1 file"));
         }
         let field = |line: String, key: &str| -> Result<String, DbtfError> {
@@ -285,6 +307,46 @@ mod tests {
         ck2.iteration_errors.push(5);
         ck2.write(&path).unwrap();
         assert_eq!(Checkpoint::read(&path).unwrap(), ck2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The magic line's version field round-trips: a written checkpoint
+    /// opens with `DBTFCKPT v1` verbatim and reads back, while a
+    /// future-versioned file is refused with a message naming both the
+    /// file's version and this build's ceiling (not a generic parse
+    /// error).
+    #[test]
+    fn version_field_round_trip_and_future_version_message() {
+        let path = tmp_path("version");
+        let ck = sample();
+        ck.write(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text.lines().next(),
+            Some(format!("DBTFCKPT v{CHECKPOINT_FORMAT_VERSION}").as_str())
+        );
+        assert_eq!(Checkpoint::read(&path).unwrap(), ck);
+
+        // Same body, future version stamp → version-specific refusal.
+        let future = text.replacen("DBTFCKPT v1", "DBTFCKPT v3", 1);
+        std::fs::write(&path, &future).unwrap();
+        let err = Checkpoint::read(&path).unwrap_err();
+        let DbtfError::Checkpoint(msg) = &err else {
+            panic!("expected Checkpoint error, got {err:?}");
+        };
+        assert!(msg.contains("v3"), "{msg}");
+        assert!(msg.contains("newer than this build"), "{msg}");
+        assert!(msg.contains("max v1"), "{msg}");
+
+        // v0 and garbage suffixes are *not* "newer" — plain bad files.
+        for bad in ["DBTFCKPT v0", "DBTFCKPT vX"] {
+            std::fs::write(&path, text.replacen("DBTFCKPT v1", bad, 1)).unwrap();
+            let err = Checkpoint::read(&path).unwrap_err();
+            assert!(
+                err.to_string().contains("not a DBTFCKPT v1 file"),
+                "{bad}: {err}"
+            );
+        }
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -71,7 +71,7 @@ pub mod tucker;
 pub mod tucker_distributed;
 pub mod update;
 
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, CHECKPOINT_FORMAT_VERSION};
 pub use config::{BackendKind, DbtfConfig, DbtfError, InitStrategy, StorageKind};
 pub use driver::{factorize, factorize_instrumented, factorize_traced, DbtfResult};
 pub use factors::{initial_factor_sets, random_factor_sets, FactorSet};

@@ -34,6 +34,7 @@ pub mod invariants;
 pub mod oracles;
 pub mod report;
 pub mod runner;
+pub mod serving;
 
 pub use invariants::{check_recovery_counters, check_wire_meters, CommOracle};
 pub use oracles::{
@@ -41,3 +42,4 @@ pub use oracles::{
 };
 pub use report::SweepReport;
 pub use runner::{run_point, PointReport, SamplePoint};
+pub use serving::{serving_point, serving_slice, serving_topk};

@@ -1,0 +1,236 @@
+//! LRU cache of hot reconstruction fibers.
+//!
+//! Point and slice queries both reduce to one reconstruction *fiber*: fix
+//! two indices, leave one axis free, and the free axis's bits are
+//! `fiber[t] = (row_lo ∧ row_hi ∧ row_free[t]) ≠ 0`. Computing a fiber
+//! costs one masked scan over a whole factor, so the engine memoizes
+//! recently used fibers here — a repeat `point i j *` or `slice` on the
+//! same fixed pair is a word-indexed bit test instead of a scan.
+//!
+//! The cache is a classic intrusive-list LRU over a slot arena: `get`
+//! moves the entry to the front, `insert` evicts the back when full.
+//! Capacity is in *entries* (fibers), and capacity 0 means bypass — the
+//! engine computes every answer directly, which is what the differential
+//! tests use to compare cold and hot paths bit for bit. Values are
+//! `Arc<BitVec>` so a hit hands out the fiber without copying it while an
+//! eviction can still drop the slot immediately.
+//!
+//! The cache keeps no counters; the engine owns hit/miss/eviction
+//! accounting in [`crate::ServeMetrics`] so one atomic story covers both
+//! the cached and bypass configurations.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dbtf_tensor::BitVec;
+
+/// Identifies one reconstruction fiber.
+///
+/// `free_mode` is the axis left free (0 = i, 1 = j, 2 = k); `lo`/`hi` are
+/// the fixed indices of the other two modes *in ascending mode order*, so
+/// a point query and a slice query over the same fiber share an entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FiberKey {
+    /// The free axis (0, 1, or 2).
+    pub free_mode: u8,
+    /// Fixed index on the lower of the two fixed modes.
+    pub lo: u32,
+    /// Fixed index on the higher of the two fixed modes.
+    pub hi: u32,
+}
+
+const NIL: usize = usize::MAX;
+
+struct Slot {
+    key: FiberKey,
+    value: Arc<BitVec>,
+    prev: usize,
+    next: usize,
+}
+
+/// Bounded LRU map from [`FiberKey`] to a computed fiber.
+pub struct FiberCache {
+    capacity: usize,
+    map: HashMap<FiberKey, usize>,
+    slots: Vec<Slot>,
+    head: usize,
+    tail: usize,
+    free: Vec<usize>,
+}
+
+impl FiberCache {
+    /// An empty cache holding at most `capacity` fibers (0 = bypass).
+    pub fn new(capacity: usize) -> FiberCache {
+        FiberCache {
+            capacity,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+        }
+    }
+
+    /// The configured capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Unlinks `idx` from the recency list.
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    /// Links `idx` at the front (most recently used).
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        match self.head {
+            NIL => self.tail = idx,
+            h => self.slots[h].prev = idx,
+        }
+        self.head = idx;
+    }
+
+    /// Looks up a fiber, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &FiberKey) -> Option<Arc<BitVec>> {
+        let idx = *self.map.get(key)?;
+        if self.head != idx {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+        Some(Arc::clone(&self.slots[idx].value))
+    }
+
+    /// Inserts (or refreshes) a fiber and returns how many entries were
+    /// evicted to make room (0 or 1). A capacity-0 cache stores nothing.
+    pub fn insert(&mut self, key: FiberKey, value: Arc<BitVec>) -> u64 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.slots[idx].value = value;
+            if self.head != idx {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return 0;
+        }
+        let mut evicted = 0;
+        if self.map.len() == self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.free.push(victim);
+            evicted = 1;
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx] = Slot {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                idx
+            }
+            None => {
+                self.slots.push(Slot {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(free_mode: u8, lo: u32, hi: u32) -> FiberKey {
+        FiberKey { free_mode, lo, hi }
+    }
+
+    fn fiber(bits: usize) -> Arc<BitVec> {
+        Arc::new(BitVec::zeros(bits))
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = FiberCache::new(2);
+        assert_eq!(cache.insert(key(0, 1, 2), fiber(8)), 0);
+        assert_eq!(cache.insert(key(1, 1, 2), fiber(8)), 0);
+        // Touch the first entry so the second becomes LRU.
+        assert!(cache.get(&key(0, 1, 2)).is_some());
+        assert_eq!(cache.insert(key(2, 1, 2), fiber(8)), 1, "one eviction");
+        assert!(cache.get(&key(1, 1, 2)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(0, 1, 2)).is_some());
+        assert!(cache.get(&key(2, 1, 2)).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_evicting() {
+        let mut cache = FiberCache::new(2);
+        cache.insert(key(0, 0, 0), fiber(4));
+        cache.insert(key(0, 0, 1), fiber(4));
+        assert_eq!(
+            cache.insert(key(0, 0, 0), fiber(4)),
+            0,
+            "refresh, not evict"
+        );
+        cache.insert(key(0, 0, 2), fiber(4));
+        assert!(cache.get(&key(0, 0, 1)).is_none(), "the stale entry went");
+        assert!(cache.get(&key(0, 0, 0)).is_some());
+    }
+
+    #[test]
+    fn capacity_zero_is_bypass() {
+        let mut cache = FiberCache::new(0);
+        assert_eq!(cache.insert(key(0, 1, 1), fiber(4)), 0);
+        assert!(cache.get(&key(0, 1, 1)).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn slot_reuse_keeps_list_consistent() {
+        let mut cache = FiberCache::new(3);
+        for round in 0..50u32 {
+            cache.insert(key(0, round, round), fiber(4));
+            assert_eq!(cache.len(), 3.min(round as usize + 1));
+        }
+        // A pure insert sequence keeps exactly the last three keys.
+        for round in 0..47u32 {
+            assert!(cache.get(&key(0, round, round)).is_none(), "round {round}");
+        }
+        for round in 47..50u32 {
+            assert!(cache.get(&key(0, round, round)).is_some(), "round {round}");
+        }
+        assert!(cache.slots.len() <= 4, "arena reuses freed slots");
+    }
+}

@@ -1,0 +1,387 @@
+//! The reconstruction query engine: point / slice / topk over a
+//! [`FactorStore`], memoized through the [`FiberCache`].
+//!
+//! No query ever materializes the reconstruction `X̃ = ⋁_r a_r ∘ b_r ∘
+//! c_r`. A **point** is the nonzero test of a three-way AND over `R`-bit
+//! rows; a **slice** (one fiber) is a two-row mask scanned against every
+//! row of the free mode's factor; **topk** never touches the tensor at
+//! all — it ranks the columns set in one entity's factor row by the
+//! precomputed column weights in the store.
+//!
+//! With a non-bypass cache, point and slice share fibers: a point query
+//! computes (and caches) the whole fiber through its cell, so the
+//! cache-cold and cache-hot answers are the same bits by construction —
+//! and the differential tests verify exactly that against the oracle's
+//! cell-by-cell reconstruction.
+//!
+//! All index validation happens here, as typed [`QueryError`]s — the
+//! store's row accessors are allowed to panic precisely because this
+//! layer never forwards an out-of-range index.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use dbtf_tensor::BitVec;
+
+use crate::cache::{FiberCache, FiberKey};
+use crate::metrics::ServeMetrics;
+use crate::store::FactorStore;
+
+/// A query that cannot be answered for this factor set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// An index or mode is outside the store's dimensions.
+    OutOfRange(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::OutOfRange(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// The serving engine: one store, one cache, shared metrics.
+pub struct QueryEngine {
+    store: FactorStore,
+    cache: Mutex<FiberCache>,
+    metrics: Arc<ServeMetrics>,
+}
+
+/// The two fixed modes for a given free mode, in ascending order.
+fn fixed_modes(free: usize) -> (usize, usize) {
+    match free {
+        0 => (1, 2),
+        1 => (0, 2),
+        _ => (0, 1),
+    }
+}
+
+impl QueryEngine {
+    /// Builds an engine over `store` with an LRU of `cache_capacity`
+    /// fibers (0 = bypass: every query computed from the factors).
+    pub fn new(
+        store: FactorStore,
+        cache_capacity: usize,
+        metrics: Arc<ServeMetrics>,
+    ) -> QueryEngine {
+        QueryEngine {
+            store,
+            cache: Mutex::new(FiberCache::new(cache_capacity)),
+            metrics,
+        }
+    }
+
+    /// The factor store being served.
+    pub fn store(&self) -> &FactorStore {
+        &self.store
+    }
+
+    /// The shared metrics sink.
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
+    }
+
+    /// Fibers currently resident in the cache.
+    pub fn cached_fibers(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    fn check_index(&self, name: &str, idx: usize, mode: usize) -> Result<(), QueryError> {
+        let dim = self.store.dims()[mode];
+        if idx >= dim {
+            return Err(QueryError::OutOfRange(format!(
+                "{name} = {idx} out of range (mode {mode} has {dim} entities)"
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_mode(&self, mode: usize) -> Result<(), QueryError> {
+        if mode > 2 {
+            return Err(QueryError::OutOfRange(format!(
+                "mode = {mode} out of range (0, 1, or 2)"
+            )));
+        }
+        Ok(())
+    }
+
+    /// One reconstruction fiber, computed from the factors.
+    fn compute_fiber(&self, free: usize, lo: usize, hi: usize) -> BitVec {
+        let (m1, m2) = fixed_modes(free);
+        let row_lo = self.store.row(m1, lo);
+        let row_hi = self.store.row(m2, hi);
+        let n = self.store.dims()[free];
+        let wpr = self.store.words_per_row();
+        let mut fiber = BitVec::zeros(n);
+        for t in 0..n {
+            let row = self.store.row(free, t);
+            let mut any = 0u64;
+            for w in 0..wpr {
+                any |= row_lo[w] & row_hi[w] & row[w];
+            }
+            if any != 0 {
+                fiber.set(t, true);
+            }
+        }
+        fiber
+    }
+
+    /// The fiber for `key`, from cache if resident (counting hit, miss,
+    /// and eviction metrics). Misses compute outside the cache lock so
+    /// concurrent cold fibers don't serialize on it.
+    fn fiber_cached(&self, key: FiberKey) -> Arc<BitVec> {
+        if let Some(fiber) = self.cache.lock().unwrap().get(&key) {
+            ServeMetrics::add(&self.metrics.cache_hits, 1);
+            return fiber;
+        }
+        let fiber =
+            Arc::new(self.compute_fiber(key.free_mode as usize, key.lo as usize, key.hi as usize));
+        ServeMetrics::add(&self.metrics.cache_misses, 1);
+        let evicted = self.cache.lock().unwrap().insert(key, Arc::clone(&fiber));
+        ServeMetrics::add(&self.metrics.cache_evictions, evicted);
+        fiber
+    }
+
+    fn bypass(&self) -> bool {
+        self.cache.lock().unwrap().capacity() == 0
+    }
+
+    fn time_into(&self, counter: &AtomicU64, t0: Instant) {
+        ServeMetrics::add(counter, t0.elapsed().as_micros() as u64);
+    }
+
+    /// Was cell `X̃[i, j, k]` set in the reconstruction?
+    pub fn point(&self, i: usize, j: usize, k: usize) -> Result<bool, QueryError> {
+        let t0 = Instant::now();
+        self.check_index("i", i, 0)?;
+        self.check_index("j", j, 1)?;
+        self.check_index("k", k, 2)?;
+        let answer = if self.bypass() {
+            let (a, b, c) = (
+                self.store.row(0, i),
+                self.store.row(1, j),
+                self.store.row(2, k),
+            );
+            let mut any = 0u64;
+            for w in 0..self.store.words_per_row() {
+                any |= a[w] & b[w] & c[w];
+            }
+            any != 0
+        } else {
+            // Warm the whole X̃[i, j, :] fiber; repeat points on this
+            // (i, j) pair — and slices of it — become bit tests.
+            let key = FiberKey {
+                free_mode: 2,
+                lo: i as u32,
+                hi: j as u32,
+            };
+            self.fiber_cached(key).get(k)
+        };
+        ServeMetrics::add(&self.metrics.point_queries, 1);
+        self.time_into(&self.metrics.point_micros, t0);
+        Ok(answer)
+    }
+
+    /// The nonzero indices of one reconstruction fiber: `free_mode` is
+    /// the axis left free, `lo`/`hi` index the other two modes in
+    /// ascending mode order (free 2 → `lo` = i, `hi` = j, answering
+    /// `X̃[lo, hi, :]`).
+    pub fn slice(&self, free_mode: usize, lo: usize, hi: usize) -> Result<Vec<usize>, QueryError> {
+        let t0 = Instant::now();
+        self.check_mode(free_mode)?;
+        let (m1, m2) = fixed_modes(free_mode);
+        self.check_index("lo", lo, m1)?;
+        self.check_index("hi", hi, m2)?;
+        let indices = if self.bypass() {
+            self.compute_fiber(free_mode, lo, hi).iter_ones().collect()
+        } else {
+            let key = FiberKey {
+                free_mode: free_mode as u8,
+                lo: lo as u32,
+                hi: hi as u32,
+            };
+            self.fiber_cached(key).iter_ones().collect()
+        };
+        ServeMetrics::add(&self.metrics.slice_queries, 1);
+        self.time_into(&self.metrics.slice_micros, t0);
+        Ok(indices)
+    }
+
+    /// The strongest factor columns for entity `entity` of `mode`:
+    /// columns set in that entity's factor row, as `(column, weight)`
+    /// pairs ranked by weight descending (ties broken by column
+    /// ascending) and truncated to `k`. The weight is the number of
+    /// reconstruction cells the column contributes in the entity's slice
+    /// — the product of the other two factors' column popcounts.
+    pub fn topk(
+        &self,
+        mode: usize,
+        entity: usize,
+        k: usize,
+    ) -> Result<Vec<(usize, u64)>, QueryError> {
+        let t0 = Instant::now();
+        self.check_mode(mode)?;
+        self.check_index("entity", entity, mode)?;
+        let row = self.store.row(mode, entity);
+        let mut ranked: Vec<(usize, u64)> = (0..self.store.rank())
+            .filter(|r| row[r / 64] >> (r % 64) & 1 == 1)
+            .map(|r| (r, self.store.column_weight(mode, r)))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ServeMetrics::add(&self.metrics.topk_queries, 1);
+        self.time_into(&self.metrics.topk_micros, t0);
+        Ok(ranked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtf::{random_factor_sets, DbtfConfig, FactorSet};
+
+    fn engine(cache: usize) -> (QueryEngine, FactorSet) {
+        let cfg = DbtfConfig {
+            seed: 11,
+            ..DbtfConfig::with_rank(6)
+        };
+        let factors = random_factor_sets([8, 7, 9], 0.4, &cfg).remove(0);
+        let store = FactorStore::from_factor_set(1, &factors);
+        (
+            QueryEngine::new(store, cache, Arc::new(ServeMetrics::new())),
+            factors,
+        )
+    }
+
+    #[test]
+    fn point_matches_reconstruction_cold_and_hot() {
+        for capacity in [0, 4, 1000] {
+            let (engine, factors) = engine(capacity);
+            let recon = factors.reconstruct();
+            for i in 0..8 {
+                for j in 0..7 {
+                    for k in 0..9 {
+                        // Ask twice: the second pass is cache-hot when
+                        // capacity > 0 and must agree bit for bit.
+                        for _ in 0..2 {
+                            assert_eq!(
+                                engine.point(i, j, k).unwrap(),
+                                recon.contains(i as u32, j as u32, k as u32),
+                                "cell ({i},{j},{k}) capacity {capacity}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slice_matches_point_on_every_axis() {
+        let (engine, _) = engine(16);
+        let dims = engine.store().dims();
+        for free in 0..3 {
+            let (m1, m2) = super::fixed_modes(free);
+            for lo in 0..dims[m1] {
+                for hi in 0..dims[m2] {
+                    let ones = engine.slice(free, lo, hi).unwrap();
+                    for t in 0..dims[free] {
+                        let mut ijk = [0; 3];
+                        ijk[free] = t;
+                        ijk[m1] = lo;
+                        ijk[m2] = hi;
+                        assert_eq!(
+                            ones.contains(&t),
+                            engine.point(ijk[0], ijk[1], ijk[2]).unwrap(),
+                            "free {free} ({lo},{hi}) t {t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topk_ranks_by_weight_then_column() {
+        let (engine, factors) = engine(0);
+        let full = engine.topk(0, 3, usize::MAX).unwrap();
+        let row_ones: Vec<usize> = factors.a.iter_row_ones(3).collect();
+        assert_eq!(full.len(), row_ones.len(), "every set column appears");
+        for pair in full.windows(2) {
+            assert!(
+                pair[0].1 > pair[1].1 || (pair[0].1 == pair[1].1 && pair[0].0 < pair[1].0),
+                "ordering violated: {pair:?}"
+            );
+        }
+        for &(col, weight) in &full {
+            assert!(row_ones.contains(&col));
+            let expect = factors.b.column(col).count_ones() as u64
+                * factors.c.column(col).count_ones() as u64;
+            assert_eq!(weight, expect, "column {col}");
+        }
+        let top2 = engine.topk(0, 3, 2).unwrap();
+        assert_eq!(top2, full[..full.len().min(2)].to_vec());
+    }
+
+    #[test]
+    fn out_of_range_is_typed_never_a_panic() {
+        let (engine, _) = engine(4);
+        assert!(matches!(
+            engine.point(8, 0, 0),
+            Err(QueryError::OutOfRange(_))
+        ));
+        assert!(matches!(
+            engine.point(0, 7, 0),
+            Err(QueryError::OutOfRange(_))
+        ));
+        assert!(matches!(
+            engine.point(0, 0, 9),
+            Err(QueryError::OutOfRange(_))
+        ));
+        assert!(matches!(
+            engine.slice(3, 0, 0),
+            Err(QueryError::OutOfRange(_))
+        ));
+        assert!(matches!(
+            engine.slice(2, 0, 7),
+            Err(QueryError::OutOfRange(_))
+        ));
+        assert!(matches!(
+            engine.topk(1, 7, 3),
+            Err(QueryError::OutOfRange(_))
+        ));
+        let err = engine.point(usize::MAX, 0, 0).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn cache_metrics_track_hits_misses_evictions() {
+        let (engine, _) = engine(2);
+        let m = Arc::clone(engine.metrics());
+        let load = |c: &AtomicU64| c.load(std::sync::atomic::Ordering::Relaxed);
+        engine.point(0, 0, 0).unwrap();
+        engine.point(0, 0, 1).unwrap(); // same fiber → hit
+        assert_eq!(load(&m.cache_misses), 1);
+        assert_eq!(load(&m.cache_hits), 1);
+        engine.point(1, 0, 0).unwrap();
+        engine.point(2, 0, 0).unwrap(); // third fiber → eviction
+        assert_eq!(load(&m.cache_evictions), 1);
+        assert_eq!(engine.cached_fibers(), 2);
+
+        // Bypass mode never touches cache counters.
+        let (cold, _) = engine_pair_bypass();
+        cold.point(0, 0, 0).unwrap();
+        cold.slice(2, 0, 0).unwrap();
+        let mc = Arc::clone(cold.metrics());
+        assert_eq!(load(&mc.cache_hits) + load(&mc.cache_misses), 0);
+    }
+
+    fn engine_pair_bypass() -> (QueryEngine, FactorSet) {
+        engine(0)
+    }
+}

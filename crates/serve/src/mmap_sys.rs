@@ -1,0 +1,70 @@
+//! Raw read-only memory map (little-endian unix only) backing the
+//! [`crate::store::SourceKind::Mmap`] factor-store source — the same
+//! direct-libc pattern as `dbtf-tensor`'s columnar mapping, so the serve
+//! crate adds no dependencies either.
+
+use std::os::unix::io::AsRawFd;
+
+const PROT_READ: i32 = 0x1;
+const MAP_PRIVATE: i32 = 0x02;
+
+// Declared against the libc every Rust std binary already links.
+extern "C" {
+    fn mmap(
+        addr: *mut core::ffi::c_void,
+        len: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut core::ffi::c_void;
+    fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+}
+
+/// A read-only, private, file-backed mapping of the first `len` bytes.
+pub(crate) struct Map {
+    ptr: *mut core::ffi::c_void,
+    len: usize,
+}
+
+// The mapping is immutable for its whole lifetime (PROT_READ, private),
+// so shared references to it are safe to send and share.
+unsafe impl Send for Map {}
+unsafe impl Sync for Map {}
+
+impl Map {
+    pub(crate) fn new(file: &std::fs::File, len: usize) -> std::io::Result<Map> {
+        debug_assert!(len > 0);
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Map { ptr, len })
+    }
+
+    /// The mapped bytes viewed as little-endian words; the store format
+    /// is a whole number of words by construction.
+    pub(crate) fn words(&self) -> &[u64] {
+        debug_assert_eq!(self.len % 8, 0);
+        // Safety: the mapping is page-aligned (so u64-aligned), spans
+        // `len` readable bytes, and outlives the returned borrow.
+        unsafe { std::slice::from_raw_parts(self.ptr as *const u64, self.len / 8) }
+    }
+}
+
+impl Drop for Map {
+    fn drop(&mut self) {
+        unsafe {
+            munmap(self.ptr, self.len);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Seeded query sweeps: the deterministic workload generator shared by
+//! the differential tests, the `traffic_replay` bench, and the CLI's
+//! `--oracle-check` mode.
+//!
+//! A [`SeededQueries`] iterator yields an endless stream of valid
+//! [`Request`]s drawn from a weighted [`QueryMix`], with every index
+//! uniform over the store's dimensions. Determinism is the point: the
+//! same `(seed, dims, mix)` produces the same queries on every side of a
+//! comparison, so the test harness and the oracle replay *identical*
+//! sweeps without shipping a query log around — and a failure report of
+//! "seed 7, query 812" reproduces exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::protocol::Request;
+
+/// Relative weights of the three query classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryMix {
+    /// Weight of `point` queries.
+    pub point: u32,
+    /// Weight of `slice` queries.
+    pub slice: u32,
+    /// Weight of `topk` queries.
+    pub topk: u32,
+}
+
+impl QueryMix {
+    /// The read-heavy serving default: mostly points, some fibers, a few
+    /// topk lookups.
+    pub fn default_mix() -> QueryMix {
+        QueryMix {
+            point: 80,
+            slice: 15,
+            topk: 5,
+        }
+    }
+
+    /// Only `point` queries.
+    pub fn points_only() -> QueryMix {
+        QueryMix {
+            point: 1,
+            slice: 0,
+            topk: 0,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.point + self.slice + self.topk
+    }
+}
+
+/// An infinite, deterministic stream of valid queries.
+pub struct SeededQueries {
+    rng: StdRng,
+    dims: [usize; 3],
+    mix: QueryMix,
+    /// Upper bound (inclusive) for `topk`'s `k`.
+    max_k: usize,
+}
+
+impl SeededQueries {
+    /// A sweep over a store of `dims` dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the mix has zero total weight —
+    /// there would be no valid query to generate.
+    pub fn new(seed: u64, dims: [usize; 3], mix: QueryMix) -> SeededQueries {
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "sweep needs nonzero dims, got {dims:?}"
+        );
+        assert!(mix.total() > 0, "query mix has zero total weight");
+        SeededQueries {
+            rng: StdRng::seed_from_u64(seed),
+            dims,
+            mix,
+            max_k: 8,
+        }
+    }
+
+    fn index(&mut self, mode: usize) -> usize {
+        self.rng.gen_range(0..self.dims[mode])
+    }
+}
+
+impl Iterator for SeededQueries {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        let draw = self.rng.gen_range(0..self.mix.total());
+        Some(if draw < self.mix.point {
+            Request::Point {
+                i: self.index(0),
+                j: self.index(1),
+                k: self.index(2),
+            }
+        } else if draw < self.mix.point + self.mix.slice {
+            let free_mode = self.rng.gen_range(0..3usize);
+            let (m1, m2) = match free_mode {
+                0 => (1, 2),
+                1 => (0, 2),
+                _ => (0, 1),
+            };
+            Request::Slice {
+                free_mode,
+                lo: self.index(m1),
+                hi: self.index(m2),
+            }
+        } else {
+            let mode = self.rng.gen_range(0..3usize);
+            Request::Topk {
+                mode,
+                entity: self.index(mode),
+                k: self.rng.gen_range(1..=self.max_k),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_queries() {
+        let dims = [10, 20, 30];
+        let a: Vec<_> = SeededQueries::new(7, dims, QueryMix::default_mix())
+            .take(500)
+            .collect();
+        let b: Vec<_> = SeededQueries::new(7, dims, QueryMix::default_mix())
+            .take(500)
+            .collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = SeededQueries::new(8, dims, QueryMix::default_mix())
+            .take(500)
+            .collect();
+        assert_ne!(a, c, "different seeds diverge");
+    }
+
+    #[test]
+    fn queries_are_always_in_range() {
+        let dims = [3, 1, 7];
+        for req in SeededQueries::new(42, dims, QueryMix::default_mix()).take(2000) {
+            match req {
+                Request::Point { i, j, k } => {
+                    assert!(i < 3 && j < 1 && k < 7, "{req:?}");
+                }
+                Request::Slice { free_mode, lo, hi } => {
+                    let (m1, m2) = match free_mode {
+                        0 => (1, 2),
+                        1 => (0, 2),
+                        _ => (0, 1),
+                    };
+                    assert!(free_mode < 3 && lo < dims[m1] && hi < dims[m2], "{req:?}");
+                }
+                Request::Topk { mode, entity, k } => {
+                    assert!(
+                        mode < 3 && entity < dims[mode] && (1..=8).contains(&k),
+                        "{req:?}"
+                    );
+                }
+                other => panic!("sweep generated admin query {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mix_weights_are_respected() {
+        let queries: Vec<_> = SeededQueries::new(1, [5, 5, 5], QueryMix::default_mix())
+            .take(4000)
+            .collect();
+        let points = queries
+            .iter()
+            .filter(|q| matches!(q, Request::Point { .. }))
+            .count();
+        let slices = queries
+            .iter()
+            .filter(|q| matches!(q, Request::Slice { .. }))
+            .count();
+        let topks = queries
+            .iter()
+            .filter(|q| matches!(q, Request::Topk { .. }))
+            .count();
+        assert_eq!(points + slices + topks, 4000);
+        // 80/15/5 with generous tolerance: determinism makes this stable.
+        assert!((2900..=3500).contains(&points), "{points} points");
+        assert!((400..=800).contains(&slices), "{slices} slices");
+        assert!((100..=350).contains(&topks), "{topks} topks");
+        let only: Vec<_> = SeededQueries::new(1, [5, 5, 5], QueryMix::points_only())
+            .take(100)
+            .collect();
+        assert!(only.iter().all(|q| matches!(q, Request::Point { .. })));
+    }
+}

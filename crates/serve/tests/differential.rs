@@ -1,0 +1,248 @@
+//! The serving differential suite: a live `dbtf serve` instance must
+//! agree bit-for-bit with `crates/oracle`'s cell-by-cell reconstruction
+//! on a seeded query sweep — for every factor-store source (checkpoint,
+//! binary ram, binary mmap) and every cache regime (bypass, saturated
+//! and evicting, comfortably hot), cold and on replay.
+
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+
+use dbtf::{random_factor_sets, Checkpoint, DbtfConfig, FactorSet};
+use dbtf_oracle::{cp_reconstruct, serving_point, serving_slice, serving_topk};
+use dbtf_serve::{
+    FactorStore, QueryMix, Request, SeededQueries, ServeClient, ServeHarness, ServeLimits,
+    ServerConfig, SourceKind,
+};
+use dbtf_tensor::BoolTensor;
+
+const DIMS: [usize; 3] = [40, 32, 24];
+const RANK: usize = 8;
+const SWEEP_SEED: u64 = 20260808;
+const SWEEP_LEN: usize = 400;
+
+fn factors() -> FactorSet {
+    let cfg = DbtfConfig {
+        seed: 97,
+        ..DbtfConfig::with_rank(RANK)
+    };
+    random_factor_sets(DIMS, 0.3, &cfg).remove(0)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dbtf-serve-differential");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}", std::process::id()))
+}
+
+/// Replays the seeded sweep through `client`, checking every answer
+/// against the oracle; returns how many queries ran.
+fn replay_against_oracle(
+    client: &mut ServeClient,
+    factors: &FactorSet,
+    recon: &BoolTensor,
+    passes: usize,
+) -> usize {
+    let mut total = 0;
+    for pass in 0..passes {
+        let sweep = SeededQueries::new(SWEEP_SEED, DIMS, QueryMix::default_mix());
+        for (n, request) in sweep.take(SWEEP_LEN).enumerate() {
+            total += 1;
+            match request {
+                Request::Point { i, j, k } => assert_eq!(
+                    client.point(i, j, k).unwrap(),
+                    serving_point(recon, i, j, k),
+                    "pass {pass} query {n}: point {i},{j},{k}"
+                ),
+                Request::Slice { free_mode, lo, hi } => assert_eq!(
+                    client.slice(free_mode + 1, lo, hi).unwrap(),
+                    serving_slice(recon, free_mode, lo, hi),
+                    "pass {pass} query {n}: slice free {free_mode} ({lo},{hi})"
+                ),
+                Request::Topk { mode, entity, k } => assert_eq!(
+                    client.topk(mode + 1, entity, k).unwrap(),
+                    serving_topk(&factors.a, &factors.b, &factors.c, mode, entity, k),
+                    "pass {pass} query {n}: topk mode {mode} entity {entity} k {k}"
+                ),
+                other => panic!("sweep produced {other:?}"),
+            }
+        }
+    }
+    total
+}
+
+type StoreOpener<'a> = Box<dyn Fn() -> FactorStore + 'a>;
+
+fn config(cache_fibers: usize) -> ServerConfig {
+    ServerConfig {
+        addr: String::new(), // harness overrides
+        cache_fibers,
+        limits: ServeLimits::default(),
+    }
+}
+
+/// The tentpole matrix: store source × cache regime, two passes each so
+/// the second pass is cache-hot wherever a cache exists.
+#[test]
+fn seeded_sweep_agrees_with_oracle_across_sources_and_caches() {
+    let factors = factors();
+    let recon = cp_reconstruct(&factors.a, &factors.b, &factors.c);
+    let store_path = tmp("sweep.dbtfs");
+    FactorStore::write_store(&store_path, 1, &factors).unwrap();
+    let ck_path = tmp("sweep.ckpt");
+    Checkpoint {
+        iteration: 1,
+        error: 0,
+        iteration_errors: vec![0],
+        factors: factors.clone(),
+    }
+    .write(&ck_path)
+    .unwrap();
+
+    // (open the store, label, cache capacity): bypass, a 2-fiber cache
+    // that must evict constantly, and one large enough to go fully hot.
+    let sources: Vec<(&str, StoreOpener<'_>)> = vec![
+        (
+            "ram",
+            Box::new(|| FactorStore::open(&store_path, SourceKind::Ram).unwrap()),
+        ),
+        (
+            "mmap",
+            Box::new(|| FactorStore::open(&store_path, SourceKind::Mmap).unwrap()),
+        ),
+        (
+            "checkpoint",
+            Box::new(|| FactorStore::open(&ck_path, SourceKind::Ram).unwrap()),
+        ),
+    ];
+    for (label, open) in &sources {
+        for cache_fibers in [0usize, 2, 4096] {
+            let harness = ServeHarness::start_with(open(), config(cache_fibers));
+            let mut client = harness.client();
+            let ran = replay_against_oracle(&mut client, &factors, &recon, 2);
+            assert_eq!(ran, 2 * SWEEP_LEN);
+            let m = harness.metrics();
+            let hits = m.cache_hits.load(Ordering::Relaxed);
+            let evictions = m.cache_evictions.load(Ordering::Relaxed);
+            match cache_fibers {
+                0 => assert_eq!(
+                    hits + m.cache_misses.load(Ordering::Relaxed),
+                    0,
+                    "{label}: bypass never touches the cache"
+                ),
+                2 => assert!(
+                    evictions > 0,
+                    "{label}: a 2-fiber cache must evict on this sweep"
+                ),
+                _ => assert!(
+                    hits > 0,
+                    "{label}: the second pass must hit a 4096-fiber cache"
+                ),
+            }
+            assert!(harness.shutdown(), "{label}: clean drain");
+        }
+    }
+    std::fs::remove_file(&store_path).unwrap();
+    std::fs::remove_file(&ck_path).unwrap();
+}
+
+/// Ram and mmap sources serve byte-identical answers — same store file,
+/// same sweep, compared reply by reply (not just against the oracle).
+#[test]
+fn ram_and_mmap_replies_are_identical() {
+    let factors = factors();
+    let store_path = tmp("pair.dbtfs");
+    FactorStore::write_store(&store_path, 3, &factors).unwrap();
+    let ram = ServeHarness::start_with(
+        FactorStore::open(&store_path, SourceKind::Ram).unwrap(),
+        config(64),
+    );
+    let mmap = ServeHarness::start_with(
+        FactorStore::open(&store_path, SourceKind::Mmap).unwrap(),
+        config(64),
+    );
+    let (mut c1, mut c2) = (ram.client(), mmap.client());
+    assert_eq!(c1.info().unwrap().set_version, 3);
+    assert_eq!(c1.info().unwrap().dims, c2.info().unwrap().dims);
+    assert_eq!(c1.info().unwrap().source, "ram");
+    assert_eq!(c2.info().unwrap().source, "mmap");
+    let sweep = SeededQueries::new(99, DIMS, QueryMix::default_mix());
+    for request in sweep.take(300) {
+        match request {
+            Request::Point { i, j, k } => {
+                assert_eq!(c1.point(i, j, k).unwrap(), c2.point(i, j, k).unwrap());
+            }
+            Request::Slice { free_mode, lo, hi } => {
+                assert_eq!(
+                    c1.slice(free_mode + 1, lo, hi).unwrap(),
+                    c2.slice(free_mode + 1, lo, hi).unwrap()
+                );
+            }
+            Request::Topk { mode, entity, k } => {
+                assert_eq!(
+                    c1.topk(mode + 1, entity, k).unwrap(),
+                    c2.topk(mode + 1, entity, k).unwrap()
+                );
+            }
+            other => panic!("sweep produced {other:?}"),
+        }
+    }
+    assert!(ram.shutdown() && mmap.shutdown());
+    std::fs::remove_file(&store_path).unwrap();
+}
+
+/// Batched queries answer exactly like the same queries sent one per
+/// line, in order.
+#[test]
+fn batches_match_single_requests() {
+    let factors = factors();
+    let recon = cp_reconstruct(&factors.a, &factors.b, &factors.c);
+    let harness = ServeHarness::start(FactorStore::from_factor_set(1, &factors));
+    let mut client = harness.client();
+    let cells: Vec<(usize, usize, usize)> = SeededQueries::new(5, DIMS, QueryMix::points_only())
+        .take(64)
+        .map(|q| match q {
+            Request::Point { i, j, k } => (i, j, k),
+            other => panic!("{other:?}"),
+        })
+        .collect();
+    let bodies: Vec<String> = cells
+        .iter()
+        .enumerate()
+        .map(|(n, (i, j, k))| {
+            format!("{{\"id\":{n},\"q\":\"point\",\"i\":{i},\"j\":{j},\"k\":{k}}}")
+        })
+        .collect();
+    let replies = client.batch(&bodies).unwrap();
+    assert_eq!(replies.len(), cells.len());
+    for (n, ((i, j, k), reply)) in cells.iter().zip(&replies).enumerate() {
+        let reply = dbtf_serve::harness::check_reply(reply, Some(n as u64)).unwrap();
+        let got = reply.get("value").and_then(|v| v.as_bool()).unwrap();
+        assert_eq!(got, serving_point(&recon, *i, *j, *k), "batch element {n}");
+    }
+    let batches = harness.metrics().batches_total.load(Ordering::Relaxed);
+    assert_eq!(batches, 1);
+    assert!(harness.shutdown());
+}
+
+/// The store's iteration-as-version contract survives the wire: serving
+/// a checkpoint reports the checkpoint's iteration as `set_version`.
+#[test]
+fn checkpoint_version_surfaces_in_info() {
+    let factors = factors();
+    let ck_path = tmp("version.ckpt");
+    Checkpoint {
+        iteration: 2,
+        error: 7,
+        iteration_errors: vec![11, 7],
+        factors,
+    }
+    .write(&ck_path)
+    .unwrap();
+    let harness = ServeHarness::start(FactorStore::open(&ck_path, SourceKind::Ram).unwrap());
+    let info = harness.client().info().unwrap();
+    assert_eq!(info.set_version, 2);
+    assert_eq!(info.dims, DIMS);
+    assert_eq!(info.rank, RANK);
+    assert!(harness.shutdown());
+    std::fs::remove_file(&ck_path).unwrap();
+}

@@ -233,6 +233,26 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact unsigned integer: a number that is whole,
+    /// non-negative, and at most 2⁵³ (losslessly representable in the
+    /// `f64` the parser stores). `12.5`, `-3`, and `1e300` are all `None`.
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n.fract() == 0.0 && (0.0..=9_007_199_254_740_992.0).contains(&n) {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
