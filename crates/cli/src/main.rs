@@ -32,6 +32,8 @@
 
 mod args;
 mod serve_cmd;
+mod stats_cmd;
+mod update_cmd;
 
 use std::process::ExitCode;
 
@@ -45,11 +47,11 @@ use dbtf_cluster::{
 };
 use dbtf_datagen::proxies::{generate_proxy, proxy_specs};
 use dbtf_datagen::{stream_uniform_random, NoiseSpec, PlantedConfig, PlantedTensor};
-use dbtf_telemetry::{validate_chrome_trace, write_chrome_trace, Tracer};
-use dbtf_tensor::{columnar, io as tio, matrix_io, BoolTensor, MmapUnfolding};
+use dbtf_telemetry::{write_chrome_trace, Tracer};
+use dbtf_tensor::{io as tio, matrix_io, BoolTensor};
 
 const USAGE: &str =
-    "usage: dbtf <factorize|tucker|select-rank|generate|stats|serve|export-factors|query> [options]
+    "usage: dbtf <factorize|update|tucker|select-rank|generate|stats|serve|export-factors|query> [options]
 run `dbtf help` for the full option list";
 
 /// Rust ignores `SIGPIPE` by default, turning `dbtf stats | head` into a
@@ -106,11 +108,12 @@ fn run(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let parsed = ParsedArgs::parse(argv)?;
     match parsed.command.first().map(String::as_str) {
         Some("factorize") => cmd_factorize(&parsed),
+        Some("update") => update_cmd::cmd_update(&parsed),
         Some("worker") => cmd_worker(&parsed),
         Some("tucker") => cmd_tucker(&parsed),
         Some("select-rank") => cmd_select_rank(&parsed),
         Some("generate") => cmd_generate(&parsed),
-        Some("stats") => cmd_stats(&parsed),
+        Some("stats") => stats_cmd::cmd_stats(&parsed),
         Some("serve") => serve_cmd::cmd_serve(&parsed),
         Some("export-factors") => serve_cmd::cmd_export_factors(&parsed),
         Some("query") => serve_cmd::cmd_query(&parsed),
@@ -127,6 +130,8 @@ fn long_help() -> &'static str {
 
 commands:
   factorize    Boolean CP factorization on a simulated cluster
+  update       incremental re-sweep after a tensor delta (and optional
+               live reload of a running `dbtf serve`)
   worker       networked worker process (spawned by --backend net)
   tucker       Boolean Tucker factorization (single machine)
   select-rank  MDL sweep over candidate ranks
@@ -197,6 +202,24 @@ factorize: --rank R [--workers 16] [--iters 10] [--sets 1]
                  clock) and write it as Chrome trace-event JSON — open in
                  chrome://tracing or Perfetto, or summarize with
                  `dbtf stats --trace FILE`
+update:    --input X.txt --delta DELTA.txt --factors STORE --output FILE
+           [--set-version N]  (default: input store's version + 1)
+           [--workers 16] [--iters 10] [--partitions N] [--v 15]
+           [--backend cluster|local|net] [--storage ram|mmap]
+           [--spill-dir DIR] [--net-respawn-budget N] [--fault-* …]
+                 X.txt is the *pre-delta* tensor; DELTA.txt lists edits
+                 (`+ i j k` sets a cell, `- i j k` clears one, `#`
+                 comments). STORE (DBTFFSET or DBTFCKPT) holds factors
+                 fitted to the pre-delta tensor; the rank comes from it.
+                 Only the factor columns the delta is incident to are
+                 re-swept — through copy-on-write overlays of the old
+                 unfoldings, never a rebuild — and the result is proven
+                 no worse than the old factors on the updated tensor.
+                 Bit-identical across backends and storage kinds
+           [--reload ADDR [--reload-source ram|mmap]]
+                 after writing --output, ask the `dbtf serve` at ADDR to
+                 hot-swap to it (the delta file is passed along, so only
+                 the cached fibers it touched are invalidated)
 worker:    --connect ADDR --id N [--incarnation N]
                  connect to a --backend net driver and serve tasks; spawned
                  automatically, only useful directly for debugging
@@ -219,7 +242,10 @@ serve:     --store FILE (DBTFFSET export or DBTFCKPT checkpoint)
                  request object or an array of them (a batch), answered
                  in order with typed errors, never dropped connections.
                  a client `shutdown` request drains the server: in-flight
-                 requests are answered, then every connection closes
+                 requests are answered, then every connection closes.
+                 a `reload` request hot-swaps the factor set in place
+                 (see `dbtf update --reload`): queries already in flight
+                 finish against the old generation, new ones see the new
 export-factors: --checkpoint CKPT --output FILE [--set-version N]
                  (default set version: the checkpoint's iteration count)
 query:     --connect ADDR, plus exactly one of
@@ -700,157 +726,12 @@ fn cmd_generate(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn cmd_stats(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
-    if let Some(path) = parsed.get_str("trace") {
-        return trace_stats(path);
-    }
-    let path = parsed
-        .get_str("input")
-        .ok_or_else(|| ArgError("missing required option --input".into()))?;
-    if is_unfolding_file(path) {
-        return unfolding_stats(path);
-    }
-    // Checkpoints and factor stores are self-describing; summarize them
-    // as what they are instead of failing to parse them as tensors.
-    if serve_cmd::is_checkpoint_file(path) {
-        return serve_cmd::checkpoint_stats(path);
-    }
-    if serve_cmd::is_store_file(path) {
-        return serve_cmd::store_stats(path);
-    }
-    // One streaming pass in constant memory: the tensor is never
-    // materialized. Three occupancy bitsets (one bit per index) replace
-    // the hash sets a full load would need, and consecutive duplicates
-    // are skipped so files written by this tool (sorted, unique) report
-    // the exact non-zero count.
-    let mut stream = tio::TensorStream::open(path)?;
-    let [i, j, k] = stream.dims();
-    let mut seen: [dbtf_tensor::BitVec; 3] = [
-        dbtf_tensor::BitVec::zeros(i),
-        dbtf_tensor::BitVec::zeros(j),
-        dbtf_tensor::BitVec::zeros(k),
-    ];
-    let mut nnz = 0u64;
-    let mut last: Option<[u32; 3]> = None;
-    for entry in &mut stream {
-        let e = entry?;
-        if last == Some(e) {
-            continue;
-        }
-        last = Some(e);
-        nnz += 1;
-        for m in 0..3 {
-            seen[m].set(e[m] as usize, true);
-        }
-    }
-    let cells = i as f64 * j as f64 * k as f64;
-    println!("shape:    {i} × {j} × {k}");
-    println!("non-zeros: {nnz}");
-    println!(
-        "density:  {:.3e}",
-        if cells > 0.0 { nnz as f64 / cells } else { 0.0 }
-    );
-    println!("‖X‖_F:    {:.3}", (nnz as f64).sqrt());
-    for (m, name) in ["i", "j", "k"].iter().enumerate() {
-        let dim = [i, j, k][m];
-        let distinct = seen[m].count_ones();
-        println!(
-            "mode {name}:   {} of {} indices used ({:.1}%)",
-            distinct,
-            dim,
-            100.0 * distinct as f64 / dim.max(1) as f64
-        );
-    }
-    Ok(())
-}
-
-/// Whether `path` starts with the `DBTFUNFD` columnar-unfolding magic.
-fn is_unfolding_file(path: &str) -> bool {
-    use std::io::Read;
-    let mut magic = [0u8; 8];
-    std::fs::File::open(path)
-        .and_then(|mut f| f.read_exact(&mut magic))
-        .is_ok_and(|_| magic == columnar::UNFOLDING_MAGIC)
-}
-
-/// `dbtf stats` on a spilled columnar unfolding: everything below comes
-/// from the 4 KiB header page and the row index — the column data is
-/// mapped but never faulted in, so this is O(header + index) I/O no matter
-/// how large the unfolding is.
-fn unfolding_stats(path: &str) -> Result<(), Box<dyn std::error::Error>> {
-    let store = MmapUnfolding::open(std::path::Path::new(path))?;
-    let h = store.header();
-    let [i, j, k] = h.dims;
-    println!(
-        "columnar unfolding (DBTFUNFD v{})",
-        columnar::UNFOLDING_VERSION
-    );
-    println!("mode:     {}", h.mode.index() + 1);
-    println!("tensor:   {i} × {j} × {k}");
-    println!("unfolded: {} × {}", h.nrows, h.ncols);
-    println!("non-zeros: {}", h.nnz);
-    let cells = h.nrows as f64 * h.ncols as f64;
-    println!(
-        "density:  {:.3e}",
-        if cells > 0.0 {
-            h.nnz as f64 / cells
-        } else {
-            0.0
-        }
-    );
-    let index = store.index();
-    let lens = index.windows(2).map(|w| w[1] - w[0]);
-    let longest = lens.clone().max().unwrap_or(0);
-    let occupied = lens.filter(|&l| l > 0).count();
-    println!(
-        "rows:     {} of {} occupied ({:.1}%), longest {longest}",
-        occupied,
-        h.nrows,
-        100.0 * occupied as f64 / h.nrows.max(1) as f64
-    );
-    println!(
-        "layout:   index at {} B, data at {} B, file {} B",
-        h.index_off,
-        h.data_off,
-        std::fs::metadata(path)?.len()
-    );
-    Ok(())
-}
-
 /// Serializes the tracer's finished log as Chrome trace-event JSON.
 fn write_trace(tracer: &Tracer, path: &str) -> Result<(), Box<dyn std::error::Error>> {
     let log = tracer.finish();
     let mut buf = Vec::new();
     write_chrome_trace(&log, &mut buf)?;
     std::fs::write(path, buf)?;
-    Ok(())
-}
-
-/// `dbtf stats --trace FILE`: validates the trace-event JSON and prints a
-/// per-superstep/operator breakdown of virtual time.
-fn trace_stats(path: &str) -> Result<(), Box<dyn std::error::Error>> {
-    let text = std::fs::read_to_string(path)?;
-    let summary =
-        validate_chrome_trace(&text).map_err(|e| format!("invalid trace {path:?}: {e}"))?;
-    println!(
-        "trace:    {} complete events, {} counters",
-        summary.complete_events, summary.counter_events
-    );
-    for (cat, count, dur_us) in &summary.categories {
-        println!(
-            "  {:<12} {:>6} spans {:>14.3} virtual ms",
-            cat,
-            count,
-            dur_us / 1e3
-        );
-    }
-    if !summary.breakdown.is_empty() {
-        println!("per-superstep/operator breakdown:");
-        println!("  {:<28} {:>6} {:>16}", "operator", "count", "virtual ms");
-        for (name, count, dur_us) in &summary.breakdown {
-            println!("  {:<28} {:>6} {:>16.3}", name, count, dur_us / 1e3);
-        }
-    }
     Ok(())
 }
 

@@ -32,7 +32,7 @@ use crate::net_tasks;
 use crate::ooc::RunStores;
 use crate::partition::{partition_unfolding, partition_unfolding_one};
 use crate::stats::DbtfStats;
-use crate::sweep::{column_sweep, SweepLabels};
+use crate::sweep::{column_sweep_subset, SweepLabels};
 use crate::update::PartitionSlot;
 
 /// The outcome of a [`factorize`] run.
@@ -56,11 +56,49 @@ pub struct DbtfResult {
     pub stats: DbtfStats,
 }
 
-struct UpdateOutcome {
-    a: BitMatrix,
-    error: Option<u64>,
-    cache_bytes: u64,
+pub(crate) struct UpdateOutcome {
+    pub(crate) a: BitMatrix,
+    pub(crate) error: Option<u64>,
+    pub(crate) cache_bytes: u64,
 }
+
+/// Trace labels for the supersteps of one `UpdateFactor` call, so the
+/// full-sweep CP path and the bounded delta re-sweep meter under
+/// distinct `cp.*` / `delta.*` operator names.
+pub(crate) struct UpdateLabels {
+    /// The factor-triple `Broadcast`.
+    pub factors: &'static str,
+    /// The cache-building begin superstep.
+    pub begin: &'static str,
+    /// The apply-and-score sweep superstep (per column).
+    pub sweep: &'static str,
+    /// The driver-side per-row reduce (per column).
+    pub reduce: &'static str,
+    /// The decided-column `Broadcast` (per column).
+    pub decision: &'static str,
+    /// The apply-last-column / error / cache-drop finish superstep.
+    pub finish: &'static str,
+}
+
+/// The labels of the full CP sweep (Algorithm 4 as written).
+pub(crate) const CP_UPDATE_LABELS: UpdateLabels = UpdateLabels {
+    factors: "cp.update.factors",
+    begin: "cp.update.begin",
+    sweep: "cp.update.sweep",
+    reduce: "cp.update.reduce",
+    decision: "cp.update.decision",
+    finish: "cp.update.finish",
+};
+
+/// The labels of the bounded delta re-sweep (`dbtf update`).
+pub(crate) const DELTA_UPDATE_LABELS: UpdateLabels = UpdateLabels {
+    factors: "delta.update.factors",
+    begin: "delta.update.begin",
+    sweep: "delta.update.sweep",
+    reduce: "delta.update.reduce",
+    decision: "delta.update.decision",
+    finish: "delta.update.finish",
+};
 
 /// Boolean CP-factorizes `x` at the configured rank on the given backend
 /// (the paper's Algorithm 2).
@@ -140,7 +178,7 @@ pub fn factorize_instrumented<B: ExecutionBackend>(
 /// superstep waits (pipelined runs pin `pipeline_depth` to 1 on backends
 /// that can raise cluster errors), so dropping mid-phase state never
 /// double-panics.
-fn catch_cluster<R>(f: impl FnOnce() -> R) -> Result<R, ClusterError> {
+pub(crate) fn catch_cluster<R>(f: impl FnOnce() -> R) -> Result<R, ClusterError> {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
         Ok(r) => Ok(r),
         Err(payload) => match payload.downcast::<ClusterError>() {
@@ -502,13 +540,44 @@ fn update_factor<B: ExecutionBackend>(
     v_limit: usize,
     compute_error: bool,
 ) -> UpdateOutcome {
+    let cols: Vec<usize> = (0..a.cols()).collect();
+    update_factor_subset(
+        sched,
+        data,
+        a,
+        mf,
+        ms,
+        v_limit,
+        compute_error,
+        &CP_UPDATE_LABELS,
+        &cols,
+    )
+}
+
+/// [`update_factor`] restricted to an explicit, non-empty column subset —
+/// the bounded re-sweep of the incremental-update path. Columns outside
+/// `cols` keep their values from `a` (and are still part of the caches,
+/// error scoring, and the finish-superstep reconstruction error).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn update_factor_subset<B: ExecutionBackend>(
+    sched: &Scheduler<'_, B>,
+    data: &B::Dataset<PartitionSlot>,
+    a: &BitMatrix,
+    mf: &BitMatrix,
+    ms: &BitMatrix,
+    v_limit: usize,
+    compute_error: bool,
+    labels: &UpdateLabels,
+    cols: &[usize],
+) -> UpdateOutcome {
+    assert!(!cols.is_empty(), "subset sweep needs at least one column");
     // Begin: broadcast the factors, build per-partition caches
     // (Algorithm 4 line 1 / Algorithm 5). Every superstep of the update is
     // a named `RemoteTask` whose body lives in `net_tasks`, so the same
     // plan runs unchanged over the networked multi-process backend.
     let bytes = matrix_bytes(a) + matrix_bytes(mf) + matrix_bytes(ms);
     let factors = sched.broadcast(
-        "cp.update.factors",
+        labels.factors,
         FactorTriple {
             a: a.clone(),
             mf: mf.clone(),
@@ -516,38 +585,37 @@ fn update_factor<B: ExecutionBackend>(
         },
         bytes,
     );
-    let cache_bytes: Vec<u64> = sched.map_partitions_task(
-        "cp.update.begin",
-        data,
-        net_tasks::begin_task(&factors, v_limit),
-    );
+    let cache_bytes: Vec<u64> =
+        sched.map_partitions_task(labels.begin, data, net_tasks::begin_task(&factors, v_limit));
     let peak_cache: u64 = cache_bytes.iter().sum();
 
     // Column sweep (Algorithm 4 lines 2–12): one superstep per column.
     let mut master = a.clone();
-    let last = column_sweep(
+    let last = column_sweep_subset(
         sched,
         SweepLabels {
-            sweep: "cp.update.sweep",
-            reduce: "cp.update.reduce",
-            decision: "cp.update.decision",
+            sweep: labels.sweep,
+            reduce: labels.reduce,
+            decision: labels.decision,
         },
         data,
         &mut master,
+        cols,
         net_tasks::sweep_task,
-    );
+    )
+    .expect("cols is non-empty");
 
     // Finish: apply the last column; optionally compute the exact error;
     // drop the caches.
     let finish = net_tasks::finish_task(&last, compute_error);
     let errors: Option<Vec<u64>> = if compute_error {
-        Some(sched.map_partitions_task("cp.update.finish", data, finish))
+        Some(sched.map_partitions_task(labels.finish, data, finish))
     } else {
         // All results are zero and nothing downstream reads them, so the
         // superstep is submitted without waiting — under
         // `pipeline_depth > 1` it overlaps with the next mode's broadcast
         // and cache-building begin.
-        drop(sched.map_partitions_task_deferred("cp.update.finish", data, finish));
+        drop(sched.map_partitions_task_deferred(labels.finish, data, finish));
         None
     };
     // The partitions are back to their distribute-time state (`part` is

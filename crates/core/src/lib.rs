@@ -58,6 +58,7 @@
 pub mod cache;
 pub mod checkpoint;
 mod config;
+mod delta;
 mod driver;
 mod factors;
 pub mod model_selection;
@@ -73,6 +74,7 @@ pub mod update;
 
 pub use checkpoint::{Checkpoint, CHECKPOINT_FORMAT_VERSION};
 pub use config::{BackendKind, DbtfConfig, DbtfError, InitStrategy, StorageKind};
+pub use delta::{affected_columns, update_factors, update_factors_traced, DeltaResult};
 pub use driver::{factorize, factorize_instrumented, factorize_traced, DbtfResult};
 pub use factors::{initial_factor_sets, random_factor_sets, FactorSet};
 pub use ooc::SPILL_BUDGET_ENV;

@@ -52,10 +52,33 @@ where
     F: Fn(usize, Option<Broadcast<ColumnDecision>>) -> K,
     K: PartitionTask<PartitionSlot, Vec<(u64, u64)>>,
 {
-    let rank = master.cols();
+    let cols: Vec<usize> = (0..master.cols()).collect();
+    column_sweep_subset(sched, labels, data, master, &cols, make_task)
+        .expect("rank ≥ 1 means a non-empty column list")
+}
+
+/// [`column_sweep`] restricted to an explicit column subset — the
+/// bounded re-sweep of the incremental-update path. Columns run in the
+/// order given (callers pass them ascending for determinism); columns
+/// not listed keep their current values in `master` and on the workers.
+/// Returns `None` when `cols` is empty (nothing swept, nothing to
+/// finish).
+pub(crate) fn column_sweep_subset<B, F, K>(
+    sched: &Scheduler<'_, B>,
+    labels: SweepLabels,
+    data: &B::Dataset<PartitionSlot>,
+    master: &mut BitMatrix,
+    cols: &[usize],
+    make_task: F,
+) -> Option<Broadcast<ColumnDecision>>
+where
+    B: ExecutionBackend,
+    F: Fn(usize, Option<Broadcast<ColumnDecision>>) -> K,
+    K: PartitionTask<PartitionSlot, Vec<(u64, u64)>>,
+{
     let nrows = master.rows();
     let mut pending: Option<Broadcast<ColumnDecision>> = None;
-    for col in 0..rank {
+    for &col in cols {
         let errs: Vec<Vec<(u64, u64)>> =
             sched.map_partitions_task(labels.sweep, data, make_task(col, pending.clone()));
         // Driver: sum errors across partitions, pick the smaller per row
@@ -82,5 +105,5 @@ where
             (nrows as u64).div_ceil(8) + 8,
         ));
     }
-    pending.expect("rank ≥ 1")
+    pending
 }

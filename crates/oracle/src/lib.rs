@@ -30,12 +30,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod delta;
 pub mod invariants;
 pub mod oracles;
 pub mod report;
 pub mod runner;
 pub mod serving;
 
+pub use delta::{check_bounded_resweep, delta_affected_columns, delta_apply};
 pub use invariants::{check_recovery_counters, check_wire_meters, CommOracle};
 pub use oracles::{
     check_unfolding, cp_error, cp_reconstruct, factors_equivalent, gauge_canonical, tucker_error,

@@ -18,6 +18,18 @@
 //! The cache keeps no counters; the engine owns hit/miss/eviction
 //! accounting in [`crate::ServeMetrics`] so one atomic story covers both
 //! the cached and bypass configurations.
+//!
+//! # Generations
+//!
+//! A hot-swapped factor set (`reload`) changes what every fiber *means*,
+//! so each entry is tagged with the generation it was computed under and
+//! both `get` and `insert` carry the caller's generation. A lookup only
+//! hits when the entry's generation matches the caller's — an in-flight
+//! query that snapshotted the old store keeps hitting old-generation
+//! entries (whole-generation answers), while queries against the new
+//! store treat them as misses and lazily retire them. An insert from a
+//! caller whose generation is no longer current is discarded: a fiber
+//! computed against a superseded store must never be cached as fresh.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -44,6 +56,7 @@ const NIL: usize = usize::MAX;
 struct Slot {
     key: FiberKey,
     value: Arc<BitVec>,
+    generation: u64,
     prev: usize,
     next: usize,
 }
@@ -51,6 +64,7 @@ struct Slot {
 /// Bounded LRU map from [`FiberKey`] to a computed fiber.
 pub struct FiberCache {
     capacity: usize,
+    generation: u64,
     map: HashMap<FiberKey, usize>,
     slots: Vec<Slot>,
     head: usize,
@@ -63,6 +77,7 @@ impl FiberCache {
     pub fn new(capacity: usize) -> FiberCache {
         FiberCache {
             capacity,
+            generation: 0,
             map: HashMap::new(),
             slots: Vec::new(),
             head: NIL,
@@ -74,6 +89,19 @@ impl FiberCache {
     /// The configured capacity in entries.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The current factor-set generation new inserts must match.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Advances the current generation (a factor-set hot swap). Existing
+    /// entries are *not* walked: old-generation entries keep serving
+    /// in-flight old-generation readers and retire lazily on their first
+    /// new-generation lookup (or by LRU pressure).
+    pub fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
     }
 
     /// Entries currently resident.
@@ -110,9 +138,18 @@ impl FiberCache {
         self.head = idx;
     }
 
-    /// Looks up a fiber, refreshing its recency on a hit.
-    pub fn get(&mut self, key: &FiberKey) -> Option<Arc<BitVec>> {
+    /// Looks up a fiber *as seen by a reader on `generation`*, refreshing
+    /// its recency on a hit. An entry from a different generation is a
+    /// miss; if that entry is also stale relative to the cache's current
+    /// generation (nobody new will ever hit it) it is retired on the spot.
+    pub fn get(&mut self, key: &FiberKey, generation: u64) -> Option<Arc<BitVec>> {
         let idx = *self.map.get(key)?;
+        if self.slots[idx].generation != generation {
+            if self.slots[idx].generation != self.generation {
+                self.remove(key);
+            }
+            return None;
+        }
         if self.head != idx {
             self.unlink(idx);
             self.push_front(idx);
@@ -120,14 +157,18 @@ impl FiberCache {
         Some(Arc::clone(&self.slots[idx].value))
     }
 
-    /// Inserts (or refreshes) a fiber and returns how many entries were
-    /// evicted to make room (0 or 1). A capacity-0 cache stores nothing.
-    pub fn insert(&mut self, key: FiberKey, value: Arc<BitVec>) -> u64 {
-        if self.capacity == 0 {
+    /// Inserts (or refreshes) a fiber computed under `generation` and
+    /// returns how many entries were evicted to make room (0 or 1). A
+    /// capacity-0 cache stores nothing, and an insert from a superseded
+    /// generation is discarded — the fiber no longer describes the
+    /// current factor set.
+    pub fn insert(&mut self, key: FiberKey, value: Arc<BitVec>, generation: u64) -> u64 {
+        if self.capacity == 0 || generation != self.generation {
             return 0;
         }
         if let Some(&idx) = self.map.get(&key) {
             self.slots[idx].value = value;
+            self.slots[idx].generation = generation;
             if self.head != idx {
                 self.unlink(idx);
                 self.push_front(idx);
@@ -147,6 +188,7 @@ impl FiberCache {
                 self.slots[idx] = Slot {
                     key,
                     value,
+                    generation,
                     prev: NIL,
                     next: NIL,
                 };
@@ -156,6 +198,7 @@ impl FiberCache {
                 self.slots.push(Slot {
                     key,
                     value,
+                    generation,
                     prev: NIL,
                     next: NIL,
                 });
@@ -165,6 +208,21 @@ impl FiberCache {
         self.map.insert(key, idx);
         self.push_front(idx);
         evicted
+    }
+
+    /// Drops one entry outright (any generation). Returns whether it was
+    /// resident — the reload path uses this to eagerly invalidate exactly
+    /// the fibers a delta touched.
+    pub fn remove(&mut self, key: &FiberKey) -> bool {
+        match self.map.remove(key) {
+            Some(idx) => {
+                self.unlink(idx);
+                self.slots[idx].value = Arc::new(BitVec::zeros(0));
+                self.free.push(idx);
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -183,37 +241,40 @@ mod tests {
     #[test]
     fn evicts_least_recently_used() {
         let mut cache = FiberCache::new(2);
-        assert_eq!(cache.insert(key(0, 1, 2), fiber(8)), 0);
-        assert_eq!(cache.insert(key(1, 1, 2), fiber(8)), 0);
+        assert_eq!(cache.insert(key(0, 1, 2), fiber(8), 0), 0);
+        assert_eq!(cache.insert(key(1, 1, 2), fiber(8), 0), 0);
         // Touch the first entry so the second becomes LRU.
-        assert!(cache.get(&key(0, 1, 2)).is_some());
-        assert_eq!(cache.insert(key(2, 1, 2), fiber(8)), 1, "one eviction");
-        assert!(cache.get(&key(1, 1, 2)).is_none(), "LRU entry evicted");
-        assert!(cache.get(&key(0, 1, 2)).is_some());
-        assert!(cache.get(&key(2, 1, 2)).is_some());
+        assert!(cache.get(&key(0, 1, 2), 0).is_some());
+        assert_eq!(cache.insert(key(2, 1, 2), fiber(8), 0), 1, "one eviction");
+        assert!(cache.get(&key(1, 1, 2), 0).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(0, 1, 2), 0).is_some());
+        assert!(cache.get(&key(2, 1, 2), 0).is_some());
         assert_eq!(cache.len(), 2);
     }
 
     #[test]
     fn reinsert_refreshes_without_evicting() {
         let mut cache = FiberCache::new(2);
-        cache.insert(key(0, 0, 0), fiber(4));
-        cache.insert(key(0, 0, 1), fiber(4));
+        cache.insert(key(0, 0, 0), fiber(4), 0);
+        cache.insert(key(0, 0, 1), fiber(4), 0);
         assert_eq!(
-            cache.insert(key(0, 0, 0), fiber(4)),
+            cache.insert(key(0, 0, 0), fiber(4), 0),
             0,
             "refresh, not evict"
         );
-        cache.insert(key(0, 0, 2), fiber(4));
-        assert!(cache.get(&key(0, 0, 1)).is_none(), "the stale entry went");
-        assert!(cache.get(&key(0, 0, 0)).is_some());
+        cache.insert(key(0, 0, 2), fiber(4), 0);
+        assert!(
+            cache.get(&key(0, 0, 1), 0).is_none(),
+            "the stale entry went"
+        );
+        assert!(cache.get(&key(0, 0, 0), 0).is_some());
     }
 
     #[test]
     fn capacity_zero_is_bypass() {
         let mut cache = FiberCache::new(0);
-        assert_eq!(cache.insert(key(0, 1, 1), fiber(4)), 0);
-        assert!(cache.get(&key(0, 1, 1)).is_none());
+        assert_eq!(cache.insert(key(0, 1, 1), fiber(4), 0), 0);
+        assert!(cache.get(&key(0, 1, 1), 0).is_none());
         assert!(cache.is_empty());
     }
 
@@ -221,16 +282,56 @@ mod tests {
     fn slot_reuse_keeps_list_consistent() {
         let mut cache = FiberCache::new(3);
         for round in 0..50u32 {
-            cache.insert(key(0, round, round), fiber(4));
+            cache.insert(key(0, round, round), fiber(4), 0);
             assert_eq!(cache.len(), 3.min(round as usize + 1));
         }
         // A pure insert sequence keeps exactly the last three keys.
         for round in 0..47u32 {
-            assert!(cache.get(&key(0, round, round)).is_none(), "round {round}");
+            assert!(
+                cache.get(&key(0, round, round), 0).is_none(),
+                "round {round}"
+            );
         }
         for round in 47..50u32 {
-            assert!(cache.get(&key(0, round, round)).is_some(), "round {round}");
+            assert!(
+                cache.get(&key(0, round, round), 0).is_some(),
+                "round {round}"
+            );
         }
         assert!(cache.slots.len() <= 4, "arena reuses freed slots");
+    }
+
+    #[test]
+    fn generations_partition_hits_without_walking_entries() {
+        let mut cache = FiberCache::new(4);
+        cache.insert(key(0, 1, 2), fiber(8), 0);
+        cache.set_generation(1);
+        // An in-flight reader still on generation 0 keeps hitting its entry.
+        assert!(cache.get(&key(0, 1, 2), 0).is_some(), "old reader hits");
+        // A generation-1 reader misses, and because the entry can never
+        // serve a current reader it is retired on that first miss.
+        assert!(cache.get(&key(0, 1, 2), 1).is_none(), "new reader misses");
+        assert!(cache.is_empty(), "stale entry retired lazily");
+        // Inserts from the superseded generation are discarded...
+        assert_eq!(cache.insert(key(1, 3, 4), fiber(8), 0), 0);
+        assert!(cache.is_empty(), "stale insert discarded");
+        // ...while current-generation inserts land normally.
+        cache.insert(key(1, 3, 4), fiber(8), 1);
+        assert!(cache.get(&key(1, 3, 4), 1).is_some());
+    }
+
+    #[test]
+    fn remove_retires_one_entry_and_recycles_its_slot() {
+        let mut cache = FiberCache::new(3);
+        cache.insert(key(0, 0, 0), fiber(4), 0);
+        cache.insert(key(1, 1, 1), fiber(4), 0);
+        assert!(cache.remove(&key(0, 0, 0)), "resident entry removed");
+        assert!(!cache.remove(&key(0, 0, 0)), "second remove is a no-op");
+        assert!(cache.get(&key(0, 0, 0), 0).is_none());
+        assert!(cache.get(&key(1, 1, 1), 0).is_some(), "neighbor survives");
+        let slots_before = cache.slots.len();
+        cache.insert(key(2, 2, 2), fiber(4), 0);
+        assert_eq!(cache.slots.len(), slots_before, "freed slot reused");
+        assert_eq!(cache.len(), 2);
     }
 }

@@ -17,12 +17,27 @@
 //! All index validation happens here, as typed [`QueryError`]s — the
 //! store's row accessors are allowed to panic precisely because this
 //! layer never forwards an out-of-range index.
+//!
+//! # Hot swap
+//!
+//! [`QueryEngine::reload`] swaps in a new factor set while queries are in
+//! flight. The store lives behind an `RwLock<Arc<FactorStore>>` paired
+//! with a monotone generation counter; every query takes one `(store,
+//! generation)` snapshot up front and answers entirely from it, so a
+//! query that started before a reload finishes against the old factors —
+//! never a mix of generations. The fiber cache is generation-tagged (see
+//! [`crate::cache`]): the swap bumps the cache's generation and eagerly
+//! retires only the fibers the delta touched; everything else retires
+//! lazily. Cache-lock poisoning is recovered rather than propagated —
+//! the cache holds only derived data, so a panic mid-insert at worst
+//! loses entries, and one crashed connection thread must not wedge every
+//! later query into a `lock().unwrap()` panic.
 
 use std::sync::atomic::AtomicU64;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::Instant;
 
-use dbtf_tensor::BitVec;
+use dbtf_tensor::{BitVec, TensorDelta};
 
 use crate::cache::{FiberCache, FiberKey};
 use crate::metrics::ServeMetrics;
@@ -45,9 +60,28 @@ impl std::fmt::Display for QueryError {
 
 impl std::error::Error for QueryError {}
 
+/// The store actually being served plus the engine-local generation it
+/// was installed under. Kept in one `RwLock` so a snapshot observes a
+/// consistent pair.
+struct Generation {
+    store: Arc<FactorStore>,
+    number: u64,
+}
+
+/// What a successful [`QueryEngine::reload`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReloadOutcome {
+    /// The new store's set version (from its header).
+    pub set_version: u64,
+    /// The engine-local generation the swap installed.
+    pub generation: u64,
+    /// Cached fibers eagerly invalidated because the delta touched them.
+    pub invalidated: u64,
+}
+
 /// The serving engine: one store, one cache, shared metrics.
 pub struct QueryEngine {
-    store: FactorStore,
+    current: RwLock<Generation>,
     cache: Mutex<FiberCache>,
     metrics: Arc<ServeMetrics>,
 }
@@ -70,15 +104,38 @@ impl QueryEngine {
         metrics: Arc<ServeMetrics>,
     ) -> QueryEngine {
         QueryEngine {
-            store,
+            current: RwLock::new(Generation {
+                store: Arc::new(store),
+                number: 0,
+            }),
             cache: Mutex::new(FiberCache::new(cache_capacity)),
             metrics,
         }
     }
 
-    /// The factor store being served.
-    pub fn store(&self) -> &FactorStore {
-        &self.store
+    /// A snapshot of the factor store currently being served. The `Arc`
+    /// keeps that generation alive even if a reload lands immediately
+    /// after — which is exactly how in-flight queries finish against the
+    /// factors they started with.
+    pub fn store(&self) -> Arc<FactorStore> {
+        Arc::clone(&self.read_current().store)
+    }
+
+    /// One consistent `(store, generation)` pair for a whole query.
+    fn snapshot(&self) -> (Arc<FactorStore>, u64) {
+        let current = self.read_current();
+        (Arc::clone(&current.store), current.number)
+    }
+
+    fn read_current(&self) -> std::sync::RwLockReadGuard<'_, Generation> {
+        self.current.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The cache lock, recovering from poisoning: the cache holds only
+    /// derived (recomputable) data, so a panic in some other connection
+    /// thread while it held the lock must not wedge the whole server.
+    fn lock_cache(&self) -> MutexGuard<'_, FiberCache> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The shared metrics sink.
@@ -88,11 +145,91 @@ impl QueryEngine {
 
     /// Fibers currently resident in the cache.
     pub fn cached_fibers(&self) -> usize {
-        self.cache.lock().unwrap().len()
+        self.lock_cache().len()
     }
 
-    fn check_index(&self, name: &str, idx: usize, mode: usize) -> Result<(), QueryError> {
-        let dim = self.store.dims()[mode];
+    /// Hot-swaps `store` in as the new serving generation.
+    ///
+    /// The swap is one write-lock critical section: queries already
+    /// holding a snapshot finish against the old `Arc`; every later query
+    /// snapshots the new one. When `delta` names the edits that produced
+    /// the new factors, only the cached fibers running through an edited
+    /// cell are eagerly removed (all three orientations per cell); the
+    /// remaining old-generation entries retire lazily via the cache's
+    /// generation tags. With no delta, nothing is removed eagerly and the
+    /// generation bump alone invalidates everything.
+    ///
+    /// Rejects a store whose dimensions differ from the serving one —
+    /// clients hold entity indices, and silently changing the space under
+    /// them would turn valid queries into out-of-range errors (or worse,
+    /// silently reinterpret them).
+    pub fn reload(
+        &self,
+        store: FactorStore,
+        delta: Option<&TensorDelta>,
+    ) -> Result<ReloadOutcome, String> {
+        let mut current = self.current.write().unwrap_or_else(PoisonError::into_inner);
+        if store.dims() != current.store.dims() {
+            return Err(format!(
+                "dims mismatch: serving {:?}, reload has {:?}",
+                current.store.dims(),
+                store.dims()
+            ));
+        }
+        if let Some(delta) = delta {
+            if delta.dims() != current.store.dims() {
+                return Err(format!(
+                    "delta dims mismatch: serving {:?}, delta has {:?}",
+                    current.store.dims(),
+                    delta.dims()
+                ));
+            }
+        }
+        current.number += 1;
+        current.store = Arc::new(store);
+        let generation = current.number;
+        let set_version = current.store.set_version();
+        let mut cache = self.lock_cache();
+        cache.set_generation(generation);
+        let mut invalidated = 0u64;
+        if let Some(delta) = delta {
+            for cell in delta.cells() {
+                let [i, j, k] = cell.coord;
+                for key in [
+                    FiberKey {
+                        free_mode: 0,
+                        lo: j,
+                        hi: k,
+                    },
+                    FiberKey {
+                        free_mode: 1,
+                        lo: i,
+                        hi: k,
+                    },
+                    FiberKey {
+                        free_mode: 2,
+                        lo: i,
+                        hi: j,
+                    },
+                ] {
+                    invalidated += cache.remove(&key) as u64;
+                }
+            }
+        }
+        Ok(ReloadOutcome {
+            set_version,
+            generation,
+            invalidated,
+        })
+    }
+
+    fn check_index(
+        store: &FactorStore,
+        name: &str,
+        idx: usize,
+        mode: usize,
+    ) -> Result<(), QueryError> {
+        let dim = store.dims()[mode];
         if idx >= dim {
             return Err(QueryError::OutOfRange(format!(
                 "{name} = {idx} out of range (mode {mode} has {dim} entities)"
@@ -101,7 +238,7 @@ impl QueryEngine {
         Ok(())
     }
 
-    fn check_mode(&self, mode: usize) -> Result<(), QueryError> {
+    fn check_mode(mode: usize) -> Result<(), QueryError> {
         if mode > 2 {
             return Err(QueryError::OutOfRange(format!(
                 "mode = {mode} out of range (0, 1, or 2)"
@@ -110,16 +247,16 @@ impl QueryEngine {
         Ok(())
     }
 
-    /// One reconstruction fiber, computed from the factors.
-    fn compute_fiber(&self, free: usize, lo: usize, hi: usize) -> BitVec {
+    /// One reconstruction fiber, computed from `store`'s factors.
+    fn compute_fiber(store: &FactorStore, free: usize, lo: usize, hi: usize) -> BitVec {
         let (m1, m2) = fixed_modes(free);
-        let row_lo = self.store.row(m1, lo);
-        let row_hi = self.store.row(m2, hi);
-        let n = self.store.dims()[free];
-        let wpr = self.store.words_per_row();
+        let row_lo = store.row(m1, lo);
+        let row_hi = store.row(m2, hi);
+        let n = store.dims()[free];
+        let wpr = store.words_per_row();
         let mut fiber = BitVec::zeros(n);
         for t in 0..n {
-            let row = self.store.row(free, t);
+            let row = store.row(free, t);
             let mut any = 0u64;
             for w in 0..wpr {
                 any |= row_lo[w] & row_hi[w] & row[w];
@@ -131,24 +268,32 @@ impl QueryEngine {
         fiber
     }
 
-    /// The fiber for `key`, from cache if resident (counting hit, miss,
-    /// and eviction metrics). Misses compute outside the cache lock so
-    /// concurrent cold fibers don't serialize on it.
-    fn fiber_cached(&self, key: FiberKey) -> Arc<BitVec> {
-        if let Some(fiber) = self.cache.lock().unwrap().get(&key) {
+    /// The fiber for `key` under the snapshotted `(store, generation)`,
+    /// from cache if resident (counting hit, miss, and eviction metrics).
+    /// Misses compute outside the cache lock so concurrent cold fibers
+    /// don't serialize on it — and an insert that loses the race with a
+    /// reload is discarded by the cache's generation check.
+    fn fiber_cached(&self, store: &FactorStore, generation: u64, key: FiberKey) -> Arc<BitVec> {
+        if let Some(fiber) = self.lock_cache().get(&key, generation) {
             ServeMetrics::add(&self.metrics.cache_hits, 1);
             return fiber;
         }
-        let fiber =
-            Arc::new(self.compute_fiber(key.free_mode as usize, key.lo as usize, key.hi as usize));
+        let fiber = Arc::new(Self::compute_fiber(
+            store,
+            key.free_mode as usize,
+            key.lo as usize,
+            key.hi as usize,
+        ));
         ServeMetrics::add(&self.metrics.cache_misses, 1);
-        let evicted = self.cache.lock().unwrap().insert(key, Arc::clone(&fiber));
+        let evicted = self
+            .lock_cache()
+            .insert(key, Arc::clone(&fiber), generation);
         ServeMetrics::add(&self.metrics.cache_evictions, evicted);
         fiber
     }
 
     fn bypass(&self) -> bool {
-        self.cache.lock().unwrap().capacity() == 0
+        self.lock_cache().capacity() == 0
     }
 
     fn time_into(&self, counter: &AtomicU64, t0: Instant) {
@@ -158,17 +303,14 @@ impl QueryEngine {
     /// Was cell `X̃[i, j, k]` set in the reconstruction?
     pub fn point(&self, i: usize, j: usize, k: usize) -> Result<bool, QueryError> {
         let t0 = Instant::now();
-        self.check_index("i", i, 0)?;
-        self.check_index("j", j, 1)?;
-        self.check_index("k", k, 2)?;
+        let (store, generation) = self.snapshot();
+        Self::check_index(&store, "i", i, 0)?;
+        Self::check_index(&store, "j", j, 1)?;
+        Self::check_index(&store, "k", k, 2)?;
         let answer = if self.bypass() {
-            let (a, b, c) = (
-                self.store.row(0, i),
-                self.store.row(1, j),
-                self.store.row(2, k),
-            );
+            let (a, b, c) = (store.row(0, i), store.row(1, j), store.row(2, k));
             let mut any = 0u64;
-            for w in 0..self.store.words_per_row() {
+            for w in 0..store.words_per_row() {
                 any |= a[w] & b[w] & c[w];
             }
             any != 0
@@ -180,7 +322,7 @@ impl QueryEngine {
                 lo: i as u32,
                 hi: j as u32,
             };
-            self.fiber_cached(key).get(k)
+            self.fiber_cached(&store, generation, key).get(k)
         };
         ServeMetrics::add(&self.metrics.point_queries, 1);
         self.time_into(&self.metrics.point_micros, t0);
@@ -193,19 +335,24 @@ impl QueryEngine {
     /// `X̃[lo, hi, :]`).
     pub fn slice(&self, free_mode: usize, lo: usize, hi: usize) -> Result<Vec<usize>, QueryError> {
         let t0 = Instant::now();
-        self.check_mode(free_mode)?;
+        let (store, generation) = self.snapshot();
+        Self::check_mode(free_mode)?;
         let (m1, m2) = fixed_modes(free_mode);
-        self.check_index("lo", lo, m1)?;
-        self.check_index("hi", hi, m2)?;
+        Self::check_index(&store, "lo", lo, m1)?;
+        Self::check_index(&store, "hi", hi, m2)?;
         let indices = if self.bypass() {
-            self.compute_fiber(free_mode, lo, hi).iter_ones().collect()
+            Self::compute_fiber(&store, free_mode, lo, hi)
+                .iter_ones()
+                .collect()
         } else {
             let key = FiberKey {
                 free_mode: free_mode as u8,
                 lo: lo as u32,
                 hi: hi as u32,
             };
-            self.fiber_cached(key).iter_ones().collect()
+            self.fiber_cached(&store, generation, key)
+                .iter_ones()
+                .collect()
         };
         ServeMetrics::add(&self.metrics.slice_queries, 1);
         self.time_into(&self.metrics.slice_micros, t0);
@@ -225,12 +372,13 @@ impl QueryEngine {
         k: usize,
     ) -> Result<Vec<(usize, u64)>, QueryError> {
         let t0 = Instant::now();
-        self.check_mode(mode)?;
-        self.check_index("entity", entity, mode)?;
-        let row = self.store.row(mode, entity);
-        let mut ranked: Vec<(usize, u64)> = (0..self.store.rank())
+        let (store, _) = self.snapshot();
+        Self::check_mode(mode)?;
+        Self::check_index(&store, "entity", entity, mode)?;
+        let row = store.row(mode, entity);
+        let mut ranked: Vec<(usize, u64)> = (0..store.rank())
             .filter(|r| row[r / 64] >> (r % 64) & 1 == 1)
-            .map(|r| (r, self.store.column_weight(mode, r)))
+            .map(|r| (r, store.column_weight(mode, r)))
             .collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         ranked.truncate(k);
@@ -383,5 +531,147 @@ mod tests {
 
     fn engine_pair_bypass() -> (QueryEngine, FactorSet) {
         engine(0)
+    }
+
+    #[test]
+    fn poisoned_cache_lock_recovers_instead_of_wedging() {
+        let (engine, factors) = engine(16);
+        let engine = Arc::new(engine);
+        let expect = factors.reconstruct().contains(1, 2, 3);
+        // Warm the fiber, then poison the cache mutex: a connection
+        // thread panicking while holding the lock is exactly what a bug
+        // in a future cache path would look like.
+        assert_eq!(engine.point(1, 2, 3).unwrap(), expect);
+        let poisoner = Arc::clone(&engine);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.cache.lock().unwrap();
+            panic!("poison the cache lock");
+        })
+        .join();
+        assert!(engine.cache.lock().is_err(), "lock really is poisoned");
+        // Every query path that touches the cache must keep answering —
+        // and keep answering the same bits.
+        assert_eq!(engine.point(1, 2, 3).unwrap(), expect, "cached path");
+        assert_eq!(
+            engine.point(0, 0, 0).unwrap(),
+            engine.point(0, 0, 0).unwrap()
+        );
+        engine.slice(2, 1, 2).unwrap();
+        assert!(engine.cached_fibers() > 0);
+        // Reload also crosses the cache lock and must survive poisoning.
+        let store = FactorStore::from_factor_set(2, &factors);
+        engine.reload(store, None).unwrap();
+        assert_eq!(engine.point(1, 2, 3).unwrap(), expect);
+    }
+
+    #[test]
+    fn reload_swaps_generations_atomically() {
+        let (engine, factors) = engine(64);
+        // Old generation: warm a few fibers.
+        let recon = factors.reconstruct();
+        for j in 0..7 {
+            engine.slice(2, 0, j).unwrap();
+        }
+        let warmed = engine.cached_fibers();
+        assert!(warmed > 0);
+        let old_store = engine.store();
+        assert_eq!(old_store.set_version(), 1);
+
+        // New generation: an all-zeros factor set — every answer flips
+        // to empty, so a stale fiber would be caught immediately.
+        let zero = FactorSet {
+            a: dbtf_tensor::BitMatrix::zeros(8, 6),
+            b: dbtf_tensor::BitMatrix::zeros(7, 6),
+            c: dbtf_tensor::BitMatrix::zeros(9, 6),
+        };
+        let outcome = engine
+            .reload(FactorStore::from_factor_set(9, &zero), None)
+            .unwrap();
+        assert_eq!(outcome.set_version, 9);
+        assert_eq!(outcome.generation, 1);
+        assert_eq!(outcome.invalidated, 0, "no delta → lazy invalidation only");
+
+        // The old snapshot still answers from the old factors.
+        assert_eq!(old_store.set_version(), 1);
+        // New queries see only the new generation, cached or not.
+        for i in 0..8 {
+            for j in 0..7 {
+                for k in 0..9 {
+                    for _ in 0..2 {
+                        assert!(!engine.point(i, j, k).unwrap(), "({i},{j},{k})");
+                    }
+                }
+            }
+        }
+        assert_eq!(engine.store().set_version(), 9);
+        // Reloading the original factors brings the original bits back.
+        engine
+            .reload(FactorStore::from_factor_set(10, &factors), None)
+            .unwrap();
+        for (i, j, k) in [(0, 0, 0), (1, 2, 3), (7, 6, 8)] {
+            assert_eq!(
+                engine.point(i, j, k).unwrap(),
+                recon.contains(i as u32, j as u32, k as u32)
+            );
+        }
+    }
+
+    #[test]
+    fn reload_with_delta_invalidates_only_touched_fibers() {
+        use dbtf_tensor::{DeltaCell, TensorDelta};
+        let (engine, factors) = engine(64);
+        // Warm the three orientations through cell (1, 2, 3) plus two
+        // unrelated fibers.
+        engine.slice(0, 2, 3).unwrap();
+        engine.slice(1, 1, 3).unwrap();
+        engine.slice(2, 1, 2).unwrap();
+        engine.slice(2, 5, 5).unwrap();
+        engine.slice(0, 0, 0).unwrap();
+        assert_eq!(engine.cached_fibers(), 5);
+        let delta = TensorDelta::new(
+            [8, 7, 9],
+            vec![DeltaCell {
+                coord: [1, 2, 3],
+                set: true,
+            }],
+        )
+        .unwrap();
+        let outcome = engine
+            .reload(FactorStore::from_factor_set(2, &factors), Some(&delta))
+            .unwrap();
+        assert_eq!(
+            outcome.invalidated, 3,
+            "exactly the three fibers through (1,2,3)"
+        );
+        assert_eq!(engine.cached_fibers(), 2, "unrelated fibers stay resident");
+    }
+
+    #[test]
+    fn reload_rejects_dims_mismatch() {
+        let (engine, _) = engine(4);
+        let cfg = DbtfConfig {
+            seed: 5,
+            ..DbtfConfig::with_rank(6)
+        };
+        let other = random_factor_sets([4, 4, 4], 0.4, &cfg).remove(0);
+        let err = engine
+            .reload(FactorStore::from_factor_set(3, &other), None)
+            .unwrap_err();
+        assert!(err.contains("dims mismatch"), "{err}");
+        assert_eq!(engine.store().set_version(), 1, "serving store unchanged");
+
+        let (engine2, factors2) = super::tests::engine(4);
+        let delta = dbtf_tensor::TensorDelta::new(
+            [4, 4, 4],
+            vec![dbtf_tensor::DeltaCell {
+                coord: [0, 0, 0],
+                set: true,
+            }],
+        )
+        .unwrap();
+        let err = engine2
+            .reload(FactorStore::from_factor_set(2, &factors2), Some(&delta))
+            .unwrap_err();
+        assert!(err.contains("delta dims mismatch"), "{err}");
     }
 }

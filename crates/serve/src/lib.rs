@@ -50,7 +50,7 @@ pub mod store;
 pub mod sweep;
 
 pub use cache::FiberCache;
-pub use engine::{QueryEngine, QueryError};
+pub use engine::{QueryEngine, QueryError, ReloadOutcome};
 pub use harness::{ClientError, ServeClient, ServeHarness, StoreInfo};
 pub use metrics::ServeMetrics;
 pub use protocol::{ParsedLine, Request, RequestError, ServeLimits};

@@ -63,6 +63,13 @@ pub struct ServeMetrics {
     pub batch_limit_errors: AtomicU64,
     /// `draining` errors returned (request arrived during shutdown).
     pub draining_errors: AtomicU64,
+    /// `reload` requests received (ok or error).
+    pub reload_requests: AtomicU64,
+    /// `reload` errors returned (unopenable store, bad delta, dims
+    /// mismatch).
+    pub reload_errors: AtomicU64,
+    /// Cached fibers eagerly invalidated by reload deltas.
+    pub reload_fibers_invalidated: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -88,6 +95,7 @@ impl ServeMetrics {
             "oversized" => &self.oversized_errors,
             "batch_limit" => &self.batch_limit_errors,
             "draining" => &self.draining_errors,
+            "reload" => &self.reload_errors,
             _ => &self.parse_errors,
         };
         ServeMetrics::add(counter, 1);
@@ -123,6 +131,12 @@ impl ServeMetrics {
             ("serve.errors.oversized", get(&self.oversized_errors)),
             ("serve.errors.batch_limit", get(&self.batch_limit_errors)),
             ("serve.errors.draining", get(&self.draining_errors)),
+            ("serve.reload.requests", get(&self.reload_requests)),
+            ("serve.reload.errors", get(&self.reload_errors)),
+            (
+                "serve.reload.fibers_invalidated",
+                get(&self.reload_fibers_invalidated),
+            ),
         ]
     }
 
@@ -149,6 +163,7 @@ mod tests {
             "oversized",
             "batch_limit",
             "draining",
+            "reload",
         ] {
             m.count_error(code);
         }
@@ -161,6 +176,7 @@ mod tests {
             "serve.errors.oversized",
             "serve.errors.batch_limit",
             "serve.errors.draining",
+            "serve.reload.errors",
         ] {
             assert_eq!(counters[name], 1.0, "{name}");
         }

@@ -88,6 +88,19 @@ pub enum Request {
     Stats,
     /// Store metadata (dims, rank, set version, source).
     Info,
+    /// `reload`: hot-swap a new factor-set generation into the server.
+    Reload {
+        /// Path (on the server's filesystem) of the `DBTFFSET` store or
+        /// `DBTFCKPT` checkpoint to load.
+        path: String,
+        /// Optional storage source override (`"ram"` or `"mmap"`);
+        /// defaults to how the serving store was opened.
+        source: Option<String>,
+        /// Optional path of the delta file (`dbtf update` text format)
+        /// that produced the new factors — enables targeted fiber
+        /// invalidation instead of a full lazy flush.
+        delta: Option<String>,
+    },
     /// Begin graceful drain; this reply is the connection's last.
     Shutdown,
 }
@@ -121,8 +134,17 @@ impl RequestError {
         RequestError {
             code: "unknown_query",
             message: format!(
-                "unknown query {q:?} (expected point, slice, topk, ping, stats, info, or shutdown)"
+                "unknown query {q:?} (expected point, slice, topk, ping, stats, info, reload, \
+                 or shutdown)"
             ),
+        }
+    }
+    /// A reload could not be applied (unopenable store, bad delta, dims
+    /// mismatch). The serving generation is unchanged.
+    pub fn reload(message: impl Into<String>) -> RequestError {
+        RequestError {
+            code: "reload",
+            message: message.into(),
         }
     }
     /// An index or mode is outside the served factor set.
@@ -227,6 +249,28 @@ fn field(obj: &JsonValue, name: &str) -> Result<usize, RequestError> {
     }
 }
 
+/// Pulls a required string field.
+fn string_field(obj: &JsonValue, name: &str) -> Result<String, RequestError> {
+    match obj.get(name) {
+        None => Err(RequestError::bad_request(format!("missing field {name:?}"))),
+        Some(v) => v
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| RequestError::bad_request(format!("field {name:?} must be a string"))),
+    }
+}
+
+/// Pulls an optional string field (present ⇒ must be a string).
+fn optional_string_field(obj: &JsonValue, name: &str) -> Result<Option<String>, RequestError> {
+    match obj.get(name) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_owned()))
+            .ok_or_else(|| RequestError::bad_request(format!("field {name:?} must be a string"))),
+    }
+}
+
 /// The wire `mode` (1-based, per the paper's unfolding convention) as a
 /// 0-based axis.
 fn mode_field(obj: &JsonValue) -> Result<usize, RequestError> {
@@ -283,6 +327,11 @@ fn parse_request(value: &JsonValue) -> (Option<u64>, Result<Request, RequestErro
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
             "info" => Ok(Request::Info),
+            "reload" => Ok(Request::Reload {
+                path: string_field(value, "path")?,
+                source: optional_string_field(value, "source")?,
+                delta: optional_string_field(value, "delta")?,
+            }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(RequestError::unknown_query(other)),
         }
@@ -385,6 +434,21 @@ pub fn reply_stats(id: Option<u64>, counters: &[(&'static str, f64)]) -> String 
     out
 }
 
+/// `reload` reply: the new generation's identity plus how many cached
+/// fibers were eagerly invalidated.
+pub fn reply_reload(
+    id: Option<u64>,
+    set_version: u64,
+    generation: u64,
+    invalidated: u64,
+) -> String {
+    format!(
+        "{},\"reloaded\":true,\"set_version\":{set_version},\"generation\":{generation},\
+         \"invalidated\":{invalidated}}}",
+        open_reply(id, true)
+    )
+}
+
 /// `shutdown` acknowledgment.
 pub fn reply_shutdown(id: Option<u64>) -> String {
     format!("{},\"draining\":true}}", open_reply(id, true))
@@ -474,6 +538,28 @@ mod tests {
         ] {
             assert_eq!(parse_one(&format!(r#"{{"q":"{q}"}}"#)), (None, Ok(want)));
         }
+        assert_eq!(
+            parse_one(r#"{"id":4,"q":"reload","path":"/tmp/f.dbtfs"}"#),
+            (
+                Some(4),
+                Ok(Request::Reload {
+                    path: "/tmp/f.dbtfs".into(),
+                    source: None,
+                    delta: None,
+                })
+            )
+        );
+        assert_eq!(
+            parse_one(r#"{"q":"reload","path":"f.dbtfs","source":"mmap","delta":"d.delta"}"#),
+            (
+                None,
+                Ok(Request::Reload {
+                    path: "f.dbtfs".into(),
+                    source: Some("mmap".into()),
+                    delta: Some("d.delta".into()),
+                })
+            )
+        );
     }
 
     #[test]
@@ -497,6 +583,12 @@ mod tests {
         assert_eq!(code("3"), "bad_request"); // JSON, but not an object
                                               // slice mode 3 fixes i and j; sending k instead is a bad request.
         assert_eq!(code(r#"{"q":"slice","mode":3,"i":0,"k":0}"#), "bad_request");
+        assert_eq!(code(r#"{"q":"reload"}"#), "bad_request"); // missing path
+        assert_eq!(code(r#"{"q":"reload","path":7}"#), "bad_request");
+        assert_eq!(
+            code(r#"{"q":"reload","path":"f","delta":3}"#),
+            "bad_request"
+        );
     }
 
     #[test]
@@ -537,6 +629,7 @@ mod tests {
             ),
             (reply_ping(Some(9)), ("pong", "true")),
             (reply_shutdown(Some(9)), ("draining", "true")),
+            (reply_reload(Some(9), 3, 2, 5), ("set_version", "3")),
         ] {
             let parsed = JsonValue::parse(&reply).expect(&reply);
             assert_eq!(parsed.get("id").unwrap().as_u64(), Some(9), "{reply}");

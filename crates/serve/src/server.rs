@@ -22,10 +22,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use dbtf_tensor::TensorDelta;
+
 use crate::engine::QueryEngine;
 use crate::metrics::ServeMetrics;
 use crate::protocol::{self, parse_line, Request, RequestError, ServeLimits};
-use crate::store::FactorStore;
+use crate::store::{FactorStore, SourceKind};
 
 /// How a server should listen and bound its inputs.
 #[derive(Clone, Debug)]
@@ -219,8 +221,13 @@ enum LineRead {
 
 /// Reads one `\n`-terminated line into `buf`, enforcing the byte limit
 /// incrementally and polling the draining flag across read timeouts.
-fn read_bounded_line(
-    reader: &mut BufReader<TcpStream>,
+/// Both `WouldBlock` and `TimedOut` are idle poll ticks, never failures
+/// — which of the two a timed-out socket read yields is
+/// platform-dependent, so treating only one as a tick would drop
+/// connections on the other platform. Generic over the reader so the
+/// tick handling is testable without a socket.
+fn read_bounded_line<R: BufRead>(
+    reader: &mut R,
     buf: &mut Vec<u8>,
     max: usize,
     draining: &AtomicBool,
@@ -405,6 +412,50 @@ fn execute(
                 &store.source().to_string(),
             )
         }
+        Request::Reload {
+            path,
+            source,
+            delta,
+        } => {
+            ServeMetrics::add(&metrics.reload_requests, 1);
+            let current = engine.store();
+            let attempt = (|| -> Result<String, RequestError> {
+                let source = match source {
+                    Some(s) => s.parse::<SourceKind>().map_err(RequestError::reload)?,
+                    None => current.source(),
+                };
+                let store = FactorStore::open(std::path::Path::new(&path), source)
+                    .map_err(|e| RequestError::reload(format!("{path}: {e}")))?;
+                let delta = match delta {
+                    Some(dpath) => {
+                        let text = std::fs::read_to_string(&dpath)
+                            .map_err(|e| RequestError::reload(format!("{dpath}: {e}")))?;
+                        Some(
+                            TensorDelta::parse(&text, current.dims())
+                                .map_err(|e| RequestError::reload(format!("{dpath}: {e}")))?,
+                        )
+                    }
+                    None => None,
+                };
+                let outcome = engine
+                    .reload(store, delta.as_ref())
+                    .map_err(RequestError::reload)?;
+                ServeMetrics::add(&metrics.reload_fibers_invalidated, outcome.invalidated);
+                Ok(protocol::reply_reload(
+                    id,
+                    outcome.set_version,
+                    outcome.generation,
+                    outcome.invalidated,
+                ))
+            })();
+            match attempt {
+                Ok(reply) => reply,
+                Err(err) => {
+                    metrics.count_error(err.code);
+                    protocol::reply_error(id, &err)
+                }
+            }
+        }
         Request::Shutdown => {
             ServeMetrics::add(&metrics.admin_queries, 1);
             shared.begin_drain();
@@ -420,4 +471,111 @@ fn writeln_flush(writer: &mut TcpStream, line: &str) -> bool {
     out.extend_from_slice(line.as_bytes());
     out.push(b'\n');
     writer.write_all(&out).and_then(|()| writer.flush()).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+    use std::io::{self, Read};
+
+    /// A scripted reader: each step is either an error kind to return
+    /// once or a byte chunk to serve. `fill_buf` replays the script the
+    /// way a 50 ms-timeout socket would.
+    struct ScriptedReader {
+        steps: VecDeque<Result<Vec<u8>, ErrorKind>>,
+        current: Vec<u8>,
+        pos: usize,
+    }
+
+    impl ScriptedReader {
+        fn new(steps: Vec<Result<&[u8], ErrorKind>>) -> ScriptedReader {
+            ScriptedReader {
+                steps: steps
+                    .into_iter()
+                    .map(|s| s.map(|bytes| bytes.to_vec()))
+                    .collect(),
+                current: Vec::new(),
+                pos: 0,
+            }
+        }
+    }
+
+    impl Read for ScriptedReader {
+        fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+            unreachable!("read_bounded_line uses fill_buf/consume only")
+        }
+    }
+
+    impl BufRead for ScriptedReader {
+        fn fill_buf(&mut self) -> io::Result<&[u8]> {
+            if self.pos == self.current.len() {
+                match self.steps.pop_front() {
+                    Some(Ok(bytes)) => {
+                        self.current = bytes;
+                        self.pos = 0;
+                    }
+                    Some(Err(kind)) => return Err(io::Error::new(kind, "scripted")),
+                    None => {
+                        self.current = Vec::new();
+                        self.pos = 0;
+                    }
+                }
+            }
+            Ok(&self.current[self.pos..])
+        }
+
+        fn consume(&mut self, amt: usize) {
+            self.pos += amt;
+        }
+    }
+
+    fn read_line(steps: Vec<Result<&[u8], ErrorKind>>, draining: bool) -> (LineRead, Vec<u8>) {
+        let mut reader = ScriptedReader::new(steps);
+        let mut buf = Vec::new();
+        let outcome = read_bounded_line(&mut reader, &mut buf, 64, &AtomicBool::new(draining));
+        (outcome, buf)
+    }
+
+    #[test]
+    fn wouldblock_and_timedout_are_poll_ticks_not_failures() {
+        // Regression: a read loop matching only one of the two timeout
+        // kinds drops connections on platforms that report the other.
+        for kind in [ErrorKind::WouldBlock, ErrorKind::TimedOut] {
+            // Idle ticks before the line arrives: still a clean line.
+            let (outcome, buf) = read_line(vec![Err(kind), Err(kind), Ok(b"{\"q\":1}\n")], false);
+            assert!(matches!(outcome, LineRead::Line), "{kind:?}");
+            assert_eq!(buf, b"{\"q\":1}", "{kind:?}");
+            // A tick splitting a frame mid-line must keep waiting, even
+            // while draining — the in-flight frame gets its answer.
+            let (outcome, buf) = read_line(vec![Ok(b"{\"q\""), Err(kind), Ok(b":2}\n")], true);
+            assert!(matches!(outcome, LineRead::Line), "{kind:?} mid-line");
+            assert_eq!(buf, b"{\"q\":2}", "{kind:?} mid-line");
+            // An *idle* tick while draining closes the connection.
+            let (outcome, _) = read_line(vec![Err(kind)], true);
+            assert!(matches!(outcome, LineRead::Draining), "{kind:?} draining");
+        }
+    }
+
+    #[test]
+    fn interrupted_retries_and_hard_errors_fail() {
+        let (outcome, buf) = read_line(vec![Err(ErrorKind::Interrupted), Ok(b"x\n")], false);
+        assert!(matches!(outcome, LineRead::Line));
+        assert_eq!(buf, b"x");
+        let (outcome, _) = read_line(vec![Err(ErrorKind::ConnectionReset)], false);
+        assert!(matches!(outcome, LineRead::Failed));
+    }
+
+    #[test]
+    fn eof_truncation_and_oversize_classify() {
+        let (outcome, _) = read_line(vec![], false);
+        assert!(matches!(outcome, LineRead::Eof));
+        let (outcome, _) = read_line(vec![Ok(b"partial")], false);
+        assert!(matches!(outcome, LineRead::Truncated), "EOF mid-line");
+        let long = vec![b'a'; 80];
+        let mut steps: Vec<Result<&[u8], ErrorKind>> = vec![Ok(&long)];
+        steps.push(Ok(b"\n"));
+        let (outcome, _) = read_line(steps, false);
+        assert!(matches!(outcome, LineRead::Oversized));
+    }
 }

@@ -224,6 +224,197 @@ fn batches_match_single_requests() {
     assert!(harness.shutdown());
 }
 
+/// Satellite of the hot-swap tentpole: a server started from a
+/// checkpoint, with export-factors-style `DBTFFSET` generations reloaded
+/// in while query threads hammer it. Every answer must come entirely
+/// from one generation — a slice mixing old and new factors would show
+/// up as a fiber matching neither oracle — and `set_version` must track
+/// each swap.
+#[test]
+fn live_reload_serves_whole_generations_under_concurrent_load() {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let fa = factors();
+    let cfg_b = DbtfConfig {
+        seed: 4242,
+        ..DbtfConfig::with_rank(RANK)
+    };
+    let fb = random_factor_sets(DIMS, 0.3, &cfg_b).remove(0);
+    let recon_a = cp_reconstruct(&fa.a, &fa.b, &fa.c);
+    let recon_b = cp_reconstruct(&fb.a, &fb.b, &fb.c);
+    assert_ne!(recon_a, recon_b, "generations must be distinguishable");
+
+    // Round-trip start: the server boots from a checkpoint, exactly as
+    // `dbtf serve` does before any export.
+    let ck_path = tmp("reload.ckpt");
+    Checkpoint {
+        iteration: 1,
+        error: 0,
+        iteration_errors: vec![0],
+        factors: fa.clone(),
+    }
+    .write(&ck_path)
+    .unwrap();
+    let harness = ServeHarness::start_with(
+        FactorStore::open(&ck_path, SourceKind::Ram).unwrap(),
+        config(256),
+    );
+    let addr = harness.addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..3u64)
+        .map(|w| {
+            let stop = Arc::clone(&stop);
+            let (fa, fb) = (fa.clone(), fb.clone());
+            let (recon_a, recon_b) = (recon_a.clone(), recon_b.clone());
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).unwrap();
+                let mut answered = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let sweep = SeededQueries::new(1000 + w, DIMS, QueryMix::default_mix());
+                    for request in sweep.take(40) {
+                        match request {
+                            Request::Point { i, j, k } => {
+                                let got = client.point(i, j, k).unwrap();
+                                let a = serving_point(&recon_a, i, j, k);
+                                let b = serving_point(&recon_b, i, j, k);
+                                assert!(got == a || got == b, "point ({i},{j},{k})");
+                            }
+                            Request::Slice { free_mode, lo, hi } => {
+                                let got = client.slice(free_mode + 1, lo, hi).unwrap();
+                                let a = serving_slice(&recon_a, free_mode, lo, hi);
+                                let b = serving_slice(&recon_b, free_mode, lo, hi);
+                                assert!(
+                                    got == a || got == b,
+                                    "slice free {free_mode} ({lo},{hi}) answered \
+                                     {got:?}, which is neither generation \
+                                     ({a:?} / {b:?}) — a cross-generation mix"
+                                );
+                            }
+                            Request::Topk { mode, entity, k } => {
+                                let got = client.topk(mode + 1, entity, k).unwrap();
+                                let a = serving_topk(&fa.a, &fa.b, &fa.c, mode, entity, k);
+                                let b = serving_topk(&fb.a, &fb.b, &fb.c, mode, entity, k);
+                                assert!(got == a || got == b, "topk {mode}/{entity}/{k}");
+                            }
+                            other => panic!("sweep produced {other:?}"),
+                        }
+                        answered += 1;
+                    }
+                }
+                answered
+            })
+        })
+        .collect();
+
+    // Flip generations while the workers run: export-factors writes a
+    // new DBTFFSET (version ascending), reload hot-swaps it, alternating
+    // ram and mmap sources.
+    let store_path = tmp("reload.dbtfs");
+    let mut admin = harness.client();
+    let mut last_generation = 0;
+    for round in 0..6u64 {
+        let (set, source) = if round % 2 == 0 {
+            (&fb, "mmap")
+        } else {
+            (&fa, "ram")
+        };
+        FactorStore::write_store(&store_path, round + 2, set).unwrap();
+        let (set_version, generation, _) = admin
+            .reload(store_path.to_str().unwrap(), Some(source), None)
+            .unwrap();
+        assert_eq!(set_version, round + 2, "reload reports the new version");
+        assert_eq!(generation, last_generation + 1, "generations are monotone");
+        last_generation = generation;
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    stop.store(true, Ordering::SeqCst);
+    let answered: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    assert!(answered > 0, "workers actually queried during the swaps");
+
+    // Final round installed `fa` (round 5 is odd): a fresh full sweep
+    // must now agree with that generation exactly, and info must report
+    // its version and source.
+    let info = admin.info().unwrap();
+    assert_eq!(info.set_version, 7);
+    assert_eq!(info.source, "ram");
+    let mut client = harness.client();
+    replay_against_oracle(&mut client, &fa, &recon_a, 1);
+    let m = harness.metrics();
+    assert_eq!(m.reload_requests.load(Ordering::Relaxed), 6);
+    assert_eq!(m.reload_errors.load(Ordering::Relaxed), 0);
+    assert!(harness.shutdown());
+    std::fs::remove_file(&ck_path).unwrap();
+    std::fs::remove_file(&store_path).unwrap();
+}
+
+/// Satellite: equal-weight topk columns must come back in ascending
+/// column order — and stay that way across a hot swap that moves the
+/// ones around without changing the weights, so clients comparing
+/// pre/post-reload rankings never see equal-score results reorder.
+#[test]
+fn topk_equal_weight_ties_stay_column_ascending_across_generations() {
+    use dbtf_tensor::BitMatrix;
+
+    // Rank 4, entity 0 of mode 1 has every column set. Column weights
+    // (popcount(B col) × popcount(C col)): col 0 → 9, cols 1 and 2 → 4
+    // (the tie), col 3 → 0.
+    let mut a = BitMatrix::zeros(3, 4);
+    for r in 0..4 {
+        a.set(0, r, true);
+    }
+    let build = |b_rows: [&[usize]; 4], c_rows: [&[usize]; 4]| {
+        let mut b = BitMatrix::zeros(5, 4);
+        let mut c = BitMatrix::zeros(5, 4);
+        for (col, rows) in b_rows.iter().enumerate() {
+            for &row in *rows {
+                b.set(row, col, true);
+            }
+        }
+        for (col, rows) in c_rows.iter().enumerate() {
+            for &row in *rows {
+                c.set(row, col, true);
+            }
+        }
+        FactorSet { a: a.clone(), b, c }
+    };
+    let fa = build(
+        [&[0, 1, 2], &[0, 1], &[2, 3], &[]],
+        [&[0, 1, 2], &[0, 1], &[2, 3], &[]],
+    );
+    // Same weights, different rows: the tie (cols 1 and 2 at weight 4)
+    // survives the swap with its members' contents changed.
+    let fb = build(
+        [&[2, 3, 4], &[3, 4], &[0, 1], &[]],
+        [&[2, 3, 4], &[3, 4], &[0, 1], &[]],
+    );
+    let expect = vec![(0usize, 9u64), (1, 4), (2, 4), (3, 0)];
+    assert_eq!(
+        serving_topk(&fa.a, &fa.b, &fa.c, 0, 0, 4),
+        expect,
+        "oracle tie rule: weight desc, then column asc"
+    );
+    assert_eq!(serving_topk(&fb.a, &fb.b, &fb.c, 0, 0, 4), expect);
+
+    let harness = ServeHarness::start(FactorStore::from_factor_set(1, &fa));
+    let mut client = harness.client();
+    assert_eq!(client.topk(1, 0, 4).unwrap(), expect);
+    let store_path = tmp("ties.dbtfs");
+    FactorStore::write_store(&store_path, 2, &fb).unwrap();
+    client
+        .reload(store_path.to_str().unwrap(), None, None)
+        .unwrap();
+    assert_eq!(
+        client.topk(1, 0, 4).unwrap(),
+        expect,
+        "equal-weight order is stable across the swap"
+    );
+    assert!(harness.shutdown());
+    std::fs::remove_file(&store_path).unwrap();
+}
+
 /// The store's iteration-as-version contract survives the wire: serving
 /// a checkpoint reports the checkpoint's iteration as `set_version`.
 #[test]

@@ -284,6 +284,88 @@ fn drain_refuses_new_queries_but_acknowledges() {
 }
 
 #[test]
+fn reload_failures_are_typed_and_leave_the_serving_generation_alone() {
+    let dir = std::env::temp_dir().join("dbtf-serve-robustness");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tmp = |name: &str| dir.join(format!("{name}-{}", std::process::id()));
+
+    let harness = harness();
+    let mut client = harness.client();
+    let v0 = client.info().unwrap().set_version;
+
+    // Unopenable store path.
+    assert_eq!(
+        server_code(client.reload("/definitely/not/here.dbtfs", None, None)),
+        "reload"
+    );
+    // Unknown source kind, checked before any file I/O.
+    assert_eq!(
+        server_code(client.reload("whatever.dbtfs", Some("floppy"), None)),
+        "reload"
+    );
+    // A store whose dimensions do not match the serving space.
+    let cfg = DbtfConfig {
+        seed: 3,
+        ..DbtfConfig::with_rank(4)
+    };
+    let misshapen = random_factor_sets([4, 4, 4], 0.4, &cfg).remove(0);
+    let bad_path = tmp("misshapen.dbtfs");
+    FactorStore::write_store(&bad_path, 9, &misshapen).unwrap();
+    match client.reload(bad_path.to_str().unwrap(), None, None) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, "reload");
+            assert!(message.contains("dims mismatch"), "{message}");
+        }
+        other => panic!("expected dims-mismatch refusal, got {other:?}"),
+    }
+    // A good store paired with an unreadable delta file.
+    let good_path = tmp("good.dbtfs");
+    FactorStore::write_store(&good_path, 2, &factors()).unwrap();
+    assert_eq!(
+        server_code(client.reload(good_path.to_str().unwrap(), None, Some("/no/such.delta"))),
+        "reload"
+    );
+    // ...and with a delta that does not parse.
+    let bad_delta = tmp("bad.delta");
+    std::fs::write(&bad_delta, "+ 1 2\n").unwrap();
+    assert_eq!(
+        server_code(client.reload(
+            good_path.to_str().unwrap(),
+            None,
+            Some(bad_delta.to_str().unwrap()),
+        )),
+        "reload"
+    );
+
+    // Five refusals, zero swaps: the serving generation never moved and
+    // the connection still answers.
+    assert_eq!(client.info().unwrap().set_version, v0);
+    let m = harness.metrics();
+    assert_eq!(m.reload_requests.load(Ordering::Relaxed), 5);
+    assert_eq!(m.reload_errors.load(Ordering::Relaxed), 5);
+    assert!(client.ping().is_ok());
+
+    // A valid reload still works after all those failures...
+    let (set_version, generation, _) = client
+        .reload(good_path.to_str().unwrap(), None, None)
+        .unwrap();
+    assert_eq!((set_version, generation), (2, 1));
+    // ...and once draining, reload is refused like any other query.
+    client.shutdown().unwrap();
+    if let Ok(mut late) = dbtf_serve::ServeClient::connect(harness.addr()) {
+        match late.reload(good_path.to_str().unwrap(), None, None) {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, "draining"),
+            Err(ClientError::Io(_)) => {} // closed before the reply — also clean
+            other => panic!("draining server answered reload with {other:?}"),
+        }
+    }
+    assert!(harness.shutdown());
+    for path in [bad_path, good_path, bad_delta] {
+        std::fs::remove_file(path).unwrap();
+    }
+}
+
+#[test]
 fn random_byte_noise_never_panics_the_server() {
     let harness = harness();
     // Deterministic pseudo-noise: every printable/unprintable mix the

@@ -1,0 +1,468 @@
+//! Tensor deltas and the copy-on-write unfolding overlay.
+//!
+//! An incremental update arrives as a small stream of cell edits — set
+//! this `(i, j, k)` to one, clear that one — against a tensor whose
+//! unfoldings are already built (heap [`Unfolding`] or on-disk
+//! [`MmapUnfolding`](crate::MmapUnfolding)). Rebuilding three unfoldings
+//! for a handful of cells would defeat the point, so the delta path
+//! patches instead: each edit maps through the Equation-1 index maps
+//! ([`Mode::matricize`]) to one `(row, column)` of each mode's
+//! unfolding, and [`OverlayUnfolding`] materialises *only the touched
+//! rows* as copy-on-write replacements over an untouched base store.
+//! Every other row is still served borrowed from the base, so the
+//! overlay satisfies the same [`UnfoldingStore`] contract the
+//! partitioner and kernels were written against.
+//!
+//! # The delta text format
+//!
+//! One edit per line, whitespace-separated, `#` starts a comment:
+//!
+//! ```text
+//! # planted drift, batch 3
+//! + 0 2 1      # set cell (0, 2, 1)
+//! - 4 1 0      # clear cell (4, 1, 0)
+//! ```
+//!
+//! Later lines win when the same cell appears twice — a delta file is a
+//! log, and the tail is the truth.
+
+use std::collections::HashMap;
+
+use crate::store::UnfoldingStore;
+use crate::unfold::Mode;
+use crate::BoolTensor;
+
+/// One cell edit: set (`+`) or clear (`-`) the cell at `coord`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeltaCell {
+    /// The `(i, j, k)` coordinate of the edited cell.
+    pub coord: [u32; 3],
+    /// `true` sets the cell to one, `false` clears it to zero.
+    pub set: bool,
+}
+
+/// A validated, deduplicated batch of cell edits against a tensor of
+/// known dimensions.
+///
+/// Construction enforces the invariants the rest of the pipeline leans
+/// on: every coordinate is in range, each cell appears at most once
+/// (last edit wins), and the cells are sorted by coordinate so
+/// application and comparison are deterministic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TensorDelta {
+    dims: [usize; 3],
+    cells: Vec<DeltaCell>,
+}
+
+impl TensorDelta {
+    /// Builds a delta from raw edits, in arrival order.
+    ///
+    /// Out-of-range coordinates are an error naming the offending cell.
+    /// Duplicate coordinates are collapsed to the *last* edit.
+    pub fn new(dims: [usize; 3], edits: Vec<DeltaCell>) -> Result<TensorDelta, String> {
+        for cell in &edits {
+            for (axis, (&c, &d)) in cell.coord.iter().zip(dims.iter()).enumerate() {
+                if c as usize >= d {
+                    return Err(format!(
+                        "delta cell {:?} axis {axis} index {c} out of range for dims {dims:?}",
+                        cell.coord
+                    ));
+                }
+            }
+        }
+        let mut last: HashMap<[u32; 3], bool> = HashMap::with_capacity(edits.len());
+        for cell in edits {
+            last.insert(cell.coord, cell.set);
+        }
+        let mut cells: Vec<DeltaCell> = last
+            .into_iter()
+            .map(|(coord, set)| DeltaCell { coord, set })
+            .collect();
+        cells.sort_by_key(|c| c.coord);
+        Ok(TensorDelta { dims, cells })
+    }
+
+    /// Parses the `+ i j k` / `- i j k` text format (see the module docs).
+    ///
+    /// Errors carry the 1-based line number for the report.
+    pub fn parse(text: &str, dims: [usize; 3]) -> Result<TensorDelta, String> {
+        let mut edits = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = match raw.find('#') {
+                Some(at) => &raw[..at],
+                None => raw,
+            };
+            let mut fields = line.split_whitespace();
+            let Some(op) = fields.next() else { continue };
+            let set = match op {
+                "+" => true,
+                "-" => false,
+                other => {
+                    return Err(format!(
+                        "line {}: expected + or -, got {other:?}",
+                        lineno + 1
+                    ))
+                }
+            };
+            let mut coord = [0u32; 3];
+            for slot in &mut coord {
+                let field = fields
+                    .next()
+                    .ok_or_else(|| format!("line {}: expected three indices", lineno + 1))?;
+                *slot = field
+                    .parse()
+                    .map_err(|_| format!("line {}: bad index {field:?}", lineno + 1))?;
+            }
+            if let Some(extra) = fields.next() {
+                return Err(format!(
+                    "line {}: trailing field {extra:?} after the three indices",
+                    lineno + 1
+                ));
+            }
+            edits.push(DeltaCell { coord, set });
+        }
+        TensorDelta::new(dims, edits).map_err(|e| format!("delta: {e}"))
+    }
+
+    /// Renders the delta back to its text format (one edit per line).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for cell in &self.cells {
+            let op = if cell.set { '+' } else { '-' };
+            let [i, j, k] = cell.coord;
+            out.push_str(&format!("{op} {i} {j} {k}\n"));
+        }
+        out
+    }
+
+    /// The tensor dimensions this delta was validated against.
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// The deduplicated edits, sorted by coordinate.
+    pub fn cells(&self) -> &[DeltaCell] {
+        &self.cells
+    }
+
+    /// Number of (deduplicated) edits.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the delta edits nothing.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Applies the delta to a tensor, producing the updated tensor.
+    ///
+    /// Set edits that are already one and clear edits that are already
+    /// zero are no-ops — a delta describes desired final state, not a
+    /// strict toggle log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.dims()` differs from the dims this delta was
+    /// validated against.
+    pub fn apply(&self, x: &BoolTensor) -> BoolTensor {
+        assert_eq!(
+            x.dims(),
+            self.dims,
+            "delta dims do not match the tensor being patched"
+        );
+        let mut entries: Vec<[u32; 3]> = Vec::with_capacity(x.nnz() + self.cells.len());
+        // Both lists are sorted by coordinate: a linear merge applies
+        // every edit in one pass.
+        let (mut cur, cells) = (0usize, &self.cells);
+        for e in x.iter() {
+            while cur < cells.len() && cells[cur].coord < e {
+                if cells[cur].set {
+                    entries.push(cells[cur].coord);
+                }
+                cur += 1;
+            }
+            if cur < cells.len() && cells[cur].coord == e {
+                if cells[cur].set {
+                    entries.push(e);
+                }
+                cur += 1;
+            } else {
+                entries.push(e);
+            }
+        }
+        for cell in &cells[cur..] {
+            if cell.set {
+                entries.push(cell.coord);
+            }
+        }
+        BoolTensor::from_entries(self.dims, entries)
+    }
+}
+
+/// A copy-on-write row overlay that presents `base` with a
+/// [`TensorDelta`] applied, without rebuilding the unfolding.
+///
+/// Only rows touched by the delta are materialised (each as a patched
+/// copy of the base row); every other row is borrowed straight from the
+/// base store. Works over any [`UnfoldingStore`] — the heap
+/// [`Unfolding`](crate::Unfolding), the on-disk
+/// [`MmapUnfolding`](crate::MmapUnfolding),
+/// or a reference to either.
+pub struct OverlayUnfolding<S: UnfoldingStore> {
+    base: S,
+    patched: HashMap<usize, Vec<u64>>,
+    nnz: u64,
+}
+
+impl<S: UnfoldingStore> OverlayUnfolding<S> {
+    /// Overlays `delta` on `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta.dims()` differs from `base.tensor_dims()` — the
+    /// Equation-1 index maps are only meaningful against the dimensions
+    /// the delta was validated for.
+    pub fn new(base: S, delta: &TensorDelta) -> OverlayUnfolding<S> {
+        assert_eq!(
+            base.tensor_dims(),
+            delta.dims(),
+            "delta dims do not match the unfolding being overlaid"
+        );
+        let (mode, dims) = (base.mode(), base.tensor_dims());
+        // Group the edits by unfolding row, then patch each touched row
+        // once: copy the base row and splice the edited columns in/out.
+        let mut by_row: HashMap<usize, Vec<(u64, bool)>> = HashMap::new();
+        for cell in delta.cells() {
+            let (row, col) = mode.matricize(dims, cell.coord);
+            by_row
+                .entry(row as usize)
+                .or_default()
+                .push((col, cell.set));
+        }
+        let mut nnz = base.nnz();
+        let mut patched = HashMap::with_capacity(by_row.len());
+        for (r, edits) in by_row {
+            let mut row = base.row(r).to_vec();
+            for (col, set) in edits {
+                match (row.binary_search(&col), set) {
+                    (Ok(_), true) | (Err(_), false) => {} // already the desired state
+                    (Err(at), true) => {
+                        row.insert(at, col);
+                        nnz += 1;
+                    }
+                    (Ok(at), false) => {
+                        row.remove(at);
+                        nnz -= 1;
+                    }
+                }
+            }
+            patched.insert(r, row);
+        }
+        OverlayUnfolding { base, patched, nnz }
+    }
+
+    /// The sorted rows this overlay patches (touched by the delta).
+    pub fn patched_rows(&self) -> Vec<usize> {
+        let mut rows: Vec<usize> = self.patched.keys().copied().collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// The underlying base store.
+    pub fn base(&self) -> &S {
+        &self.base
+    }
+}
+
+impl<S: UnfoldingStore> UnfoldingStore for OverlayUnfolding<S> {
+    fn mode(&self) -> Mode {
+        self.base.mode()
+    }
+
+    fn tensor_dims(&self) -> [usize; 3] {
+        self.base.tensor_dims()
+    }
+
+    fn nrows(&self) -> usize {
+        self.base.nrows()
+    }
+
+    fn ncols(&self) -> u64 {
+        self.base.ncols()
+    }
+
+    fn nnz(&self) -> u64 {
+        self.nnz
+    }
+
+    fn row(&self, r: usize) -> &[u64] {
+        match self.patched.get(&r) {
+            Some(row) => row,
+            None => self.base.row(r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unfold::Unfolding;
+
+    fn sample() -> BoolTensor {
+        BoolTensor::from_entries(
+            [3, 4, 5],
+            vec![
+                [0, 0, 0],
+                [0, 2, 1],
+                [1, 1, 3],
+                [1, 3, 4],
+                [2, 0, 2],
+                [2, 3, 0],
+            ],
+        )
+    }
+
+    fn sample_delta() -> TensorDelta {
+        TensorDelta::new(
+            [3, 4, 5],
+            vec![
+                DeltaCell {
+                    coord: [0, 1, 4],
+                    set: true,
+                }, // genuinely new cell
+                DeltaCell {
+                    coord: [1, 1, 3],
+                    set: false,
+                }, // clears an existing cell
+                DeltaCell {
+                    coord: [2, 2, 2],
+                    set: false,
+                }, // clear of an absent cell: no-op
+                DeltaCell {
+                    coord: [0, 0, 0],
+                    set: true,
+                }, // set of a present cell: no-op
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_roundtrip_and_validation() {
+        let text = "# a comment\n+ 0 1 4\n\n- 1 1 3   # inline comment\n- 2 2 2\n+ 0 0 0\n";
+        let delta = TensorDelta::parse(text, [3, 4, 5]).unwrap();
+        assert_eq!(delta, sample_delta());
+        let again = TensorDelta::parse(&delta.to_text(), [3, 4, 5]).unwrap();
+        assert_eq!(again, delta);
+
+        let err = TensorDelta::parse("+ 0 9 0\n", [3, 4, 5]).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let err = TensorDelta::parse("* 0 0 0\n", [3, 4, 5]).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err = TensorDelta::parse("+ 0 0\n", [3, 4, 5]).unwrap_err();
+        assert!(err.contains("three indices"), "{err}");
+        let err = TensorDelta::parse("+ 0 0 0 0\n", [3, 4, 5]).unwrap_err();
+        assert!(err.contains("trailing"), "{err}");
+        let err = TensorDelta::parse("+ x 0 0\n", [3, 4, 5]).unwrap_err();
+        assert!(err.contains("bad index"), "{err}");
+    }
+
+    #[test]
+    fn later_edits_win_on_duplicate_cells() {
+        let delta = TensorDelta::parse("+ 1 1 1\n- 1 1 1\n", [3, 4, 5]).unwrap();
+        assert_eq!(
+            delta.cells(),
+            &[DeltaCell {
+                coord: [1, 1, 1],
+                set: false
+            }]
+        );
+    }
+
+    #[test]
+    fn apply_matches_cell_by_cell_edits() {
+        let x = sample();
+        let y = sample_delta().apply(&x);
+        assert!(y.contains(0, 1, 4), "new cell set");
+        assert!(!y.contains(1, 1, 3), "existing cell cleared");
+        assert!(y.contains(0, 0, 0), "no-op set keeps the cell");
+        assert!(!y.contains(2, 2, 2), "no-op clear stays clear");
+        assert_eq!(y.nnz(), x.nnz()); // one set, one clear, two no-ops
+        for e in x.iter() {
+            if e != [1, 1, 3] {
+                assert!(y.contains(e[0], e[1], e[2]), "{e:?} untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_matches_a_rebuilt_unfolding_for_every_mode() {
+        let x = sample();
+        let delta = sample_delta();
+        let y = delta.apply(&x);
+        for mode in Mode::ALL {
+            let base = Unfolding::new(&x, mode);
+            let overlay = OverlayUnfolding::new(&base, &delta);
+            let rebuilt = Unfolding::new(&y, mode);
+            assert_eq!(overlay.nnz(), rebuilt.nnz() as u64, "{mode:?} nnz");
+            for r in 0..rebuilt.nrows() {
+                assert_eq!(overlay.row(r), rebuilt.row(r), "{mode:?} row {r}");
+            }
+            crate::unfold::row_range_contract_check(&overlay, "overlay");
+        }
+    }
+
+    #[test]
+    fn overlay_patches_mmap_bases_too() {
+        let x = sample();
+        let delta = sample_delta();
+        let y = delta.apply(&x);
+        let dir = std::env::temp_dir().join("dbtf-delta-overlay-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        for mode in Mode::ALL {
+            let path = dir.join(format!("m{}-{}.unf", mode.index(), std::process::id()));
+            let base = Unfolding::new(&x, mode);
+            crate::MmapUnfolding::write_from_store(&base, &path).unwrap();
+            let mapped = crate::MmapUnfolding::open(&path).unwrap();
+            let overlay = OverlayUnfolding::new(&mapped, &delta);
+            let rebuilt = Unfolding::new(&y, mode);
+            for r in 0..rebuilt.nrows() {
+                assert_eq!(overlay.row(r), rebuilt.row(r), "{mode:?} row {r}");
+            }
+            assert_eq!(overlay.nnz(), rebuilt.nnz() as u64);
+            crate::unfold::row_range_contract_check(&overlay, "mmap overlay");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn untouched_rows_are_borrowed_not_copied() {
+        let x = sample();
+        let delta = sample_delta();
+        let base = Unfolding::new(&x, Mode::One);
+        let overlay = OverlayUnfolding::new(&base, &delta);
+        // Delta touches tensor rows i = 0, 1, 2 is untouched in mode 1
+        // (its only edit was a no-op clear of an absent cell — still a
+        // patched row, by design). Row addresses prove the borrow.
+        assert_eq!(overlay.patched_rows(), vec![0, 1, 2]);
+        let empty_delta = TensorDelta::new([3, 4, 5], Vec::new()).unwrap();
+        let passthrough = OverlayUnfolding::new(&base, &empty_delta);
+        assert!(passthrough.patched_rows().is_empty());
+        for r in 0..base.nrows() {
+            assert!(std::ptr::eq(
+                passthrough.row(r).as_ptr(),
+                base.row(r).as_ptr()
+            ));
+        }
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let x = sample();
+        let delta = TensorDelta::parse("# nothing\n", [3, 4, 5]).unwrap();
+        assert!(delta.is_empty());
+        assert_eq!(delta.len(), 0);
+        assert_eq!(delta.apply(&x), x);
+    }
+}

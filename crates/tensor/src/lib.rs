@@ -57,6 +57,7 @@
 mod bitmatrix;
 mod bitvec;
 pub mod columnar;
+mod delta;
 pub mod io;
 pub mod matrix_io;
 #[cfg(all(unix, target_endian = "little"))]
@@ -72,6 +73,7 @@ mod wire_impls;
 pub use bitmatrix::BitMatrix;
 pub use bitvec::BitVec;
 pub use columnar::{MmapUnfolding, UnfoldingHeader, UnfoldingWriter};
+pub use delta::{DeltaCell, OverlayUnfolding, TensorDelta};
 pub use store::{StoreError, UnfoldingStore};
 pub use tensor::{BoolTensor, TensorBuilder};
 pub use unfold::{Mode, Unfolding};

@@ -10,7 +10,8 @@ cd "$(dirname "$0")/.."
 
 status=0
 for f in crates/cluster/src/*.rs crates/cluster/src/*/*.rs crates/tensor/src/*.rs \
-         crates/serve/src/*.rs; do
+         crates/serve/src/*.rs crates/core/src/*.rs crates/oracle/src/*.rs \
+         crates/cli/src/*.rs; do
     lines=$(wc -l <"$f")
     if [ "$lines" -gt "$LIMIT" ]; then
         echo "FAIL: $f has $lines lines (limit $LIMIT) — split it instead" >&2
@@ -19,6 +20,6 @@ for f in crates/cluster/src/*.rs crates/cluster/src/*/*.rs crates/tensor/src/*.r
 done
 
 if [ "$status" -eq 0 ]; then
-    echo "module size check passed: no cluster, tensor, or serve source file exceeds $LIMIT lines"
+    echo "module size check passed: no cluster, tensor, serve, core, oracle, or cli source file exceeds $LIMIT lines"
 fi
 exit "$status"
